@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``test_bench_eNN`` benchmark regenerates one experiment of the
+paper (see DESIGN.md's E-index) and attaches the resulting table to the
+benchmark record via ``extra_info``, so ``--benchmark-only`` output
+doubles as the reproduction log.  Experiments are deterministic, so a
+single round is meaningful; the timer measures regeneration cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def regenerate(benchmark, runner, experiment_id: str, **kwargs):
+    """Run one experiment under the benchmark timer and record verdicts."""
+    result = benchmark.pedantic(
+        lambda: runner(seed=0, quick=True, **kwargs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["verdict"] = result.verdict
+    benchmark.extra_info["rows"] = len(result.rows)
+    assert result.verdict.startswith("REPRODUCED"), result.describe()
+    return result

@@ -1,0 +1,39 @@
+"""Benchmarks A1–A4 — regenerate the design-choice ablations."""
+
+from repro.experiments.ablations import run_a1, run_a2, run_a3, run_a4
+
+from .conftest import regenerate
+
+
+def test_bench_a1_inversion_spread(benchmark):
+    """A1: delay spread vs new/old inversion frequency."""
+    regenerate(benchmark, run_a1, "A1")
+
+
+def test_bench_a2_randomized_figure3(benchmark):
+    """A2: randomized Figure 3 — naive vs full join."""
+    regenerate(benchmark, run_a2, "A2")
+
+
+def test_bench_a3_footnote4(benchmark):
+    """A3: footnote 4's δ+δ' join-wait optimization."""
+    regenerate(benchmark, run_a3, "A3")
+
+
+def test_bench_a4_entrant_policy(benchmark):
+    """A4: broadcast delivery to entrants."""
+    regenerate(benchmark, run_a4, "A4")
+
+
+def test_bench_a5_concurrent_writers(benchmark):
+    """A5: the single-writer assumption, violated."""
+    from repro.experiments.ablations import run_a5
+
+    regenerate(benchmark, run_a5, "A5")
+
+
+def test_bench_a6_quorum_size(benchmark):
+    """A6: ES quorum size vs safety (two-cohort construction)."""
+    from repro.experiments.ablations import run_a6
+
+    regenerate(benchmark, run_a6, "A6")

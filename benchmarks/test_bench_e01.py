@@ -1,0 +1,10 @@
+"""Benchmark E1 — regenerates the introduction's new/old-inversion figure."""
+
+from repro.experiments import e01_new_old_inversion
+
+from .conftest import regenerate
+
+
+def test_bench_e01(benchmark):
+    """Regenerate E1 (the introduction's new/old-inversion figure)."""
+    regenerate(benchmark, e01_new_old_inversion.run, "E1")

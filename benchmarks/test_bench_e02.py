@@ -1,0 +1,10 @@
+"""Benchmark E2 — regenerates Figure 3(a): the no-wait join violates safety."""
+
+from repro.experiments import e02_figure3a
+
+from .conftest import regenerate
+
+
+def test_bench_e02(benchmark):
+    """Regenerate E2 (Figure 3(a): the no-wait join violates safety)."""
+    regenerate(benchmark, e02_figure3a.run, "E2")

@@ -1,0 +1,10 @@
+"""Benchmark E3 — regenerates Figure 3(b): the wait restores safety."""
+
+from repro.experiments import e03_figure3b
+
+from .conftest import regenerate
+
+
+def test_bench_e03(benchmark):
+    """Regenerate E3 (Figure 3(b): the wait restores safety)."""
+    regenerate(benchmark, e03_figure3b.run, "E3")

@@ -1,0 +1,10 @@
+"""Benchmark E4 — regenerates Lemma 2: the 3δ-window survivor bound."""
+
+from repro.experiments import e04_lemma2
+
+from .conftest import regenerate
+
+
+def test_bench_e04(benchmark):
+    """Regenerate E4 (Lemma 2: the 3δ-window survivor bound)."""
+    regenerate(benchmark, e04_lemma2.run, "E4")

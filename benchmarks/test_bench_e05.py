@@ -1,0 +1,10 @@
+"""Benchmark E5 — regenerates Theorem 1: the synchronous protocol across churn rates."""
+
+from repro.experiments import e05_sync_sweep
+
+from .conftest import regenerate
+
+
+def test_bench_e05(benchmark):
+    """Regenerate E5 (Theorem 1: the synchronous protocol across churn rates)."""
+    regenerate(benchmark, e05_sync_sweep.run, "E5")

@@ -1,0 +1,10 @@
+"""Benchmark E6 — regenerates Theorem 2: impossibility under full asynchrony."""
+
+from repro.experiments import e06_impossibility
+
+from .conftest import regenerate
+
+
+def test_bench_e06(benchmark):
+    """Regenerate E6 (Theorem 2: impossibility under full asynchrony)."""
+    regenerate(benchmark, e06_impossibility.run, "E6")

@@ -1,0 +1,10 @@
+"""Benchmark E7 — regenerates Theorem 3: ES termination across GST."""
+
+from repro.experiments import e07_es_termination
+
+from .conftest import regenerate
+
+
+def test_bench_e07(benchmark):
+    """Regenerate E7 (Theorem 3: ES termination across GST)."""
+    regenerate(benchmark, e07_es_termination.run, "E7")

@@ -1,0 +1,10 @@
+"""Benchmark E8 — regenerates Theorem 4: ES safety vs the majority-active margin."""
+
+from repro.experiments import e08_es_safety
+
+from .conftest import regenerate
+
+
+def test_bench_e08(benchmark):
+    """Regenerate E8 (Theorem 4: ES safety vs the majority-active margin)."""
+    regenerate(benchmark, e08_es_safety.run, "E8")

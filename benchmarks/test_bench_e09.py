@@ -1,0 +1,10 @@
+"""Benchmark E9 — regenerates the fast-reads design point: latency by protocol."""
+
+from repro.experiments import e09_latency
+
+from .conftest import regenerate
+
+
+def test_bench_e09(benchmark):
+    """Regenerate E9 (the fast-reads design point: latency by protocol)."""
+    regenerate(benchmark, e09_latency.run, "E9")

@@ -1,0 +1,10 @@
+"""Benchmark E10 — regenerates dynamic protocols vs the static ABD baseline."""
+
+from repro.experiments import e10_baseline_comparison
+
+from .conftest import regenerate
+
+
+def test_bench_e10(benchmark):
+    """Regenerate E10 (dynamic protocols vs the static ABD baseline)."""
+    regenerate(benchmark, e10_baseline_comparison.run, "E10")

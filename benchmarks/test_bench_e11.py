@@ -1,0 +1,10 @@
+"""Benchmark E11 — regenerates the empirical churn cap vs the analytic 1/(3δ)."""
+
+from repro.experiments import e11_churn_cap
+
+from .conftest import regenerate
+
+
+def test_bench_e11(benchmark):
+    """Regenerate E11 (the empirical churn cap vs the analytic 1/(3δ))."""
+    regenerate(benchmark, e11_churn_cap.run, "E11")

@@ -1,0 +1,10 @@
+"""Benchmark E12 — regenerates the burst-churn extension experiment."""
+
+from repro.experiments import e12_burst_churn
+
+from .conftest import regenerate
+
+
+def test_bench_e12(benchmark):
+    """Regenerate E12 (burst churn vs the constant-rate assumption)."""
+    regenerate(benchmark, e12_burst_churn.run, "E12")

@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Not a paper artifact — these track the cost of the machinery every
+experiment stands on (event throughput, broadcast fan-out, protocol
+operation cost), so regressions in the simulator itself are visible
+separately from the experiments.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.config import SystemConfig
+from repro.runtime.system import DynamicSystem
+from repro.sim.engine import EventScheduler
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Schedule and fire 10k no-op events."""
+
+    def run() -> int:
+        engine = EventScheduler()
+        for i in range(10_000):
+            engine.schedule(float(i % 97) + 0.5, lambda: None)
+        return engine.run()
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def test_bench_broadcast_fanout(benchmark):
+    """One hundred broadcasts into a 50-process system."""
+
+    def run() -> int:
+        system = DynamicSystem(
+            SystemConfig(n=50, delta=5.0, protocol="sync", seed=1, trace=False)
+        )
+        for _ in range(100):
+            system.write()
+            system.run_for(12.0)
+        return system.network.delivered_count
+
+    delivered = benchmark(run)
+    assert delivered >= 100 * 50
+
+
+def test_bench_sync_read_cost(benchmark):
+    """10k local reads on the synchronous protocol (the 'free' path)."""
+    system = DynamicSystem(
+        SystemConfig(n=20, delta=5.0, protocol="sync", seed=1, trace=False)
+    )
+    reader = system.seed_pids[3]
+
+    def run() -> int:
+        for _ in range(10_000):
+            system.read(reader)
+        return 10_000
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_es_quorum_read_cost(benchmark):
+    """One hundred quorum reads on the ES protocol."""
+
+    def run() -> int:
+        system = DynamicSystem(
+            SystemConfig(n=11, delta=5.0, protocol="es", seed=1, trace=False)
+        )
+        done = 0
+        for _ in range(100):
+            handle = system.read(system.seed_pids[4])
+            system.run_for(15.0)
+            done += handle.done
+        return done
+
+    assert benchmark(run) == 100
+
+
+def test_bench_churn_tick_cost(benchmark):
+    """300 ticks of 10%-churn bookkeeping on a 100-process system."""
+
+    def run() -> int:
+        system = DynamicSystem(
+            SystemConfig(n=100, delta=5.0, protocol="sync", seed=1, trace=False)
+        )
+        system.attach_churn(rate=0.1)
+        system.run_until(300.0)
+        return system.churn.ticks_executed
+
+    assert benchmark(run) == 300
+
+
+def test_bench_checker_cost(benchmark):
+    """Regularity-check a history with ~2k operations."""
+    system = DynamicSystem(
+        SystemConfig(n=20, delta=5.0, protocol="sync", seed=1, trace=False)
+    )
+    for round_idx in range(20):
+        system.write()
+        system.run_for(12.0)
+        for pid in system.active_pids()[:20]:
+            for _ in range(5):
+                system.read(pid)
+    system.close()
+
+    def run():
+        return system.check_safety()
+
+    report = benchmark(run)
+    assert report.is_safe
+    assert report.checked_count >= 1_000

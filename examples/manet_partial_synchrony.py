@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A mobile ad-hoc deployment: quorum registers through an unstable phase.
+
+Section 6 relates the paper to register protocols for MANETs, and
+Section 5's eventually synchronous model is exactly the radio reality:
+for a while, link delays are erratic and unbounded (interference,
+mobility); at some unknown point the network stabilizes (GST) and the
+known-in-hindsight bound δ starts to hold.
+
+This example runs the quorum-based (Figures 4–6) protocol through such
+an episode:
+
+* 21 vehicles, constant churn (vehicles enter/leave the convoy);
+* delays are chaotic until t=150, then bounded by δ = 4;
+* telemetry writes and dashboard reads are issued throughout;
+* at the end we compare operation latencies before and after the
+  network stabilized, and audit safety/liveness.
+
+The takeaway matches Theorem 3: operations invoked during the unstable
+phase may linger (some are only unblocked by *later joiners* through
+the DL_PREV promise chain), but nothing returns a wrong value, and
+once the network stabilizes everything settles to a few δ.
+
+Run:  python examples/manet_partial_synchrony.py
+"""
+
+from repro import DynamicSystem, EventuallySynchronousDelay, SystemConfig
+from repro.analysis.stats import summarize
+from repro.workloads.generators import poisson_reads
+from repro.workloads.schedule import WorkloadDriver, WriteOp
+
+N = 21
+DELTA = 4.0
+GST = 150.0
+HORIZON = 400.0
+
+print(f"convoy register: n={N}, δ={DELTA} (holds only after t={GST})")
+
+system = DynamicSystem(
+    SystemConfig(
+        n=N,
+        delta=DELTA,
+        protocol="es",
+        seed=99,
+        trace=False,
+        delay=EventuallySynchronousDelay(
+            gst=GST, delta=DELTA, pre_gst_max=20 * DELTA
+        ),
+    )
+)
+# Vehicles stay at least 3δ once they appear (Lemmas 5-7's hypothesis).
+system.attach_churn(rate=0.004, min_stay=3 * DELTA)
+
+driver = WorkloadDriver(system)
+plan = poisson_reads(
+    start=5.0, end=HORIZON - 10 * DELTA, rate=0.3,
+    rng=system.rng.stream("example.plan"),
+)
+plan.extend(WriteOp(time=t) for t in range(20, int(HORIZON) - 50, 60))
+plan.sort(key=lambda op: op.time)
+driver.install(plan)
+
+system.run_until(HORIZON)
+system.close()
+
+# ----------------------------------------------------------- telemetry
+print()
+print(f"{'phase':<12} {'op':<6} {'done':>5} {'mean lat':>9} {'max lat':>9}")
+for kind in ("join", "read", "write"):
+    for phase, lo, hi in (("unstable", 0.0, GST), ("stable", GST, HORIZON)):
+        ops = [
+            op
+            for op in system.history.operations(kind)
+            if lo <= op.invoke_time < hi and op.done
+        ]
+        if not ops:
+            continue
+        latencies = [op.latency for op in ops]
+        stats = summarize(latencies)
+        print(
+            f"{phase:<12} {kind:<6} {len(ops):>5} "
+            f"{stats.mean:>9.2f} {stats.maximum:>9.2f}"
+        )
+
+print()
+safety = system.check_safety()
+liveness = system.check_liveness(grace=10 * DELTA)
+print(safety.summary())
+print(liveness.summary())
+if safety.is_safe:
+    print("convoy verdict: erratic links delayed operations but never "
+          "corrupted the register — the Theorem 3/4 behaviour")

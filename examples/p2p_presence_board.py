@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A P2P presence board: the paper's motivating workload, end to end.
+
+The introduction motivates dynamic registers with social networks and
+P2P systems: a population of peers that continuously come and go, all
+wanting cheap reads of a shared, occasionally-updated datum.  This
+example models a *presence board* — a register holding the currently
+featured announcement — on an overlay with heavy peer turnover:
+
+* 40 peers, δ = 4 time units, churn c = 2%/tick (≈ 35% of the cap);
+* one moderator (the writer) posts a new announcement every ~100 ticks;
+* every peer polls the board locally about once per 2 ticks (the
+  synchronous protocol's reads are free — exactly why the paper calls
+  it "targeted for applications where reads outperform writes");
+* the run is then audited: every read served a legal announcement, all
+  operations by staying peers terminated, and the join traffic is
+  summarized.
+
+Run:  python examples/p2p_presence_board.py
+"""
+
+from repro import DynamicSystem, SystemConfig, synchronous_churn_bound
+from repro.analysis.stats import summarize
+from repro.workloads.generators import read_heavy_plan
+from repro.workloads.schedule import WorkloadDriver
+
+N = 40
+DELTA = 4.0
+CHURN = 0.02
+HORIZON = 500.0
+
+cap = synchronous_churn_bound(DELTA)
+print(f"presence board: n={N}, δ={DELTA}, churn c={CHURN} "
+      f"({CHURN / cap:.0%} of the 1/(3δ) cap)")
+
+system = DynamicSystem(
+    SystemConfig(n=N, delta=DELTA, protocol="sync", seed=2024, trace=False)
+)
+system.attach_churn(rate=CHURN)
+
+driver = WorkloadDriver(system)
+plan = read_heavy_plan(
+    start=5.0,
+    end=HORIZON - 3 * DELTA,
+    write_period=100.0,  # a new announcement roughly every 100 ticks
+    read_rate=N / 2.0,  # each peer polls about once per two ticks
+    rng=system.rng.stream("example.plan"),
+)
+driver.install(plan)
+system.run_until(HORIZON)
+system.close()
+
+# ---------------------------------------------------------------- audit
+safety = system.check_safety()
+liveness = system.check_liveness()
+print()
+print(f"announcements posted : {driver.stats.writes_issued}")
+print(f"reads served         : {driver.stats.reads_issued} "
+      f"(skipped {driver.stats.reads_skipped} — no active peer at that tick)")
+print(f"peer joins           : {len(system.history.joins())} started, "
+      f"{sum(1 for j in system.history.joins() if j.done)} completed "
+      f"(the rest left mid-join)")
+
+join_latencies = [j.latency for j in system.history.joins() if j.done]
+if join_latencies:
+    print(f"join latency         : {summarize(join_latencies).format(1)} "
+          f"(bound: 3δ = {3 * DELTA})")
+
+print()
+print(safety.summary())
+print(liveness.summary())
+if safety.is_safe and liveness.is_live:
+    print("presence board verdict: every peer always saw a legal "
+          "announcement, despite the turnover")

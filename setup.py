@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` in the offline
+environment (no `wheel` package available for PEP 517 editable builds)."""
+
+from setuptools import setup
+
+setup()

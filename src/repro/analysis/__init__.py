@@ -1,0 +1,5 @@
+"""Analysis helpers: summary statistics and interval estimates."""
+
+from .stats import Summary, percentile, proportion, summarize, wilson_interval
+
+__all__ = ["Summary", "percentile", "proportion", "summarize", "wilson_interval"]

@@ -1,0 +1,98 @@
+"""Small statistics helpers used by experiments and benchmarks.
+
+Kept deliberately dependency-light: plain arithmetic where possible,
+``statistics`` from the standard library for moments.  (NumPy/SciPy are
+available in the environment but the sample sizes here never justify
+them; explicit code is easier to audit.)
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..sim.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric across repetitions."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    def format(self, precision: int = 3) -> str:
+        return (
+            f"{self.mean:.{precision}f} ± {self.stdev:.{precision}f} "
+            f"[{self.minimum:.{precision}f}, {self.maximum:.{precision}f}] "
+            f"(k={self.count})"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Mean / stdev / min / max of a non-empty sample."""
+    if not samples:
+        raise ExperimentError("cannot summarize an empty sample")
+    if len(samples) == 1:
+        only = float(samples[0])
+        return Summary(count=1, mean=only, stdev=0.0, minimum=only, maximum=only)
+    return Summary(
+        count=len(samples),
+        mean=statistics.fmean(samples),
+        stdev=statistics.stdev(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def proportion(successes: int, trials: int) -> float:
+    """A guarded ratio: 0/0 counts as 0."""
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ExperimentError(
+            f"invalid proportion: {successes}/{trials}"
+        )
+    if trials == 0:
+        return 0.0
+    return successes / trials
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because experiment
+    violation rates are frequently 0 or 1 exactly.
+    """
+    p = proportion(successes, trials)
+    if trials == 0:
+        return (0.0, 1.0)
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """The q-th percentile (0 <= q <= 100), linear interpolation."""
+    data = sorted(samples)
+    if not data:
+        raise ExperimentError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ExperimentError(f"percentile must be in [0, 100], got {q!r}")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return data[low]
+    frac = rank - low
+    return data[low] * (1.0 - frac) + data[high] * frac

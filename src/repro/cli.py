@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands, mirroring how the library is typically used:
+
+``experiments``
+    Run the reproduction battery (E1–E11, optionally the A1–A4
+    ablations) and print each table and verdict.
+
+``scenario``
+    Replay one of the scripted figure scenarios (``fig3a``, ``fig3b``,
+    ``inversion``) with its narrative, checker verdicts and — with
+    ``--timeline`` — the ASCII space-time diagram.
+
+``simulate``
+    Run an ad-hoc system (protocol, size, δ, churn, workload knobs) and
+    report safety/liveness plus summary statistics.  The quickest way
+    to poke at the protocols.
+
+``bounds``
+    Print the paper's analytic bounds for given δ and n: the
+    synchronous cap ``1/(3δ)``, the ES cap ``1/(3δn)``, Lemma 2's
+    window bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .churn.model import (
+    eventually_synchronous_churn_bound,
+    lemma2_window_lower_bound,
+    synchronous_churn_bound,
+)
+from .experiments import ABLATIONS, EXPERIMENTS
+from .runtime.config import SystemConfig
+from .runtime.system import DynamicSystem
+from .sim.errors import ReproError
+from .viz.message_flow import render_message_flow
+from .viz.timeline import render_timeline
+from .workloads.generators import read_heavy_plan
+from .workloads.scenarios import figure_3a, figure_3b, new_old_inversion
+from .workloads.schedule import WorkloadDriver
+
+_SCENARIOS = {
+    "fig3a": figure_3a,
+    "fig3b": figure_3b,
+    "inversion": new_old_inversion,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Implementing a Register in a "
+            "Dynamic Distributed System' (ICDCS 2009)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="run the reproduction battery (E1-E11)"
+    )
+    experiments.add_argument(
+        "--ids",
+        nargs="+",
+        metavar="ID",
+        help="subset to run (e.g. E5 A2); default: all E-experiments",
+    )
+    experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--ablations",
+        action="store_true",
+        help="include the A1-A4 ablations in the default set",
+    )
+
+    scenario = sub.add_parser("scenario", help="replay a scripted figure")
+    scenario.add_argument("name", choices=sorted(_SCENARIOS))
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument(
+        "--timeline", action="store_true", help="print the space-time diagram"
+    )
+    scenario.add_argument(
+        "--messages", action="store_true", help="print the message flow"
+    )
+
+    simulate = sub.add_parser("simulate", help="run an ad-hoc system")
+    simulate.add_argument(
+        "--protocol", default="sync", choices=["sync", "naive", "es", "abd"]
+    )
+    simulate.add_argument("--n", type=int, default=20)
+    simulate.add_argument("--delta", type=float, default=5.0)
+    simulate.add_argument("--churn", type=float, default=0.01)
+    simulate.add_argument("--horizon", type=float, default=200.0)
+    simulate.add_argument("--read-rate", type=float, default=0.5)
+    simulate.add_argument("--write-period", type=float, default=30.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--timeline", action="store_true")
+
+    bounds = sub.add_parser("bounds", help="print the analytic bounds")
+    bounds.add_argument("--delta", type=float, default=5.0)
+    bounds.add_argument("--n", type=int, default=20)
+    bounds.add_argument(
+        "--churn",
+        type=float,
+        default=None,
+        help="also evaluate Lemma 2's bound at this churn rate",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "experiments":
+            return _cmd_experiments(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "bounds":
+            return _cmd_bounds(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    registry = dict(EXPERIMENTS)
+    registry.update(ABLATIONS)
+    if args.ids:
+        unknown = [i for i in args.ids if i not in registry]
+        if unknown:
+            print(
+                f"error: unknown experiment id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(registry)}",
+                file=sys.stderr,
+            )
+            return 2
+        selected = {i: registry[i] for i in args.ids}
+    elif args.ablations:
+        selected = registry
+    else:
+        selected = dict(EXPERIMENTS)
+    failures = []
+    for experiment_id, runner in selected.items():
+        result = runner(seed=args.seed, quick=args.quick)
+        print(result.describe())
+        print()
+        if not result.verdict.startswith("REPRODUCED"):
+            failures.append(experiment_id)
+    if failures:
+        print(f"NOT REPRODUCED: {', '.join(failures)}")
+        return 1
+    print(f"all {len(selected)} experiments reproduced")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = _SCENARIOS[args.name](seed=args.seed)
+    print(scenario.describe())
+    if args.timeline:
+        print()
+        print(render_timeline(scenario.system, width=76))
+    if args.messages:
+        print()
+        print(render_message_flow(scenario.system.trace))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        n=args.n,
+        delta=args.delta,
+        protocol=args.protocol,
+        seed=args.seed,
+        trace=args.timeline,
+    )
+    system = DynamicSystem(config)
+    if args.churn > 0:
+        system.attach_churn(rate=args.churn, min_stay=3.0 * args.delta)
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=max(6.0, args.horizon - 4.0 * args.delta),
+        write_period=args.write_period,
+        read_rate=args.read_rate,
+        rng=system.rng.stream("cli.plan"),
+    )
+    driver.install(plan)
+    system.run_until(args.horizon)
+    system.close()
+    safety = system.check_safety()
+    liveness = system.check_liveness(grace=10.0 * args.delta)
+    print(
+        f"protocol={args.protocol} n={args.n} δ={args.delta} "
+        f"churn={args.churn} horizon={args.horizon} seed={args.seed}"
+    )
+    print(f"reads issued   : {driver.stats.reads_issued} "
+          f"(skipped {driver.stats.reads_skipped})")
+    print(f"writes issued  : {driver.stats.writes_issued} "
+          f"(skipped {driver.stats.writes_skipped})")
+    joins = system.history.joins()
+    print(f"joins          : {len(joins)} started, "
+          f"{sum(1 for j in joins if j.done)} completed")
+    print(safety.summary())
+    print(liveness.summary())
+    if args.timeline:
+        print()
+        pids = [r.pid for r in system.membership.iter_records()][:25]
+        print(render_timeline(system, width=76, pids=pids))
+    return 0 if (safety.is_safe and liveness.is_live) else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    sync_cap = synchronous_churn_bound(args.delta)
+    es_cap = eventually_synchronous_churn_bound(args.delta, args.n)
+    print(f"δ = {args.delta}, n = {args.n}")
+    print(f"synchronous churn cap   1/(3δ)  = {sync_cap:.6f}")
+    print(f"eventually-sync cap     1/(3δn) = {es_cap:.6f}")
+    print(f"majority quorum         ⌊n/2⌋+1 = {args.n // 2 + 1}")
+    if args.churn is not None:
+        bound = lemma2_window_lower_bound(args.n, args.churn, args.delta)
+        print(
+            f"Lemma 2 window bound    n(1−3δc) = {bound:.2f} "
+            f"at c = {args.churn} ({args.churn / sync_cap:.0%} of the cap)"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

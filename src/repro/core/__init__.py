@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the regular-register specification,
+operation histories and the checkers that judge any protocol against
+the Section 2.2 Safety and Liveness properties."""
+
+from .checker import (
+    AtomicityReport,
+    Inversion,
+    LivenessChecker,
+    LivenessReport,
+    ReadJudgement,
+    RegularityChecker,
+    SafetyReport,
+    StuckOperation,
+    find_new_old_inversions,
+)
+from .history import History, WriteRecord
+from .register import (
+    BOTTOM,
+    NodeContext,
+    OP_JOIN,
+    OP_READ,
+    OP_WRITE,
+    RegisterNode,
+)
+
+__all__ = [
+    "AtomicityReport",
+    "Inversion",
+    "LivenessChecker",
+    "LivenessReport",
+    "ReadJudgement",
+    "RegularityChecker",
+    "SafetyReport",
+    "StuckOperation",
+    "find_new_old_inversions",
+    "History",
+    "WriteRecord",
+    "BOTTOM",
+    "NodeContext",
+    "OP_JOIN",
+    "OP_READ",
+    "OP_WRITE",
+    "RegisterNode",
+]

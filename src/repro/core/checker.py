@@ -1,0 +1,335 @@
+"""Correctness checkers for register histories.
+
+Three checkers, one per property family:
+
+* :class:`RegularityChecker` — the Safety property of Section 2.2: every
+  read must return the last value written before the read's invocation
+  or a value written by a concurrent write.  Joins are checked against
+  the same rule (Lemma 3: the value adopted at the end of a join obeys
+  the read rule over the join's interval).
+* :func:`find_new_old_inversions` — the atomicity refinement from the
+  introduction: a *regular* register may let an earlier read return a
+  newer value than a later read; an *atomic* register may not.  The
+  detector finds those pairs, letting experiments demonstrate that the
+  protocols are regular but not atomic (E1).
+* :class:`LivenessChecker` — the Liveness property: operations invoked
+  by processes that do not leave must terminate.  Abandoned operations
+  (their process left) are excused; operations still pending at the end
+  of the run are stuck only if they had more than a grace period to
+  finish.
+
+All checkers consume only the :class:`~repro.core.history.History` —
+never protocol internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim.clock import Time
+from ..sim.errors import CheckerError
+from ..sim.operations import OperationHandle
+from .history import History, WriteRecord
+from .register import OP_JOIN
+
+
+@dataclass(frozen=True)
+class ReadJudgement:
+    """The verdict on one read (or join-adoption)."""
+
+    operation: OperationHandle
+    returned: Any
+    allowed: tuple[Any, ...]
+    valid: bool
+    last_completed_index: int
+    explanation: str
+
+    @property
+    def is_join(self) -> bool:
+        return self.operation.kind == OP_JOIN
+
+
+@dataclass
+class SafetyReport:
+    """Outcome of a regularity check over a whole history."""
+
+    judgements: list[ReadJudgement] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[ReadJudgement]:
+        return [j for j in self.judgements if not j.valid]
+
+    @property
+    def checked_count(self) -> int:
+        return len(self.judgements)
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    @property
+    def is_safe(self) -> bool:
+        return not self.violations
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of checked reads that violated regularity."""
+        if not self.judgements:
+            return 0.0
+        return self.violation_count / self.checked_count
+
+    def summary(self) -> str:
+        status = "SAFE" if self.is_safe else "VIOLATED"
+        return (
+            f"regularity: {status} "
+            f"({self.violation_count}/{self.checked_count} bad reads)"
+        )
+
+
+class RegularityChecker:
+    """Checks the Safety property of Section 2.2 on a history."""
+
+    def __init__(self, history: History, check_joins: bool = True) -> None:
+        self.history = history
+        self.check_joins = check_joins
+
+    def check(self) -> SafetyReport:
+        """Judge every completed read (and join, if enabled)."""
+        writes = self.history.write_records()
+        report = SafetyReport()
+        for op in self.history.reads():
+            if not op.done:
+                continue  # liveness checker's concern
+            report.judgements.append(self._judge(op, op.result, writes))
+        if self.check_joins:
+            for op in self.history.joins():
+                if not op.done:
+                    continue
+                adopted = _join_adopted_value(op)
+                if adopted is _NO_ADOPTION:
+                    continue  # protocol does not expose its adoption
+                report.judgements.append(self._judge(op, adopted, writes))
+        return report
+
+    def _judge(
+        self,
+        op: OperationHandle,
+        returned: Any,
+        writes: list[WriteRecord],
+    ) -> ReadJudgement:
+        if op.response_time is None:
+            raise CheckerError(f"cannot judge incomplete operation {op!r}")
+        invoke, response = op.invoke_time, op.response_time
+        last = _last_completed_write(writes, invoke)
+        concurrent = [w for w in writes if w.index > 0 and w.concurrent_with(invoke, response)]
+        allowed_records = [last] + [w for w in concurrent if w.index != last.index]
+        allowed_values = tuple(w.value for w in allowed_records)
+        valid = any(returned == value for value in allowed_values)
+        if valid:
+            explanation = "returned an allowed value"
+        else:
+            explanation = (
+                f"returned {returned!r} but the last write completed before "
+                f"invocation was #{last.index} ({last.value!r}) and the "
+                f"concurrent writes were "
+                f"{[(w.index, w.value) for w in concurrent]!r}"
+            )
+        return ReadJudgement(
+            operation=op,
+            returned=returned,
+            allowed=allowed_values,
+            valid=valid,
+            last_completed_index=last.index,
+            explanation=explanation,
+        )
+
+
+def _last_completed_write(writes: list[WriteRecord], instant: Time) -> WriteRecord:
+    last = writes[0]  # the virtual initial write, completed at -inf
+    for record in writes[1:]:
+        if record.completed_before(instant) and record.index > last.index:
+            last = record
+    return last
+
+
+class _NoAdoption:
+    """Sentinel: the join result carries no adopted value to check."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<no adoption>"
+
+
+_NO_ADOPTION = _NoAdoption()
+
+
+def _join_adopted_value(op: OperationHandle) -> Any:
+    """Extract the value a join adopted, if the protocol reports it.
+
+    Protocol joins return a :class:`JoinResult`-like object with a
+    ``value`` attribute; plain ``"ok"`` results are skipped.
+    """
+    result = op.result
+    if hasattr(result, "value"):
+        return result.value
+    return _NO_ADOPTION
+
+
+# ----------------------------------------------------------------------
+# New/old inversions (atomicity)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """A new/old inversion: ``earlier`` read a newer write than ``later``.
+
+    ``earlier.response_time < later.invoke_time`` yet the write index
+    read by ``earlier`` exceeds the one read by ``later`` — allowed by
+    regularity, forbidden by atomicity (introduction, Section 1).
+    """
+
+    earlier: OperationHandle
+    later: OperationHandle
+    earlier_write_index: int
+    later_write_index: int
+
+
+@dataclass
+class AtomicityReport:
+    """Regularity verdict plus the inversion pairs found."""
+
+    safety: SafetyReport
+    inversions: list[Inversion] = field(default_factory=list)
+
+    @property
+    def is_atomic(self) -> bool:
+        """Atomic = regular + no new/old inversion (single-writer case)."""
+        return self.safety.is_safe and not self.inversions
+
+    @property
+    def is_regular_but_not_atomic(self) -> bool:
+        return self.safety.is_safe and bool(self.inversions)
+
+    def summary(self) -> str:
+        if self.is_atomic:
+            return "atomicity: ATOMIC (regular, no inversions)"
+        if self.is_regular_but_not_atomic:
+            return f"atomicity: REGULAR ONLY ({len(self.inversions)} inversions)"
+        return f"atomicity: NOT EVEN REGULAR ({self.safety.violation_count} bad reads)"
+
+
+def find_new_old_inversions(history: History) -> AtomicityReport:
+    """Detect new/old inversions among the completed reads.
+
+    For serialized writes with unique values, a history is atomic iff it
+    is regular and no pair of non-overlapping reads returns writes out
+    of order.  Reads returning unknown values are regularity violations
+    and are excluded from the inversion scan.
+    """
+    safety = RegularityChecker(history, check_joins=False).check()
+    value_map = history.value_to_write()
+    indexed_reads: list[tuple[OperationHandle, int]] = []
+    for op in history.reads():
+        if not op.done:
+            continue
+        record = value_map.get(op.result)
+        if record is None:
+            continue  # not a written value: already a safety violation
+        indexed_reads.append((op, record.index))
+    indexed_reads.sort(key=lambda pair: (pair[0].invoke_time, pair[0].op_id))
+    report = AtomicityReport(safety=safety)
+    for i, (earlier, earlier_idx) in enumerate(indexed_reads):
+        for later, later_idx in indexed_reads[i + 1 :]:
+            if earlier.response_time < later.invoke_time and earlier_idx > later_idx:
+                report.inversions.append(
+                    Inversion(
+                        earlier=earlier,
+                        later=later,
+                        earlier_write_index=earlier_idx,
+                        later_write_index=later_idx,
+                    )
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StuckOperation:
+    """An operation that should have terminated but had not by the horizon."""
+
+    operation: OperationHandle
+    age: Time  # horizon - invoke_time
+
+
+@dataclass
+class LivenessReport:
+    """Outcome of a liveness check."""
+
+    completed: int = 0
+    excused: int = 0  # abandoned because the process left
+    in_grace: int = 0  # pending but younger than the grace period
+    stuck: list[StuckOperation] = field(default_factory=list)
+    latencies: dict[str, list[Time]] = field(default_factory=dict)
+
+    @property
+    def is_live(self) -> bool:
+        return not self.stuck
+
+    def mean_latency(self, kind: str) -> float:
+        """Mean completion latency of the given operation kind."""
+        samples = self.latencies.get(kind, [])
+        if not samples:
+            raise CheckerError(f"no completed {kind!r} operations to average")
+        return sum(samples) / len(samples)
+
+    def max_latency(self, kind: str) -> float:
+        samples = self.latencies.get(kind, [])
+        if not samples:
+            raise CheckerError(f"no completed {kind!r} operations observed")
+        return max(samples)
+
+    def summary(self) -> str:
+        status = "LIVE" if self.is_live else "STUCK"
+        return (
+            f"liveness: {status} (completed={self.completed}, "
+            f"excused={self.excused}, in_grace={self.in_grace}, "
+            f"stuck={len(self.stuck)})"
+        )
+
+
+class LivenessChecker:
+    """Checks the Liveness property of Section 2.2 on a closed history."""
+
+    def __init__(self, history: History, grace: Time) -> None:
+        """``grace`` — how long a pending operation may still reasonably
+        need at the horizon before being declared stuck (use the
+        protocol's worst-case latency, e.g. ``3δ`` for a synchronous
+        join)."""
+        if grace < 0:
+            raise CheckerError(f"grace must be non-negative, got {grace!r}")
+        self.history = history
+        self.grace = grace
+
+    def check(self) -> LivenessReport:
+        horizon = self.history.horizon
+        if horizon is None:
+            raise CheckerError("history is not closed; call History.close() first")
+        report = LivenessReport()
+        for op in self.history:
+            if op.done:
+                report.completed += 1
+                report.latencies.setdefault(op.kind, []).append(op.latency)
+            elif op.abandoned:
+                report.excused += 1
+            else:
+                age = horizon - op.invoke_time
+                if age <= self.grace:
+                    report.in_grace += 1
+                else:
+                    report.stuck.append(StuckOperation(operation=op, age=age))
+        return report

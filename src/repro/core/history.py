@@ -1,0 +1,200 @@
+"""Operation histories: the observable behaviour of a run.
+
+A :class:`History` collects every operation invocation as an
+:class:`~repro.sim.operations.OperationHandle` (invocation time,
+response time, argument, result) together with the register's initial
+value.  It is the *only* input to the correctness checkers — exactly
+like the register specification, which is stated purely in terms of
+operation intervals and values — so the checkers remain valid for
+protocols that are deliberately broken.
+
+The history also knows which processes departed and when, so the
+liveness checker can excuse operations abandoned by a leave (the
+specification only promises termination to processes that stay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..sim.clock import Time
+from ..sim.errors import HistoryError
+from ..sim.operations import OperationHandle
+from .register import OP_JOIN, OP_READ, OP_WRITE
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """A write as the checker sees it.
+
+    ``index`` is the write's position in the serialized write order
+    (the workloads never issue concurrent writes, matching the paper's
+    single-writer / serialized-writers assumption).  The initial value
+    is write index 0, completed before time 0.
+    """
+
+    index: int
+    value: Any
+    invoke_time: Time
+    response_time: Time | None  # None while pending or if abandoned
+    process_id: str
+    abandoned: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.response_time is not None and not self.abandoned
+
+    def completed_before(self, instant: Time) -> bool:
+        """Did this write complete at-or-before ``instant``?"""
+        return self.completed and self.response_time <= instant
+
+    def concurrent_with(self, invoke: Time, response: Time) -> bool:
+        """Does this write overlap the interval ``[invoke, response]``?
+
+        A write that never completed (still pending, or abandoned by a
+        departing writer) stays concurrent with everything after its
+        invocation: its value may surface at any later time.
+        """
+        if self.invoke_time > response:
+            return False
+        if self.response_time is None or self.abandoned:
+            return True
+        return self.response_time > invoke
+
+
+class History:
+    """Append-only record of a run's operations."""
+
+    def __init__(self, initial_value: Any) -> None:
+        self.initial_value = initial_value
+        self._operations: list[OperationHandle] = []
+        self._departures: dict[str, Time] = {}
+        self._horizon: Time | None = None
+
+    # ------------------------------------------------------------------
+    # Recording (called by the system runtime)
+    # ------------------------------------------------------------------
+
+    def record_operation(self, handle: OperationHandle) -> None:
+        """Register an invoked operation (its completion fills in later)."""
+        self._operations.append(handle)
+
+    def record_departure(self, pid: str, time: Time) -> None:
+        """Note that ``pid`` left the system at ``time``."""
+        self._departures[pid] = time
+
+    def close(self, horizon: Time) -> None:
+        """Freeze the history at the end of the run."""
+        self._horizon = horizon
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+
+    @property
+    def horizon(self) -> Time | None:
+        """The run's end time (``None`` while the run is in progress)."""
+        return self._horizon
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[OperationHandle]:
+        return iter(self._operations)
+
+    def operations(self, kind: str | None = None) -> list[OperationHandle]:
+        """All operations, optionally filtered by kind."""
+        if kind is None:
+            return list(self._operations)
+        return [op for op in self._operations if op.kind == kind]
+
+    def joins(self) -> list[OperationHandle]:
+        return self.operations(OP_JOIN)
+
+    def reads(self) -> list[OperationHandle]:
+        return self.operations(OP_READ)
+
+    def writes(self) -> list[OperationHandle]:
+        return self.operations(OP_WRITE)
+
+    def departed_at(self, pid: str) -> Time | None:
+        """When ``pid`` left the system, or ``None`` if it stayed."""
+        return self._departures.get(pid)
+
+    # ------------------------------------------------------------------
+    # Derived views for the checkers
+    # ------------------------------------------------------------------
+
+    def write_records(self) -> list[WriteRecord]:
+        """The serialized writes, including the virtual initial write.
+
+        Raises :class:`~repro.sim.errors.HistoryError` if two write
+        invocations overlap in time — the correctness conditions below
+        are stated for serialized writes, and the workloads guarantee
+        serialization, so an overlap is a harness bug worth failing on.
+        """
+        writes = sorted(self.writes(), key=lambda op: (op.invoke_time, op.op_id))
+        records = [
+            WriteRecord(
+                index=0,
+                value=self.initial_value,
+                invoke_time=float("-inf"),
+                response_time=float("-inf"),
+                process_id="<initial>",
+            )
+        ]
+        previous_end: Time = float("-inf")
+        for position, op in enumerate(writes, start=1):
+            if op.invoke_time < previous_end:
+                raise HistoryError(
+                    f"writes overlap: {op!r} invoked before the previous "
+                    f"write responded at {previous_end!r}; the checker "
+                    f"requires serialized writes"
+                )
+            if op.done:
+                response: Time | None = op.response_time
+                abandoned = False
+                previous_end = op.response_time  # type: ignore[assignment]
+            elif op.abandoned:
+                response = None
+                abandoned = True
+            else:  # still pending at the horizon
+                response = None
+                abandoned = False
+            records.append(
+                WriteRecord(
+                    index=position,
+                    value=op.argument,
+                    invoke_time=op.invoke_time,
+                    response_time=response,
+                    process_id=op.process_id,
+                    abandoned=abandoned,
+                )
+            )
+        return records
+
+    def value_to_write(self) -> dict[Any, WriteRecord]:
+        """Map each written value to its write record.
+
+        Raises if two writes used the same value: the checkers need the
+        mapping to be unambiguous (the workload generators enforce
+        uniqueness by construction).
+        """
+        mapping: dict[Any, WriteRecord] = {}
+        for record in self.write_records():
+            if record.value in mapping:
+                raise HistoryError(
+                    f"value {record.value!r} written twice (writes "
+                    f"{mapping[record.value].index} and {record.index}); "
+                    f"checkers require unique written values"
+                )
+            mapping[record.value] = record
+        return mapping
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"History(ops={len(self._operations)}, "
+            f"writes={len(self.writes())}, reads={len(self.reads())}, "
+            f"joins={len(self.joins())})"
+        )

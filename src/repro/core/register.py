@@ -1,0 +1,120 @@
+"""The register abstraction (Sections 1 and 2.2).
+
+A *regular register* in a dynamic system satisfies (Section 2.2):
+
+* **Liveness** — if a process invokes ``read`` or ``write`` and does
+  not leave the system, the operation eventually returns;
+* **Safety** — a ``read`` returns the last value written before the
+  read invocation, or a value written by a write concurrent with it.
+
+``RegisterNode`` is the interface every protocol implementation
+(synchronous, eventually synchronous, naive, ABD) exposes; the system
+runtime and the workloads talk only to this interface, and the safety
+checker consumes only the operation handles it returns — protocols are
+never trusted to self-report correctness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from ..sim.clock import Time
+from ..sim.engine import EventScheduler
+from ..sim.operations import OperationHandle
+from ..sim.process import SimProcess
+from ..sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.broadcast import BroadcastService
+    from ..net.network import Network
+
+
+#: The distinguished "nothing written locally yet" value (the paper's ⊥).
+BOTTOM = None
+
+#: The operation kind strings recorded in histories.
+OP_JOIN = "join"
+OP_READ = "read"
+OP_WRITE = "write"
+
+
+@dataclass
+class NodeContext:
+    """Everything a protocol node needs from its environment.
+
+    ``n`` is the (constant, globally known) system size and ``delta``
+    the delay bound known to synchronous protocols; asynchronous
+    protocols must ignore it — the runtime still passes the value so
+    that deliberately *wrong* protocols (e.g. a timer-based protocol
+    run under asynchrony, for Theorem 2) can be expressed.
+    """
+
+    engine: EventScheduler
+    network: "Network"
+    broadcast: "BroadcastService"
+    trace: TraceLog
+    n: int
+    delta: Time
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class RegisterNode(SimProcess, abc.ABC):
+    """A process holding one local copy of the shared register.
+
+    Lifecycle contract (Section 2):
+
+    * a node created as a *seed* starts active and already stores the
+      register's initial value — the paper's "initially, n processes
+      compose the system" premise;
+    * a node created as a *joiner* starts in listening mode and must be
+      driven through :meth:`join` before it may read or write.
+    """
+
+    def __init__(self, pid: str, ctx: NodeContext) -> None:
+        super().__init__(pid, ctx.engine)
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def init_as_seed(self, value: Any, sequence: int = 0) -> None:
+        """Install the initial value and mark the node active.
+
+        Used only for the ``n`` processes that compose the system at
+        time 0 (footnote 3 of the paper: every initial process holds
+        the register's initial value).
+        """
+
+    # ------------------------------------------------------------------
+    # The three operations
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def join(self) -> OperationHandle:
+        """Invoke the join operation (the entry protocol)."""
+
+    @abc.abstractmethod
+    def read(self) -> OperationHandle:
+        """Invoke a read.  Only legal once the node is active."""
+
+    @abc.abstractmethod
+    def write(self, value: Any) -> OperationHandle:
+        """Invoke a write.  Only legal once the node is active."""
+
+    # ------------------------------------------------------------------
+    # Uniform introspection used by experiments and tests
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def register_value(self) -> Any:
+        """The node's current local copy (``BOTTOM`` if never set)."""
+
+    @property
+    @abc.abstractmethod
+    def sequence_number(self) -> int:
+        """The sequence number paired with the local copy."""

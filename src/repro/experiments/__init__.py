@@ -1,0 +1,63 @@
+"""Experiments: one module per figure/lemma/theorem of the paper.
+
+See the per-experiment index in ``DESIGN.md``.  Each module exposes
+``run(seed=0, quick=False, ...) -> ExperimentResult``; ``run_all``
+executes the whole battery (used by ``examples/reproduce_paper.py``
+and by ``EXPERIMENTS.md`` generation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import (
+    e01_new_old_inversion,
+    e02_figure3a,
+    e03_figure3b,
+    e04_lemma2,
+    e05_sync_sweep,
+    e06_impossibility,
+    e07_es_termination,
+    e08_es_safety,
+    e09_latency,
+    e10_baseline_comparison,
+    e11_churn_cap,
+    e12_burst_churn,
+)
+from .ablations import ABLATIONS
+from .harness import ExperimentResult, format_table
+
+#: Registry: experiment id -> runner, in paper order.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e01_new_old_inversion.run,
+    "E2": e02_figure3a.run,
+    "E3": e03_figure3b.run,
+    "E4": e04_lemma2.run,
+    "E5": e05_sync_sweep.run,
+    "E6": e06_impossibility.run,
+    "E7": e07_es_termination.run,
+    "E8": e08_es_safety.run,
+    "E9": e09_latency.run,
+    "E10": e10_baseline_comparison.run,
+    "E11": e11_churn_cap.run,
+    "E12": e12_burst_churn.run,
+}
+
+
+def run_all(
+    seed: int = 0, quick: bool = False, ablations: bool = False
+) -> list[ExperimentResult]:
+    """Run every experiment (optionally plus ablations), in paper order."""
+    battery = dict(EXPERIMENTS)
+    if ablations:
+        battery.update(ABLATIONS)
+    return [runner(seed=seed, quick=quick) for runner in battery.values()]
+
+
+__all__ = [
+    "ABLATIONS",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "run_all",
+]

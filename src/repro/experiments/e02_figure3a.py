@@ -1,0 +1,51 @@
+"""E2 — Figure 3(a): the join protocol without ``wait(δ)`` is unsafe.
+
+Paper claim: if a joiner skips the line-02 wait and inquires
+immediately, a legal synchronous schedule exists in which it adopts the
+value that preceded a *completed* write; its subsequent read (with no
+concurrent write) then returns that stale value — a safety violation.
+"""
+
+from __future__ import annotations
+
+from ..workloads.scenarios import figure_3a
+from .harness import ExperimentResult
+
+
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Replay the Figure 3(a) schedule against the naive protocol."""
+    scenario = figure_3a(seed=seed)
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Figure 3(a) — join without wait(δ)",
+        paper_claim=(
+            "Without the wait at join line 02, the joiner can install the "
+            "previous value of the register and serve it to later reads."
+        ),
+        params={"seed": seed, "protocol": "naive", "n": 3},
+    )
+    for label, handle in scenario.handles.items():
+        result.add_row(
+            operation=label,
+            process=handle.process_id,
+            invoked=handle.invoke_time,
+            responded=handle.response_time,
+            outcome=repr(
+                handle.result.value if label == "join" else handle.result
+            ),
+        )
+    result.notes.extend(scenario.narrative)
+    for judgement in scenario.safety.violations:
+        result.notes.append(f"violation: {judgement.explanation}")
+    stale_read = scenario.handles["read"]
+    reproduced = (
+        not scenario.safety.is_safe
+        and stale_read.done
+        and stale_read.result == "v0"
+    )
+    result.verdict = (
+        "REPRODUCED: the post-write read returned the stale 'v0'"
+        if reproduced
+        else "NOT REPRODUCED: expected a stale read under the naive protocol"
+    )
+    return result

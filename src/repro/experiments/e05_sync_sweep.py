@@ -1,0 +1,142 @@
+"""E5 — Lemma 1 + Theorem 1: the synchronous protocol across churn rates.
+
+Paper claims:
+
+* **Termination (Lemma 1)** — joins terminate within ``3δ``, writes
+  within ``δ``, reads immediately;
+* **Safety (Theorem 1)** — every run is regular while ``c < 1/(3δ)``.
+
+The sweep drives a read-heavy workload (the Section 3.3 target) under
+increasing churn, through the cap and far beyond it, and reports the
+safety-violation rate, join outcomes and operation latencies.  Below
+the cap the protocol must be flawless; beyond it, the guarantee lapses
+— violations appear once churn is strong enough that a joiner's whole
+replier pool can vanish within its inquiry window (under uniform random
+victims this needs several multiples of the cap; the worst-case
+``oldest_first`` policy breaks it much closer to the cap, which is the
+point of the bound being worst-case).
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import summarize
+from ..churn.model import synchronous_churn_bound
+from ..runtime.config import SystemConfig
+from ..runtime.system import DynamicSystem
+from ..sim.rng import derive_seed
+from ..workloads.generators import read_heavy_plan
+from ..workloads.schedule import WorkloadDriver
+from .harness import ExperimentResult
+
+#: Multiples of the analytic cap swept by default.
+DEFAULT_CAP_FRACTIONS = (0.0, 0.3, 0.6, 0.9, 1.5, 3.0, 6.0)
+
+
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    n: int = 30,
+    delta: float = 4.0,
+    cap_fractions: tuple[float, ...] = DEFAULT_CAP_FRACTIONS,
+    repetitions: int | None = None,
+    victim_policy: str = "uniform",
+) -> ExperimentResult:
+    """Sweep churn through and beyond the ``1/(3δ)`` cap."""
+    if repetitions is None:
+        repetitions = 2 if quick else 5
+    horizon = 120.0 if quick else 400.0
+    cap = synchronous_churn_bound(delta)
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="Theorem 1 — synchronous protocol vs churn rate",
+        paper_claim=(
+            f"every run is regular and operations terminate while "
+            f"c < 1/(3δ) = {cap:.4f}; beyond the cap the guarantee lapses"
+        ),
+        params={
+            "n": n,
+            "delta": delta,
+            "horizon": horizon,
+            "repetitions": repetitions,
+            "victim_policy": victim_policy,
+            "seed": seed,
+        },
+    )
+    safe_below_cap = True
+    for fraction in cap_fractions:
+        c = fraction * cap
+        reads_checked = 0
+        read_violations = 0
+        joins_started = 0
+        joins_completed = 0
+        join_latencies: list[float] = []
+        stuck_ops = 0
+        bottom_joins = 0
+        for rep in range(repetitions):
+            run_seed = derive_seed(seed, f"e05:{fraction}:{rep}")
+            config = SystemConfig(
+                n=n, delta=delta, protocol="sync", seed=run_seed, trace=False
+            )
+            system = DynamicSystem(config)
+            if c > 0:
+                system.attach_churn(rate=c, victim_policy=victim_policy)
+            driver = WorkloadDriver(system)
+            plan = read_heavy_plan(
+                start=5.0,
+                end=horizon - 4.0 * delta,
+                write_period=6.0 * delta,
+                read_rate=0.8,
+                rng=system.rng.stream("e05.plan"),
+            )
+            driver.install(plan)
+            system.run_until(horizon)
+            system.close()
+            safety = system.check_safety(check_joins=False)
+            reads_checked += safety.checked_count
+            read_violations += safety.violation_count
+            liveness = system.check_liveness()
+            stuck_ops += len(liveness.stuck)
+            for join in system.history.joins():
+                joins_started += 1
+                if join.done:
+                    joins_completed += 1
+                    join_latencies.append(join.latency)
+                    if join.result.sequence < 0:
+                        bottom_joins += 1
+        violation_rate = read_violations / reads_checked if reads_checked else 0.0
+        if fraction < 1.0 and (read_violations or stuck_ops):
+            safe_below_cap = False
+        result.add_row(
+            c_over_cap=fraction,
+            c=c,
+            reads=reads_checked,
+            violation_rate=violation_rate,
+            joins=joins_started,
+            join_done=joins_completed,
+            bottom_joins=bottom_joins,
+            join_lat_max=(max(join_latencies) if join_latencies else 0.0),
+            stuck=stuck_ops,
+        )
+    result.notes.append(
+        "bottom_joins counts joins that ended holding ⊥ (no reply arrived) — "
+        "the failure mode the 3δ-window bound exists to prevent"
+    )
+    result.notes.append(
+        "join_lat_max must stay ≤ 3δ (Lemma 1); reads are local and always "
+        "complete instantly"
+    )
+    below = [row for row in result.rows if row["c_over_cap"] < 1.0]
+    above = [row for row in result.rows if row["c_over_cap"] > 1.0]
+    degradation_seen = any(
+        row["violation_rate"] > 0 or row["bottom_joins"] > 0 or row["stuck"] > 0
+        for row in above
+    )
+    result.verdict = (
+        "REPRODUCED: flawless below the cap"
+        + (", degradation appears beyond it" if degradation_seen else
+           "; beyond the cap uniform churn stayed benign in these runs "
+           "(the bound is worst-case — see E11)")
+        if safe_below_cap and below
+        else "NOT REPRODUCED: violations occurred below the churn cap"
+    )
+    return result

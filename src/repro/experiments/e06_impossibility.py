@@ -1,0 +1,189 @@
+"""E6 — Theorem 2: no regular register in a fully asynchronous dynamic system.
+
+Theorem 2 is an impossibility, so simulation cannot *prove* it; what it
+can do — and what this experiment does — is exhibit the adversary
+against both styles of protocol, which is exactly the dichotomy the
+proof sketch leans on:
+
+* **Horn A (timers are unsafe).**  A protocol that relies on a delay
+  bound (the synchronous protocol, whose waits are calibrated to ``δ``)
+  is run under unbounded delays.  Its write "completes" after ``δ``
+  although the WRITE messages are still in flight; joins adopt stale
+  values; reads violate regularity.  The violation rate grows with the
+  mean-delay inflation.
+* **Horn B (quorums are not live).**  A protocol that instead waits for
+  acknowledgements (the eventually-synchronous protocol) stays safe but
+  can be delayed forever: the adversary postpones every REPLY to a
+  victim joiner past any horizon.  For every finite patience ``T`` the
+  victim has not returned by ``T`` — and since ``T`` is arbitrary, no
+  bounded- or unbounded-patience rule terminates in all runs.
+
+Together: under full asynchrony + churn, a protocol is either unsafe
+(returns without fresh evidence) or not live (waits for evidence that
+the adversary withholds) — Theorem 2's content, made executable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..net.delay import AdversarialDelay, AsynchronousDelay
+from ..protocols.es_reg import EsReply
+from ..runtime.config import SystemConfig
+from ..runtime.system import DynamicSystem
+from ..sim.clock import Time
+from ..sim.rng import derive_seed
+from ..workloads.generators import read_heavy_plan
+from ..workloads.schedule import WorkloadDriver
+from .harness import ExperimentResult
+
+#: Mean point-to-point delay, as a multiple of the δ the protocol believes.
+DEFAULT_INFLATIONS = (0.5, 1.0, 2.0, 4.0)
+
+#: Horizons at which Horn B checks the victim is still blocked.
+DEFAULT_PATIENCES = (50.0, 200.0, 800.0)
+
+
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    n: int = 20,
+    delta: float = 4.0,
+    inflations: tuple[float, ...] = DEFAULT_INFLATIONS,
+    patiences: tuple[float, ...] = DEFAULT_PATIENCES,
+) -> ExperimentResult:
+    """Run both horns and tabulate them."""
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Theorem 2 — impossibility under full asynchrony",
+        paper_claim=(
+            "with no bound on message delays, a run always exists in which "
+            "the value obtained is older than the last completed write (or "
+            "the operation never returns)"
+        ),
+        params={"n": n, "delta": delta, "seed": seed},
+    )
+    _horn_a(result, seed, quick, n, delta, inflations)
+    _horn_b(result, seed, quick, n, delta, patiences)
+    horn_a_rows = [r for r in result.rows if r["horn"] == "A"]
+    horn_b_rows = [r for r in result.rows if r["horn"] == "B"]
+    a_breaks = any(r["violation_rate"] > 0 for r in horn_a_rows if r["inflation"] > 1)
+    b_blocks = all(r["victim_blocked"] for r in horn_b_rows)
+    result.verdict = (
+        "REPRODUCED: the timer protocol turns unsafe and the quorum protocol "
+        "can be blocked past every horizon"
+        if (a_breaks and b_blocks)
+        else "NOT REPRODUCED: one of the horns failed to materialize"
+    )
+    return result
+
+
+def _horn_a(
+    result: ExperimentResult,
+    seed: int,
+    quick: bool,
+    n: int,
+    delta: float,
+    inflations: tuple[float, ...],
+) -> None:
+    """Sync protocol under asynchronous delays: safety collapses."""
+    horizon = 150.0 if quick else 400.0
+    for inflation in inflations:
+        config = SystemConfig(
+            n=n,
+            delta=delta,
+            protocol="sync",
+            seed=derive_seed(seed, f"e06a:{inflation}"),
+            delay=AsynchronousDelay(mean=inflation * delta, min_delay=0.1),
+            trace=False,
+        )
+        system = DynamicSystem(config)
+        system.attach_churn(rate=0.02)
+        driver = WorkloadDriver(system)
+        plan = read_heavy_plan(
+            start=5.0,
+            end=horizon - 3.0 * delta,
+            write_period=5.0 * delta,
+            read_rate=0.6,
+            rng=system.rng.stream("e06.plan"),
+        )
+        driver.install(plan)
+        system.run_until(horizon)
+        system.close()
+        safety = system.check_safety(check_joins=False)
+        result.add_row(
+            horn="A",
+            inflation=inflation,
+            patience="",
+            reads=safety.checked_count,
+            violation_rate=safety.violation_rate,
+            victim_blocked="",
+        )
+    result.notes.append(
+        "Horn A: the synchronous protocol believes δ="
+        f"{delta}; actual delays are exponential with the stated inflation — "
+        "write/join waits expire before dissemination finishes"
+    )
+
+
+def _horn_b(
+    result: ExperimentResult,
+    seed: int,
+    quick: bool,
+    n: int,
+    delta: float,
+    patiences: tuple[float, ...],
+) -> None:
+    """ES protocol with an adversary starving one joiner of replies."""
+    victim_box: dict[str, str] = {}
+
+    def starve_victim(
+        sender: str, dest: str, payload: Any, send_time: Time
+    ) -> Time | None:
+        victim = victim_box.get("pid")
+        if victim is not None and dest == victim and isinstance(payload, EsReply):
+            return 1_000_000.0  # finite (channels stay reliable) but unbounded
+        return None  # fall through to the fast fallback
+
+    horizon_cap = max(patiences)
+    config = SystemConfig(
+        n=n,
+        delta=delta,
+        protocol="es",
+        seed=derive_seed(seed, "e06b"),
+        delay=AdversarialDelay(
+            starve_victim, fallback=AsynchronousDelay(mean=delta, min_delay=0.1)
+        ),
+        trace=False,
+    )
+    system = DynamicSystem(config)
+    # Churn keeps the system dynamic; the joiner minimum stay keeps the
+    # run within the model's other hypotheses so starvation is the only
+    # adversarial ingredient.
+    system.attach_churn(rate=0.005, min_stay=3.0 * delta)
+    system.run_until(5.0)
+    victim_box["pid"] = system.spawn_joiner()
+    victim_join = system.history.joins()[-1]
+    # The victim must not leave: Theorem 2's bad run is about an
+    # operation by a process that *stays* yet never returns.
+    controller = system.churn
+    assert controller is not None
+    controller.protect(victim_box["pid"])
+    for patience in sorted(patiences):
+        if patience > horizon_cap:
+            continue
+        system.run_until(patience)
+        result.add_row(
+            horn="B",
+            inflation=0.0,
+            patience=patience,
+            reads=0,
+            violation_rate=0.0,
+            victim_blocked=victim_join.pending,
+        )
+    system.close()
+    result.notes.append(
+        "Horn B: every REPLY addressed to the victim joiner is delayed to "
+        "t=1e6; the victim's join is still pending at every probed horizon "
+        "while the rest of the system keeps running"
+    )

@@ -1,0 +1,116 @@
+"""E9 — the Section 3.3 design point: *fast reads*.
+
+Paper claim: the synchronous protocol's read is purely local (zero
+latency, no messages); its write costs one broadcast plus a ``δ`` wait;
+a join costs at most ``3δ``.  The eventually-synchronous protocol pays
+a quorum round trip on *every* operation — the price of losing the
+delay bound.
+
+Same workload, same churn, both protocols; the table reports the
+latency distribution per operation kind.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import percentile, summarize
+from ..net.delay import EventuallySynchronousDelay
+from ..runtime.config import SystemConfig
+from ..runtime.system import DynamicSystem
+from ..sim.rng import derive_seed
+from ..workloads.generators import read_heavy_plan
+from ..workloads.schedule import WorkloadDriver
+from .harness import ExperimentResult
+
+
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    n: int = 20,
+    delta: float = 4.0,
+    churn_rate: float = 0.005,
+) -> ExperimentResult:
+    """Measure per-operation latency for both protocols."""
+    horizon = 150.0 if quick else 500.0
+    result = ExperimentResult(
+        experiment_id="E9",
+        title="Fast reads — operation latency by protocol",
+        paper_claim=(
+            "sync: read = 0, write = δ, join ≤ 3δ; "
+            "es: every operation pays at least one quorum round trip"
+        ),
+        params={
+            "n": n,
+            "delta": delta,
+            "churn_rate": churn_rate,
+            "horizon": horizon,
+            "seed": seed,
+        },
+    )
+    for protocol in ("sync", "es"):
+        if protocol == "sync":
+            delay = None  # defaults to SynchronousDelay(delta)
+        else:
+            # Post-GST from the start: isolates the quorum cost from
+            # the pre-GST chaos (E7 covers that separately).
+            delay = EventuallySynchronousDelay(gst=0.0, delta=delta)
+        config = SystemConfig(
+            n=n,
+            delta=delta,
+            protocol=protocol,
+            seed=derive_seed(seed, f"e09:{protocol}"),
+            delay=delay,
+            trace=False,
+        )
+        system = DynamicSystem(config)
+        system.attach_churn(rate=churn_rate, min_stay=3.0 * delta)
+        driver = WorkloadDriver(system)
+        plan = read_heavy_plan(
+            start=5.0,
+            end=horizon - 5.0 * delta,
+            write_period=6.0 * delta,
+            read_rate=0.5,
+            rng=system.rng.stream("e09.plan"),
+        )
+        driver.install(plan)
+        system.run_until(horizon)
+        system.close()
+        for kind in ("read", "write", "join"):
+            latencies = [
+                op.latency for op in system.history.operations(kind) if op.done
+            ]
+            if not latencies:
+                continue
+            stats = summarize(latencies)
+            result.add_row(
+                protocol=protocol,
+                op=kind,
+                count=stats.count,
+                mean=stats.mean,
+                p95=percentile(latencies, 95.0),
+                max=stats.maximum,
+                in_delta_units=stats.mean / delta,
+            )
+    sync_read = next(
+        (r for r in result.rows if r["protocol"] == "sync" and r["op"] == "read"),
+        None,
+    )
+    es_read = next(
+        (r for r in result.rows if r["protocol"] == "es" and r["op"] == "read"),
+        None,
+    )
+    result.notes.append(
+        "in_delta_units = mean latency / δ; sync reads are local so the "
+        "column is exactly 0 for them"
+    )
+    reproduced = (
+        sync_read is not None
+        and sync_read["max"] == 0.0
+        and es_read is not None
+        and es_read["mean"] > 0.0
+    )
+    result.verdict = (
+        "REPRODUCED: sync reads are free, ES reads pay a quorum round trip"
+        if reproduced
+        else "NOT REPRODUCED: latency shape differs from the paper's design point"
+    )
+    return result

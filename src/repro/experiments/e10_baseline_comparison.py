@@ -1,0 +1,117 @@
+"""E10 — dynamic protocols vs the static ABD baseline under churn.
+
+Paper positioning (Sections 1 and 6): classical register protocols for
+static systems — ABD [3] — assume a fixed membership with a correct
+majority; the paper's protocols replace that with churn-tolerant
+mechanisms (timed dissemination, or majorities of a *constant-size but
+rotating* population).
+
+The experiment runs the same read-heavy workload under increasing churn
+for the three protocols.  The static baseline keeps quorums over the
+*initial* membership: as churn replaces those members, ABD operations
+stop completing — with the cumulative refresh ``c · horizon`` crossing
+half the universe as the predicted cliff — while the dynamic protocols
+keep serving.
+"""
+
+from __future__ import annotations
+
+from ..runtime.config import SystemConfig
+from ..runtime.system import DynamicSystem
+from ..sim.rng import derive_seed
+from ..workloads.generators import read_heavy_plan
+from ..workloads.schedule import WorkloadDriver
+from .harness import ExperimentResult
+
+DEFAULT_CHURN_RATES = (0.0, 0.002, 0.005, 0.01, 0.02)
+
+
+def _staying_completion(handles: list) -> float:
+    """Completion rate among operations whose invoker did not leave."""
+    staying = [h for h in handles if not h.abandoned]
+    if not staying:
+        return 1.0
+    return sum(1 for h in staying if h.done) / len(staying)
+
+
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    n: int = 20,
+    delta: float = 4.0,
+    churn_rates: tuple[float, ...] = DEFAULT_CHURN_RATES,
+) -> ExperimentResult:
+    """Completion and safety for sync / es / abd across churn rates."""
+    horizon = 200.0 if quick else 600.0
+    result = ExperimentResult(
+        experiment_id="E10",
+        title="Dynamic protocols vs static ABD under churn",
+        paper_claim=(
+            "static-majority protocols lose liveness once churn replaces "
+            "half of their fixed universe; the dynamic protocols do not"
+        ),
+        params={"n": n, "delta": delta, "horizon": horizon, "seed": seed},
+    )
+    cliff_seen = False
+    dynamic_fine = True
+    for protocol in ("sync", "es", "abd"):
+        for c in churn_rates:
+            config = SystemConfig(
+                n=n,
+                delta=delta,
+                protocol=protocol,
+                seed=derive_seed(seed, f"e10:{protocol}:{c}"),
+                trace=False,
+            )
+            system = DynamicSystem(config)
+            if c > 0:
+                system.attach_churn(rate=c, min_stay=3.0 * delta)
+            driver = WorkloadDriver(system)
+            plan = read_heavy_plan(
+                start=5.0,
+                end=horizon - 8.0 * delta,
+                write_period=8.0 * delta,
+                read_rate=0.3,
+                rng=system.rng.stream("e10.plan"),
+            )
+            driver.install(plan)
+            system.run_until(horizon)
+            system.close()
+            safety = system.check_safety(check_joins=False)
+            reads_done = _staying_completion(driver.stats.read_handles)
+            writes_done = _staying_completion(driver.stats.write_handles)
+            replicas_left = sum(
+                1
+                for pid in system.seed_pids
+                if system.membership.is_present(pid)
+            )
+            majority = n // 2 + 1
+            row_ok = reads_done > 0.99 and writes_done > 0.99 and safety.is_safe
+            if protocol == "abd" and replicas_left < majority and not row_ok:
+                cliff_seen = True
+            if protocol != "abd" and not row_ok:
+                dynamic_fine = False
+            result.add_row(
+                protocol=protocol,
+                c=c,
+                replicas_left=replicas_left,
+                reads_issued=driver.stats.reads_issued,
+                read_done_rate=reads_done,
+                write_done_rate=writes_done,
+                violations=safety.violation_count,
+            )
+    result.notes.append(
+        "replicas_left = initial members still present at the horizon; ABD "
+        f"quorums need {n // 2 + 1} of them, the dynamic protocols none"
+    )
+    result.notes.append(
+        "done rates are over operations whose invoker stayed in the system "
+        "(the spec excuses operations abandoned by a departure)"
+    )
+    result.verdict = (
+        "REPRODUCED: ABD stalls once churn consumes its universe, while "
+        "both dynamic protocols keep completing safely"
+        if (cliff_seen and dynamic_fine)
+        else "NOT REPRODUCED: expected the static baseline (and only it) to stall"
+    )
+    return result

@@ -1,0 +1,166 @@
+"""E12 (extension) — is the *constant*-churn assumption load-bearing?
+
+The paper fixes ``c`` to a constant and proves the synchronous protocol
+correct for ``c < 1/(3δ)``.  Real churn bursts.  E12 compares three
+regimes with the **same long-run average rate**, all under worst-case
+(oldest-first) departures:
+
+* ``constant`` — the paper's model at the average rate;
+* ``burst`` — quiet base rate with periodic bursts far above the cap
+  (flash-crowd exits), averaging to the same rate;
+* ``diurnal`` — a sinusoidal cycle around the average whose peaks stay
+  *below* the cap.
+
+Measured effects: join completion, ⊥-joins and read safety.  The
+finding: averages do not transfer.  A constant or smoothly-varying rate
+below the cap is harmless, while bursts above the cap damage exactly
+the joins in flight during a burst — their replier pool is wiped within
+the inquiry window — even though the long-run average is identical.
+The instantaneous rate is the quantity Lemma 2 is really about.
+"""
+
+from __future__ import annotations
+
+from ..churn.model import synchronous_churn_bound
+from ..churn.profiles import BurstRate, ConstantRate, DiurnalRate
+from ..runtime.config import SystemConfig
+from ..runtime.system import DynamicSystem
+from ..sim.rng import derive_seed
+from ..workloads.generators import read_heavy_plan
+from ..workloads.schedule import WorkloadDriver
+from .harness import ExperimentResult
+
+
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    n: int = 30,
+    delta: float = 4.0,
+    repetitions: int | None = None,
+) -> ExperimentResult:
+    """Same average churn, three shapes; damage differs."""
+    if repetitions is None:
+        repetitions = 1 if quick else 3
+    horizon = 240.0 if quick else 600.0
+    cap = synchronous_churn_bound(delta)
+    # Burst design: quiet at 0.2·cap, bursts at 3·cap for 2δ out of
+    # every 80 time units — a long-run average of ~0.48·cap, safely
+    # below the cap, with instantaneous excursions far above it.
+    burst_length = 2.0 * delta
+    period = 80.0
+    base = 0.2 * cap
+    burst = 3.0 * cap
+    profile_burst = BurstRate(
+        base_rate=base,
+        burst_rate=burst,
+        period=period,
+        burst_length=burst_length,
+        first_burst=20.0,
+    )
+    average = profile_burst.long_run_average()
+    # The diurnal peak (average × 1.8) stays strictly below the cap.
+    profiles = {
+        "constant": ConstantRate(average),
+        "diurnal": DiurnalRate(
+            base_rate=average, amplitude=average * 0.8, period=period
+        ),
+        "burst": profile_burst,
+    }
+    result = ExperimentResult(
+        experiment_id="E12",
+        title="Extension — burst churn vs the constant-rate assumption",
+        paper_claim=(
+            f"the protocol is proved for constant c < 1/(3δ) = {cap:.4f}; "
+            f"all three regimes below average to {average:.4f} "
+            f"({average / cap:.0%} of the cap), only the burst regime "
+            f"exceeds the cap instantaneously"
+        ),
+        params={
+            "n": n,
+            "delta": delta,
+            "horizon": horizon,
+            "repetitions": repetitions,
+            "burst_rate_over_cap": burst / cap,
+            "seed": seed,
+        },
+    )
+    for name, profile in profiles.items():
+        joins_total = 0
+        joins_done = 0
+        bottom_joins = 0
+        reads_checked = 0
+        violations = 0
+        peak = max(profile.rate_at(t) for t in range(0, int(horizon)))
+        for rep in range(repetitions):
+            config = SystemConfig(
+                n=n,
+                delta=delta,
+                protocol="sync",
+                seed=derive_seed(seed, f"e12:{name}:{rep}"),
+                trace=False,
+            )
+            system = DynamicSystem(config)
+            system.attach_churn(profile=profile, victim_policy="oldest_first")
+            driver = WorkloadDriver(system)
+            plan = read_heavy_plan(
+                start=5.0,
+                end=horizon - 3.0 * delta,
+                write_period=8.0 * delta,
+                read_rate=0.6,
+                rng=system.rng.stream("e12.plan"),
+            )
+            driver.install(plan)
+            system.run_until(horizon)
+            system.close()
+            safety = system.check_safety(check_joins=False)
+            reads_checked += safety.checked_count
+            violations += safety.violation_count
+            for join in system.history.joins():
+                joins_total += 1
+                if join.done:
+                    joins_done += 1
+                    if join.result.sequence < 0:
+                        bottom_joins += 1
+        result.add_row(
+            regime=name,
+            peak_over_cap=peak / cap,
+            joins=joins_total,
+            join_done_rate=(joins_done / joins_total if joins_total else 1.0),
+            bottom_joins=bottom_joins,
+            reads=reads_checked,
+            violations=violations,
+        )
+    by_name = {row["regime"]: row for row in result.rows}
+    constant_clean = (
+        by_name["constant"]["violations"] == 0
+        and by_name["constant"]["bottom_joins"] == 0
+        and by_name["constant"]["join_done_rate"] > 0.85
+    )
+    diurnal_clean = (
+        by_name["diurnal"]["violations"] == 0
+        and by_name["diurnal"]["bottom_joins"] == 0
+        and by_name["diurnal"]["join_done_rate"] > 0.85
+        and by_name["diurnal"]["peak_over_cap"] < 1.0
+    )
+    burst_damaged = (
+        by_name["burst"]["join_done_rate"]
+        < by_name["constant"]["join_done_rate"] - 0.05
+        or by_name["burst"]["bottom_joins"] > 0
+        or by_name["burst"]["violations"] > 0
+    )
+    result.notes.append(
+        "all three regimes share the same long-run average; only the "
+        "burst regime exceeds 1/(3δ) instantaneously (peak_over_cap)"
+    )
+    result.notes.append(
+        "bursts under oldest-first departures wipe the replier pool of "
+        "joins in flight during the burst — the constant-rate assumption "
+        "is about the instantaneous rate, not the average"
+    )
+    result.verdict = (
+        "REPRODUCED: sub-cap constant and diurnal regimes are clean; the "
+        "equal-average burst regime damages joins"
+        if constant_clean and diurnal_clean and burst_damaged
+        else "PARTIAL: see per-regime columns"
+    )
+    return result

@@ -1,0 +1,139 @@
+"""Reliable point-to-point network (Section 3.2).
+
+Guarantees implemented here, mirroring the paper:
+
+* **Reliability** — the network does not lose, create or modify
+  messages; every send results in exactly one delivery attempt whose
+  latency comes from the configured :class:`~repro.net.delay.DelayModel`.
+* **Presence-gated delivery** — a message reaching a process that has
+  left the system is dropped (a departed process "does not send or
+  receive messages", Section 2.1).  Listening processes *do* receive:
+  a joiner is in listening mode from the instant its join begins.
+* **Send rights** — any present process may send to any process whose
+  identity it knows; identity knowledge is the protocols' concern, the
+  network only refuses sends *from* departed processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.clock import Time
+from ..sim.engine import EventScheduler
+from ..sim.errors import NetworkError, UnknownProcessError
+from ..sim.events import Priority
+from ..sim.membership import Membership
+from ..sim.rng import RngRegistry
+from ..sim.trace import TraceKind, TraceLog
+from .delay import DelayModel
+from .message import Message
+
+
+class Network:
+    """Point-to-point transport with pluggable delay model."""
+
+    def __init__(
+        self,
+        engine: EventScheduler,
+        membership: Membership,
+        delay_model: DelayModel,
+        trace: TraceLog,
+        rng: RngRegistry,
+    ) -> None:
+        self.engine = engine
+        self.membership = membership
+        self.delay_model = delay_model
+        self.trace = trace
+        self._rng = rng.stream("net.point_to_point")
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    @property
+    def known_bound(self) -> Time | None:
+        """The delay bound processes may rely on, if any (see delay model)."""
+        return self.delay_model.known_bound
+
+    def send(self, sender: str, dest: str, payload: Any) -> Message:
+        """Send ``payload`` from ``sender`` to ``dest``.
+
+        Returns the in-flight :class:`Message` (tests inspect it).  The
+        delivery is scheduled immediately with a latency drawn from the
+        delay model; whether it lands depends on the receiver still
+        being present at that instant.
+        """
+        if not self.membership.is_present(sender):
+            raise NetworkError(f"departed process {sender!r} cannot send")
+        if dest not in self.membership:
+            raise UnknownProcessError(f"destination {dest!r} was never in the system")
+        now = self.engine.now
+        delay = self.delay_model.sample(sender, dest, payload, now, self._rng)
+        if delay <= 0:
+            raise NetworkError(
+                f"delay model produced non-positive delay {delay!r}"
+            )
+        message = Message(
+            sender=sender,
+            dest=dest,
+            payload=payload,
+            sent_at=now,
+            deliver_at=now + delay,
+        )
+        self.sent_count += 1
+        self.trace.record(
+            now,
+            TraceKind.SEND,
+            sender,
+            dest=dest,
+            type=message.payload_type,
+            arrives=message.deliver_at,
+        )
+        self.engine.schedule_at(
+            message.deliver_at,
+            self._deliver,
+            message,
+            priority=Priority.DELIVERY,
+            label=f"deliver:{message.payload_type}:{sender}->{dest}",
+        )
+        return message
+
+    def deliver_scheduled(self, message: Message) -> None:
+        """Schedule an externally-built message (used by the broadcast
+        service, which computes its own per-recipient delivery times)."""
+        self.engine.schedule_at(
+            message.deliver_at,
+            self._deliver,
+            message,
+            priority=Priority.DELIVERY,
+            label=f"deliver:{message.payload_type}:{message.sender}->{message.dest}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        if not self.membership.is_present(message.dest):
+            self.dropped_count += 1
+            self.trace.record(
+                self.engine.now,
+                TraceKind.DROP,
+                message.dest,
+                sender=message.sender,
+                type=message.payload_type,
+            )
+            return
+        self.delivered_count += 1
+        kind = (
+            TraceKind.DELIVER if message.broadcast_id is not None else TraceKind.RECEIVE
+        )
+        self.trace.record(
+            self.engine.now,
+            kind,
+            message.dest,
+            sender=message.sender,
+            type=message.payload_type,
+        )
+        self.membership.process(message.dest).deliver(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(sent={self.sent_count}, delivered={self.delivered_count}, "
+            f"dropped={self.dropped_count})"
+        )

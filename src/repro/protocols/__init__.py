@@ -1,0 +1,35 @@
+"""Protocol implementations.
+
+* :mod:`~repro.protocols.sync_reg` — the synchronous protocol
+  (Figures 1–2) and its deliberately broken no-wait variant;
+* :mod:`~repro.protocols.es_reg` — the eventually-synchronous,
+  majority-based protocol (Figures 4–6);
+* :mod:`~repro.protocols.abd` — the static ABD baseline [3] used for
+  comparison under churn.
+
+``PROTOCOLS`` maps the names accepted by
+:class:`~repro.runtime.config.SystemConfig` to node classes.
+"""
+
+from ..core.register import RegisterNode
+from .abd import AbdRegisterNode
+from .common import OK, JoinResult
+from .es_reg import EventuallySyncRegisterNode
+from .sync_reg import NaiveSyncRegisterNode, SynchronousRegisterNode
+
+PROTOCOLS: dict[str, type[RegisterNode]] = {
+    "sync": SynchronousRegisterNode,
+    "naive": NaiveSyncRegisterNode,
+    "es": EventuallySyncRegisterNode,
+    "abd": AbdRegisterNode,
+}
+
+__all__ = [
+    "PROTOCOLS",
+    "OK",
+    "JoinResult",
+    "AbdRegisterNode",
+    "EventuallySyncRegisterNode",
+    "NaiveSyncRegisterNode",
+    "SynchronousRegisterNode",
+]

@@ -1,0 +1,258 @@
+"""The static baseline: an ABD-style majority register.
+
+Attiya, Bar-Noy and Dolev [3] showed how to implement a register in a
+*static* asynchronous message-passing system where a majority of the
+``n`` processes never crash: operations contact all replicas and wait
+for majority acknowledgements.  The paper cites ABD both as the
+foundation its protocols generalize and, implicitly, as the thing that
+breaks under churn: ABD's quorums are drawn from a fixed universe, so
+once churn has replaced half of the original members, every operation
+blocks forever.
+
+Experiment E10 runs exactly that comparison.  This implementation is a
+single-writer ABD with read write-back (so it is atomic, not merely
+regular, in the static setting):
+
+* ``write(v)``   — send ``WRITE(v, sn)`` to the universe, await a
+  majority of ``ACK``;
+* ``read()``     — phase 1: query the universe, await a majority of
+  ``REPLY``, adopt the highest ``sn``; phase 2 (write-back): push that
+  pair back to a majority, then return.
+
+Only the original universe members act as replicas.  Processes that
+arrive later (spawned by churn) complete a trivial join and may invoke
+reads — their quorums are still drawn from the fixed universe, which is
+precisely the static protocol's limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
+from ..sim.errors import ConfigError, ProcessError
+from ..sim.operations import OperationBody, OperationHandle, WaitUntil
+from .common import OK, JoinResult
+
+#: Key in ``NodeContext.extra`` holding the static replica universe.
+UNIVERSE_KEY = "abd_universe"
+
+
+@dataclass(frozen=True)
+class AbdWrite:
+    """WRITE(v, sn) from the writer to every replica."""
+
+    value: Any
+    sequence: int
+
+
+@dataclass(frozen=True)
+class AbdAck:
+    """Acknowledgement of a WRITE with the same sequence number."""
+
+    sequence: int
+
+
+@dataclass(frozen=True)
+class AbdQuery:
+    """Phase-1 read query, tagged with the reader's request number."""
+
+    request: int
+
+
+@dataclass(frozen=True)
+class AbdQueryReply:
+    """A replica's current ⟨value, sn⟩ for request ``request``."""
+
+    request: int
+    value: Any
+    sequence: int
+
+
+@dataclass(frozen=True)
+class AbdWriteBack:
+    """Phase-2 write-back of the value the reader is about to return."""
+
+    request: int
+    value: Any
+    sequence: int
+
+
+@dataclass(frozen=True)
+class AbdWriteBackAck:
+    """A replica's acknowledgement of a write-back."""
+
+    request: int
+
+
+class AbdRegisterNode(RegisterNode):
+    """One process running single-writer ABD over a fixed universe."""
+
+    protocol_name = "abd"
+
+    def __init__(self, pid: str, ctx: NodeContext) -> None:
+        super().__init__(pid, ctx)
+        self._register: Any = BOTTOM
+        self._sn: int = -1
+        self._request: int = 0
+        self._query_replies: dict[str, tuple[Any, int]] = {}
+        self._wb_acks: set[str] = set()
+        self._write_acks: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Universe plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def universe(self) -> tuple[str, ...]:
+        """The fixed replica set (the system's initial members)."""
+        universe = self.ctx.extra.get(UNIVERSE_KEY)
+        if not universe:
+            raise ConfigError(
+                "ABD nodes need ctx.extra['abd_universe'] to hold the "
+                "initial membership"
+            )
+        return tuple(universe)
+
+    @property
+    def majority(self) -> int:
+        return len(self.universe) // 2 + 1
+
+    @property
+    def is_replica(self) -> bool:
+        return self.pid in self.universe
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def register_value(self) -> Any:
+        return self._register
+
+    @property
+    def sequence_number(self) -> int:
+        return self._sn
+
+    # ------------------------------------------------------------------
+    # Seeding / joining
+    # ------------------------------------------------------------------
+
+    def init_as_seed(self, value: Any, sequence: int = 0) -> None:
+        self._register = value
+        self._sn = sequence
+        self.mark_active()
+
+    def join(self) -> OperationHandle:
+        """A trivial join: ABD has no entry protocol.
+
+        The newcomer becomes active immediately but holds no replica
+        state; it may read via the fixed universe (and will block once
+        churn has eaten the quorums — the point of experiment E10).
+        """
+        if self.is_active:
+            raise ProcessError(f"{self.pid} invoked join twice")
+        return self.run_operation(OP_JOIN, self._join_body())
+
+    def _join_body(self) -> OperationBody:
+        self.mark_active()
+        return JoinResult(self._register, self._sn)
+        yield  # pragma: no cover — makes the body a generator
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def read(self) -> OperationHandle:
+        self._require_active(OP_READ)
+        return self.run_operation(OP_READ, self._read_body())
+
+    def write(self, value: Any) -> OperationHandle:
+        self._require_active(OP_WRITE)
+        return self.run_operation(OP_WRITE, self._write_body(value), argument=value)
+
+    def _require_active(self, kind: str) -> None:
+        if not self.is_active:
+            raise ProcessError(f"{self.pid} invoked {kind} before joining")
+
+    def _read_body(self) -> OperationBody:
+        self._request += 1
+        request = self._request
+        self._query_replies = {}
+        for replica in self.universe:
+            self.ctx.network.send(self.pid, replica, AbdQuery(request))
+        yield WaitUntil(
+            lambda: len(self._query_replies) >= self.majority, label="abd phase 1"
+        )
+        value, sequence = self._best_query_reply()
+        if sequence > self._sn:
+            self._register = value
+            self._sn = sequence
+        # Phase 2: write-back, so a later read cannot see an older value.
+        self._wb_acks = set()
+        for replica in self.universe:
+            self.ctx.network.send(
+                self.pid, replica, AbdWriteBack(request, value, sequence)
+            )
+        yield WaitUntil(
+            lambda: len(self._wb_acks) >= self.majority, label="abd phase 2"
+        )
+        return value
+
+    def _write_body(self, value: Any) -> OperationBody:
+        self._sn += 1
+        self._register = value
+        self._write_acks = set()
+        for replica in self.universe:
+            self.ctx.network.send(self.pid, replica, AbdWrite(value, self._sn))
+        yield WaitUntil(
+            lambda: len(self._write_acks) >= self.majority, label="abd write acks"
+        )
+        return OK
+
+    def _best_query_reply(self) -> tuple[Any, int]:
+        best_sender = max(
+            self._query_replies,
+            key=lambda who: (self._query_replies[who][1], who),
+        )
+        return self._query_replies[best_sender]
+
+    # ------------------------------------------------------------------
+    # Message handlers (replicas only)
+    # ------------------------------------------------------------------
+
+    def on_abdwrite(self, sender: str, msg: AbdWrite) -> None:
+        if not self.is_replica:
+            return
+        if msg.sequence > self._sn:
+            self._register = msg.value
+            self._sn = msg.sequence
+        self.ctx.network.send(self.pid, sender, AbdAck(msg.sequence))
+
+    def on_abdack(self, sender: str, msg: AbdAck) -> None:
+        if msg.sequence == self._sn:
+            self._write_acks.add(sender)
+
+    def on_abdquery(self, sender: str, msg: AbdQuery) -> None:
+        if not self.is_replica:
+            return
+        self.ctx.network.send(
+            self.pid, sender, AbdQueryReply(msg.request, self._register, self._sn)
+        )
+
+    def on_abdqueryreply(self, sender: str, msg: AbdQueryReply) -> None:
+        if msg.request == self._request:
+            self._query_replies[sender] = (msg.value, msg.sequence)
+
+    def on_abdwriteback(self, sender: str, msg: AbdWriteBack) -> None:
+        if not self.is_replica:
+            return
+        if msg.sequence > self._sn:
+            self._register = msg.value
+            self._sn = msg.sequence
+        self.ctx.network.send(self.pid, sender, AbdWriteBackAck(msg.request))
+
+    def on_abdwritebackack(self, sender: str, msg: AbdWriteBackAck) -> None:
+        if msg.request == self._request:
+            self._wb_acks.add(sender)

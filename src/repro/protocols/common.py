@@ -1,0 +1,29 @@
+"""Types shared by every protocol implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: The control value the paper's operations return on success.
+OK = "ok"
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """What a join operation adopted, exposed for checking Lemma 3.
+
+    The paper's join returns the control value ``ok``; the library
+    additionally reports the value/sequence-number pair the joiner
+    installed so the :class:`~repro.core.checker.RegularityChecker` can
+    verify that it is the last value written before the join or a
+    concurrently written one.
+    """
+
+    value: Any
+    sequence: int
+
+    @property
+    def ok(self) -> str:
+        """The paper's return value."""
+        return OK

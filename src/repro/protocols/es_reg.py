@@ -1,0 +1,304 @@
+"""The eventually-synchronous protocol — Figures 4, 5 and 6.
+
+With no usable delay bound, the protocol replaces timers with
+acknowledgements: every operation blocks until a **majority** of the
+(known, constant) system size ``n`` has answered.  Correctness rests on
+the Section 5.2 assumptions:
+
+* ``∀τ: |A(τ)| ≥ n/2 + 1`` — a majority of the population is active at
+  every instant (the dynamic analogue of "a majority of processes do
+  not crash");
+* a churn bound coupling ``c``, ``δ`` and ``n`` (``c ≤ 1/(3δn)``);
+* a process that joins stays for at least ``3δ`` time units;
+* writes are never concurrent (single writer at a time).
+
+The ``DL_PREV`` mechanism is the protocol's subtle part: a process that
+is *not yet active* (or is mid-read) cannot usefully answer an
+``INQUIRY``, but it must not leave the inquirer hanging either — both
+could be joiners waiting on each other.  It therefore immediately sends
+``DL_PREV(i, r)`` — "I owe you nothing now, but *you* will owe me a
+reply for my pending request ``r`` once you are able" — and records the
+inquirer in ``reply_to`` so its own eventual activation answers the
+inquiry.  Every process finishing its join answers both its ``reply_to``
+and its ``dl_prev`` sets (Figure 4, lines 08-10), which is exactly what
+makes joins unblock each other across GST (Lemma 5).
+
+Transcription note: the source report's pseudo-code for lines 14/16 is
+typographically garbled in the archived PDF (the argument of
+``DL_PREV``).  We transcribe it as *the sender's own pending request
+number*, which is the only reading consistent with the proof of
+Lemma 5 (the REPLY triggered by a ``DL_PREV`` must pass the receiver's
+``r_sn = read_sn_i`` guard at line 19).  DESIGN.md records this
+disambiguation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
+from ..sim.errors import ProcessError
+from ..sim.operations import OperationBody, OperationHandle, WaitUntil
+from .common import OK, JoinResult
+
+
+# ----------------------------------------------------------------------
+# Messages (Figures 4, 5 and 6)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EsInquiry:
+    """INQUIRY(i, r_sn): a joiner asks for the register (r_sn is 0)."""
+
+    sender: str
+    read_sn: int
+
+
+@dataclass(frozen=True)
+class EsRead:
+    """READ(i, r_sn): a reader asks for the register."""
+
+    sender: str
+    read_sn: int
+
+
+@dataclass(frozen=True)
+class EsReply:
+    """REPLY(i, ⟨register, sn⟩, r_sn): answer to request ``r_sn``."""
+
+    sender: str
+    value: Any
+    sequence: int
+    read_sn: int
+
+
+@dataclass(frozen=True)
+class EsWrite:
+    """WRITE(i, ⟨v, sn⟩): the writer disseminates a new value."""
+
+    sender: str
+    value: Any
+    sequence: int
+
+
+@dataclass(frozen=True)
+class EsAck:
+    """ACK(i, sn): acknowledges value ``sn`` back to its writer."""
+
+    sender: str
+    sequence: int
+
+
+@dataclass(frozen=True)
+class EsDlPrev:
+    """DL_PREV(i, r_sn): "reply to my pending request ``r_sn`` when you
+    become able to" — sent by joining or reading processes."""
+
+    sender: str
+    read_sn: int
+
+
+class EventuallySyncRegisterNode(RegisterNode):
+    """One process running the Figures 4–6 protocol."""
+
+    protocol_name = "es"
+
+    def __init__(self, pid: str, ctx: NodeContext) -> None:
+        super().__init__(pid, ctx)
+        # Figure 4, lines 01-02: the join's initializations happen at
+        # process creation (join starts the instant the process enters).
+        self._register: Any = BOTTOM
+        self._sn: int = -1
+        self._reading: bool = False
+        self._read_sn: int = 0  # 0 identifies the join's own inquiry
+        self._replies: dict[str, tuple[Any, int]] = {}
+        self._reply_to: set[tuple[str, int]] = set()
+        self._write_acks: set[str] = set()
+        self._dl_prev: set[tuple[str, int]] = set()
+        # The paper's quorum is the majority ⌊n/2⌋ + 1.  Ablation A6
+        # overrides it (ctx.extra["quorum_size"]) to measure why nothing
+        # smaller is sound: sub-majority quorums need not intersect.
+        override = ctx.extra.get("quorum_size")
+        if override is not None:
+            if not 1 <= int(override) <= ctx.n:
+                raise ProcessError(
+                    f"quorum_size {override!r} must lie in [1, n={ctx.n}]"
+                )
+            self._majority = int(override)
+        else:
+            self._majority = ctx.n // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def register_value(self) -> Any:
+        return self._register
+
+    @property
+    def sequence_number(self) -> int:
+        return self._sn
+
+    @property
+    def majority(self) -> int:
+        """The quorum size ``⌊n/2⌋ + 1`` every operation waits for."""
+        return self._majority
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+
+    def init_as_seed(self, value: Any, sequence: int = 0) -> None:
+        self._register = value
+        self._sn = sequence
+        self.mark_active()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def join(self) -> OperationHandle:
+        """Figure 4: the join operation."""
+        if self.is_active:
+            raise ProcessError(f"{self.pid} invoked join twice")
+        return self.run_operation(OP_JOIN, self._join_body())
+
+    def read(self) -> OperationHandle:
+        """Figure 5: the read operation."""
+        self._require_active(OP_READ)
+        return self.run_operation(OP_READ, self._read_body())
+
+    def write(self, value: Any) -> OperationHandle:
+        """Figure 6: the write operation (single writer at a time)."""
+        self._require_active(OP_WRITE)
+        return self.run_operation(OP_WRITE, self._write_body(value), argument=value)
+
+    def _require_active(self, kind: str) -> None:
+        if not self.is_active:
+            raise ProcessError(
+                f"{self.pid} invoked {kind} before its join returned; the "
+                f"model only allows reads/writes from active processes"
+            )
+
+    # ------------------------------------------------------------------
+    # Operation bodies
+    # ------------------------------------------------------------------
+
+    def _join_body(self) -> OperationBody:
+        # lines 01-02 were executed at construction time
+        self.ctx.broadcast.broadcast(
+            self.pid, EsInquiry(self.pid, self._read_sn)  # line 03 (r_sn = 0)
+        )
+        yield WaitUntil(self._has_majority_replies, label="join replies")  # line 04
+        self._adopt_best_reply()  # lines 05-06
+        self.mark_active()  # line 07
+        for dest, r_sn in sorted(self._reply_to | self._dl_prev):  # lines 08-10
+            if dest != self.pid:
+                self._send_reply(dest, r_sn)
+        return JoinResult(self._register, self._sn)  # line 11
+
+    def _read_body(self) -> OperationBody:
+        self._read_sn += 1  # line 01
+        self._replies = {}  # line 02
+        self._reading = True
+        self.ctx.broadcast.broadcast(self.pid, EsRead(self.pid, self._read_sn))  # 03
+        yield WaitUntil(self._has_majority_replies, label="read replies")  # line 04
+        self._adopt_best_reply()  # lines 05-06
+        self._reading = False  # line 07
+        return self._register
+
+    def _write_body(self, value: Any) -> OperationBody:
+        yield from self._read_body()  # line 01: refresh the sequence number
+        self._sn += 1  # line 02
+        self._register = value
+        self._write_acks = set()  # line 03
+        self.ctx.broadcast.broadcast(
+            self.pid, EsWrite(self.pid, value, self._sn)  # line 04
+        )
+        yield WaitUntil(self._has_majority_acks, label="write acks")  # line 05
+        return OK
+
+    # ------------------------------------------------------------------
+    # Wait predicates (the "enough" conditions)
+    # ------------------------------------------------------------------
+
+    def _has_majority_replies(self) -> bool:
+        return len(self._replies) >= self._majority
+
+    def _has_majority_acks(self) -> bool:
+        return len(self._write_acks) >= self._majority
+
+    def _adopt_best_reply(self) -> None:
+        """Lines 05-06: adopt the reply with the greatest sequence number."""
+        if not self._replies:
+            return
+        best_sender = max(
+            self._replies, key=lambda who: (self._replies[who][1], who)
+        )
+        best_value, best_sn = self._replies[best_sender]
+        if best_sn > self._sn:
+            self._sn = best_sn
+            self._register = best_value
+
+    def _send_reply(self, dest: str, r_sn: int) -> None:
+        self.ctx.network.send(
+            self.pid,
+            dest,
+            EsReply(self.pid, self._register, self._sn, r_sn),
+        )
+
+    def _send_dl_prev(self, dest: str) -> None:
+        """Promise ``dest`` a reply for *our* pending request."""
+        self.ctx.network.send(self.pid, dest, EsDlPrev(self.pid, self._read_sn))
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+
+    def on_esinquiry(self, sender: str, msg: EsInquiry) -> None:
+        """Figure 4, lines 12-17."""
+        if msg.sender == self.pid:
+            return  # own broadcast echo
+        if self.is_active:
+            self._send_reply(msg.sender, msg.read_sn)  # line 13
+            if self._reading:
+                self._send_dl_prev(msg.sender)  # line 14
+        else:
+            self._reply_to.add((msg.sender, msg.read_sn))  # line 15
+            self._send_dl_prev(msg.sender)  # line 16
+
+    def on_esreply(self, sender: str, msg: EsReply) -> None:
+        """Figure 4, lines 18-21."""
+        if msg.read_sn == self._read_sn:  # line 19
+            self._replies[msg.sender] = (msg.value, msg.sequence)  # line 20
+            self.ctx.network.send(
+                self.pid, msg.sender, EsAck(self.pid, msg.sequence)
+            )
+
+    def on_esdlprev(self, sender: str, msg: EsDlPrev) -> None:
+        """Figure 4, line 22."""
+        self._dl_prev.add((msg.sender, msg.read_sn))
+
+    def on_esread(self, sender: str, msg: EsRead) -> None:
+        """Figure 5, lines 08-11."""
+        if msg.sender == self.pid:
+            return  # own broadcast echo
+        if self.is_active:
+            self._send_reply(msg.sender, msg.read_sn)  # line 09
+        else:
+            self._reply_to.add((msg.sender, msg.read_sn))  # line 10
+
+    def on_eswrite(self, sender: str, msg: EsWrite) -> None:
+        """Figure 6, lines 06-08."""
+        if msg.sequence > self._sn:  # line 07
+            self._register = msg.value
+            self._sn = msg.sequence
+        self.ctx.network.send(self.pid, msg.sender, EsAck(self.pid, msg.sequence))
+
+    def on_esack(self, sender: str, msg: EsAck) -> None:
+        """Figure 6, lines 09-10."""
+        if msg.sequence == self._sn:
+            self._write_acks.add(msg.sender)

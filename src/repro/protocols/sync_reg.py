@@ -1,0 +1,252 @@
+"""The synchronous protocol — Figures 1 and 2 of the paper.
+
+Design principle (Section 3.3): *fast reads*.  A read is purely local —
+no wait statement, no messages.  The protocol is correct in a
+synchronous dynamic system whenever the churn rate satisfies
+``c < 1/(3δ)``.
+
+Line-by-line correspondence
+---------------------------
+
+``join()`` (Figure 1)::
+
+    (01) register := ⊥; sn := −1; active := false; replies := ∅; reply_to := ∅
+    (02) wait(δ)
+    (03) if register = ⊥ then
+    (04)     replies := ∅
+    (05)     broadcast INQUIRY(i)
+    (06)     wait(2δ)
+    (07)     let ⟨id, val, sn⟩ ∈ replies with maximal sn
+    (08)     if sn > sn_i then adopt ⟨val, sn⟩
+    (09) end if
+    (10) active := true
+    (11) for each j ∈ reply_to: send REPLY(i, ⟨register, sn⟩) to p_j
+    (12) return ok
+
+    (13) when INQUIRY(j) is delivered:
+    (14)     if active then send REPLY(i, ⟨register, sn⟩) to p_j
+    (15)     else reply_to := reply_to ∪ {j}
+    (17) when REPLY(j, ⟨value, sn⟩) is received: replies ∪= {⟨j, value, sn⟩}
+
+``read()`` / ``write(v)`` (Figure 2)::
+
+    read:  return register                        (purely local, fast)
+    write: sn += 1; register := v;
+           broadcast WRITE(v, sn); wait(δ); return ok
+    when WRITE(val, sn) delivered: if sn > sn_i then adopt
+
+The only liberty taken: the joiner's sequence number starts at −1
+(paired with ⊥) so that the very first value, whose sequence number is
+0, passes the ``sn > sn_i`` adoption guards; the paper leaves the ⊥
+pairing implicit.
+
+Footnote 4's optimization is supported: when the context carries a
+point-to-point bound ``δ'`` (``ctx.extra["p2p_delta"]``), the inquiry
+wait at line 06 shrinks from ``2δ`` to ``δ + δ'`` — the broadcast needs
+``δ`` to reach every replier, but their one-to-one responses only need
+``δ'``.  Ablation A3 measures the gain.
+
+:class:`NaiveSyncRegisterNode` is the same protocol with line 02
+removed — the broken variant of Figure 3(a) used by experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
+from ..sim.errors import ProcessError
+from ..sim.operations import OperationBody, OperationHandle, Wait
+from .common import OK, JoinResult
+
+
+# ----------------------------------------------------------------------
+# Messages (Figures 1 and 2)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Inquiry:
+    """INQUIRY(i): a joiner asks the system for the current value."""
+
+    sender: str
+
+
+@dataclass(frozen=True)
+class Reply:
+    """REPLY(i, ⟨register, sn⟩): an active process answers an inquiry."""
+
+    sender: str
+    value: Any
+    sequence: int
+
+
+@dataclass(frozen=True)
+class WriteMsg:
+    """WRITE(val, sn): the writer disseminates a new value."""
+
+    value: Any
+    sequence: int
+
+
+class SynchronousRegisterNode(RegisterNode):
+    """One process running the Figures 1–2 protocol.
+
+    ``join_wait`` keeps the Figure 1 line 02 ``wait(δ)``; the naive
+    subclass disables it to reproduce the Figure 3(a) violation.
+    """
+
+    protocol_name = "sync"
+    join_wait = True
+
+    def __init__(self, pid: str, ctx: NodeContext) -> None:
+        super().__init__(pid, ctx)
+        # Figure 1, line 01 — the join's initializations happen at
+        # process creation: in the model a process starts its join the
+        # instant it enters the system.
+        self._register: Any = BOTTOM
+        self._sn: int = -1
+        self._replies: set[tuple[str, Any, int]] = set()
+        self._reply_to: set[str] = set()
+        self._delta = ctx.delta
+        # Footnote 4: with a known one-to-one bound δ' the inquiry wait
+        # is δ + δ' instead of 2δ.
+        p2p_delta = ctx.extra.get("p2p_delta")
+        if p2p_delta is not None:
+            if not 0 < p2p_delta <= self._delta:
+                raise ProcessError(
+                    f"p2p_delta {p2p_delta!r} must lie in (0, δ={self._delta!r}]"
+                )
+            self._inquiry_wait = self._delta + float(p2p_delta)
+        else:
+            self._inquiry_wait = 2.0 * self._delta
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def register_value(self) -> Any:
+        return self._register
+
+    @property
+    def sequence_number(self) -> int:
+        return self._sn
+
+    # ------------------------------------------------------------------
+    # Seeding (the n initial processes)
+    # ------------------------------------------------------------------
+
+    def init_as_seed(self, value: Any, sequence: int = 0) -> None:
+        self._register = value
+        self._sn = sequence
+        self.mark_active()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def join(self) -> OperationHandle:
+        """Figure 1: the join operation."""
+        if self.is_active:
+            raise ProcessError(f"{self.pid} invoked join twice")
+        return self.run_operation(OP_JOIN, self._join_body())
+
+    def read(self) -> OperationHandle:
+        """Figure 2: the read — purely local, zero latency."""
+        self._require_active(OP_READ)
+        return self.run_operation(OP_READ, self._read_body())
+
+    def write(self, value: Any) -> OperationHandle:
+        """Figure 2: the write — broadcast then wait δ."""
+        self._require_active(OP_WRITE)
+        return self.run_operation(OP_WRITE, self._write_body(value), argument=value)
+
+    def _require_active(self, kind: str) -> None:
+        if not self.is_active:
+            raise ProcessError(
+                f"{self.pid} invoked {kind} before its join returned; the "
+                f"model only allows reads/writes from active processes"
+            )
+
+    # ------------------------------------------------------------------
+    # Operation bodies
+    # ------------------------------------------------------------------
+
+    def _join_body(self) -> OperationBody:
+        if self.join_wait:
+            yield Wait(self._delta)  # line 02
+        if self._register is BOTTOM:  # line 03
+            self._replies.clear()  # line 04
+            self.ctx.broadcast.broadcast(self.pid, Inquiry(self.pid))  # line 05
+            yield Wait(self._inquiry_wait)  # line 06 (2δ, or δ+δ' per fn. 4)
+            self._adopt_best_reply()  # lines 07-08
+        self.mark_active()  # line 10
+        for j in sorted(self._reply_to):  # line 11
+            self._send_reply(j)
+        return JoinResult(self._register, self._sn)  # line 12
+
+    def _read_body(self) -> OperationBody:
+        return self._register
+        yield  # pragma: no cover — makes the body a generator
+
+    def _write_body(self, value: Any) -> OperationBody:
+        self._sn += 1  # line 01
+        self._register = value
+        self.ctx.broadcast.broadcast(self.pid, WriteMsg(value, self._sn))
+        yield Wait(self._delta)  # line 02
+        return OK
+
+    def _adopt_best_reply(self) -> None:
+        """Lines 07-08: adopt the reply with the greatest sequence number."""
+        if not self._replies:
+            return
+        # Ties on the sequence number are broken by sender id purely for
+        # determinism; replies with equal sn carry equal values anyway.
+        _, best_value, best_sn = max(
+            self._replies, key=lambda reply: (reply[2], reply[0])
+        )
+        if best_sn > self._sn:
+            self._sn = best_sn
+            self._register = best_value
+
+    def _send_reply(self, dest: str) -> None:
+        self.ctx.network.send(
+            self.pid, dest, Reply(self.pid, self._register, self._sn)
+        )
+
+    # ------------------------------------------------------------------
+    # Message handlers (Figures 1 and 2)
+    # ------------------------------------------------------------------
+
+    def on_inquiry(self, sender: str, msg: Inquiry) -> None:
+        """Lines 13-16 of Figure 1."""
+        if msg.sender == self.pid:
+            return  # own broadcast echo: a process does not answer itself
+        if self.is_active:  # line 14
+            self._send_reply(msg.sender)
+        else:  # line 15
+            self._reply_to.add(msg.sender)
+
+    def on_reply(self, sender: str, msg: Reply) -> None:
+        """Line 17 of Figure 1."""
+        self._replies.add((msg.sender, msg.value, msg.sequence))
+
+    def on_writemsg(self, sender: str, msg: WriteMsg) -> None:
+        """Lines 03-04 of Figure 2."""
+        if msg.sequence > self._sn:
+            self._register = msg.value
+            self._sn = msg.sequence
+
+
+class NaiveSyncRegisterNode(SynchronousRegisterNode):
+    """The deliberately broken variant: Figure 1 without line 02.
+
+    Used by experiment E2 to replay Figure 3(a): a joiner that inquires
+    immediately can install a value older than the last completed write
+    and later serve it to reads, violating regularity.
+    """
+
+    protocol_name = "naive"
+    join_wait = False

@@ -1,0 +1,6 @@
+"""System runtime: configuration and the :class:`DynamicSystem` façade."""
+
+from .config import SystemConfig
+from .system import DynamicSystem
+
+__all__ = ["SystemConfig", "DynamicSystem"]

@@ -1,0 +1,80 @@
+"""System configuration.
+
+One :class:`SystemConfig` fully determines a simulated universe: the
+population size, the delay regime, the protocol, the broadcast entrant
+policy and the root RNG seed.  Two systems built from equal configs
+produce identical traces — the experiments and the regression tests
+lean on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..net.broadcast import EntrantPolicy
+from ..net.delay import DelayModel
+from ..protocols import PROTOCOLS
+from ..sim.clock import Time
+from ..sim.errors import ConfigError
+
+
+@dataclass
+class SystemConfig:
+    """Parameters of one simulated dynamic system.
+
+    Parameters
+    ----------
+    n:
+        The constant system size, known to every process (Section 3.1).
+    delta:
+        The delay bound ``δ``.  Under a synchronous delay model this is
+        the bound the protocol may *use*; under other models it merely
+        parameterizes the default delay distributions.
+    protocol:
+        One of ``"sync"``, ``"naive"``, ``"es"``, ``"abd"``.
+    delay:
+        An explicit :class:`~repro.net.delay.DelayModel`.  ``None``
+        selects ``SynchronousDelay(delta)``.
+    entrant_policy:
+        Whether broadcasts reach processes that enter during the
+        delivery window — ``"none"`` (bare guarantee), ``"all"``, or a
+        probability (see :mod:`repro.net.broadcast`).
+    initial_value:
+        The register's initial value held by the seeds (footnote 3).
+    seed:
+        Root seed for every RNG stream in the run.
+    trace:
+        Whether to retain the structured trace (disable for big runs).
+    trace_capacity:
+        Optional cap on retained trace records.
+    sample_period:
+        Cadence of the active-set tracker probes.
+    """
+
+    n: int = 20
+    delta: Time = 5.0
+    protocol: str = "sync"
+    delay: DelayModel | None = None
+    entrant_policy: EntrantPolicy = "none"
+    initial_value: Any = "v0"
+    seed: int = 0
+    trace: bool = True
+    trace_capacity: int | None = None
+    sample_period: Time = 1.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigError(f"system size must be at least 1, got {self.n!r}")
+        if self.delta <= 0:
+            raise ConfigError(f"delta must be positive, got {self.delta!r}")
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {sorted(PROTOCOLS)}"
+            )
+        if self.sample_period <= 0:
+            raise ConfigError(
+                f"sample_period must be positive, got {self.sample_period!r}"
+            )

@@ -1,0 +1,307 @@
+"""The dynamic system runtime: one object that owns a whole simulated run.
+
+:class:`DynamicSystem` composes the kernel (engine, trace, membership),
+the network substrate (delay model, channels, broadcast), the protocol
+nodes and the operation history, and exposes the levers experiments
+pull:
+
+* ``spawn_joiner()`` / ``leave(pid)`` — manual dynamicity, used by the
+  scripted scenarios;
+* ``attach_churn(...)`` — the constant-churn adversary of Section 2.1;
+* ``read(pid)``, ``write(value, pid)`` — invoke register operations and
+  record them in the history;
+* ``run_until(t)`` / ``run_for(d)`` — advance simulated time;
+* ``check_safety()``, ``check_liveness()``, ``check_atomicity()`` —
+  judge the observable history against Section 2.2.
+
+The initial population follows the paper's premise: ``n`` seed
+processes are already active at time 0 and hold the initial value with
+sequence number 0.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from ..churn.active_set import ActiveSetTracker
+from ..churn.controller import ChurnController
+from ..churn.model import ConstantChurn
+from ..churn.profiles import RateProfile
+from ..core.checker import (
+    AtomicityReport,
+    LivenessChecker,
+    LivenessReport,
+    RegularityChecker,
+    SafetyReport,
+    find_new_old_inversions,
+)
+from ..core.history import History
+from ..core.register import NodeContext, OP_READ, OP_WRITE, RegisterNode
+from ..net.broadcast import BroadcastService
+from ..net.delay import SynchronousDelay
+from ..net.network import Network
+from ..protocols import PROTOCOLS
+from ..protocols.abd import UNIVERSE_KEY
+from ..sim.clock import Time
+from ..sim.engine import EventScheduler
+from ..sim.errors import ConfigError, ProcessError
+from ..sim.membership import Membership
+from ..sim.operations import OperationHandle
+from ..sim.rng import RngRegistry
+from ..sim.trace import TraceKind, TraceLog
+from .config import SystemConfig
+
+
+class DynamicSystem:
+    """A fully wired simulated dynamic distributed system."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.engine = EventScheduler()
+        self.rng = RngRegistry(config.seed)
+        self.trace = TraceLog(enabled=config.trace, capacity=config.trace_capacity)
+        self.membership = Membership()
+        self.delay_model = (
+            config.delay if config.delay is not None else SynchronousDelay(config.delta)
+        )
+        self.network = Network(
+            self.engine, self.membership, self.delay_model, self.trace, self.rng
+        )
+        self.broadcast = BroadcastService(
+            self.engine,
+            self.membership,
+            self.network,
+            self.delay_model,
+            self.trace,
+            self.rng,
+            window=config.delta,
+            entrant_policy=config.entrant_policy,
+        )
+        self.history = History(config.initial_value)
+        self._node_class = PROTOCOLS[config.protocol]
+        self._ctx = NodeContext(
+            engine=self.engine,
+            network=self.network,
+            broadcast=self.broadcast,
+            trace=self.trace,
+            n=config.n,
+            delta=config.delta,
+            extra=dict(config.extra),
+        )
+        self._pid_counter = itertools.count(1)
+        self._value_counter = itertools.count(1)
+        self._churn: ChurnController | None = None
+        self._closed = False
+        self.seed_pids: tuple[str, ...] = self._create_seeds()
+        self.writer_pid: str = self.seed_pids[0]
+        # The tracker installs after the seeds exist so its t=0 probe
+        # sees the paper's initial condition |A(0)| = n.
+        self.tracker = ActiveSetTracker(
+            self.engine, self.membership, period=config.sample_period
+        )
+        self.tracker.install()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _create_seeds(self) -> tuple[str, ...]:
+        pids = []
+        for _ in range(self.config.n):
+            pid = self._next_pid()
+            node = self._node_class(pid, self._ctx)
+            self.membership.enter(node)
+            node.init_as_seed(self.config.initial_value, sequence=0)
+            self.membership.mark_active(pid, self.engine.now)
+            self.trace.record(self.engine.now, TraceKind.ENTER, pid, seed=True)
+            self.trace.record(self.engine.now, TraceKind.ACTIVE, pid, seed=True)
+            pids.append(pid)
+        self._ctx.extra.setdefault(UNIVERSE_KEY, tuple(pids))
+        return tuple(pids)
+
+    def _next_pid(self) -> str:
+        return f"p{next(self._pid_counter):04d}"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Time:
+        return self.engine.now
+
+    def node(self, pid: str) -> RegisterNode:
+        """The protocol node for ``pid`` (present or departed)."""
+        process = self.membership.process(pid)
+        if not isinstance(process, RegisterNode):  # pragma: no cover - safety net
+            raise ProcessError(f"{pid} is not a register node")
+        return process
+
+    def active_pids(self) -> list[str]:
+        """Identities currently in the active mode, in entry order."""
+        return [p.pid for p in self.membership.active_processes()]
+
+    def present_count(self) -> int:
+        return len(self.membership)
+
+    def next_value(self) -> str:
+        """A fresh, unique value for the next write (``w1``, ``w2``, ...)."""
+        return f"w{next(self._value_counter)}"
+
+    # ------------------------------------------------------------------
+    # Dynamicity
+    # ------------------------------------------------------------------
+
+    def spawn_joiner(self) -> str:
+        """Admit a fresh process; it immediately starts its join.
+
+        Returns the new identity.  The join operation is recorded in
+        the history; when it completes, the membership flips the
+        process to active (Definition 1).
+        """
+        pid = self._next_pid()
+        node = self._node_class(pid, self._ctx)
+        self.membership.enter(node)
+        self.trace.record(self.engine.now, TraceKind.ENTER, pid)
+        self.broadcast.offer_to_entrant(node)
+        handle = node.join()
+        self.history.record_operation(handle)
+
+        def _on_join_done(h: OperationHandle) -> None:
+            if h.done:
+                self.membership.mark_active(pid, self.engine.now)
+                self.trace.record(self.engine.now, TraceKind.ACTIVE, pid)
+
+        handle.add_done_callback(_on_join_done)
+        return pid
+
+    def leave(self, pid: str) -> None:
+        """Evict ``pid`` silently (leave and crash are the same event)."""
+        process = self.membership.process(pid)
+        if not process.present:
+            raise ProcessError(f"{pid} already left the system")
+        process.depart()
+        self.membership.leave(pid, self.engine.now)
+        self.history.record_departure(pid, self.engine.now)
+        self.trace.record(self.engine.now, TraceKind.LEAVE, pid)
+
+    def attach_churn(
+        self,
+        rate: float = 0.0,
+        period: Time = 1.0,
+        start: Time | None = None,
+        protect_writer: bool = True,
+        protected: tuple[str, ...] = (),
+        min_stay: Time = 0.0,
+        stop_at: Time | None = None,
+        victim_policy: str = "uniform",
+        profile: "RateProfile | None" = None,
+    ) -> ChurnController:
+        """Install the churn adversary (one controller per run).
+
+        ``protect_writer`` keeps the designated writer in the system —
+        the termination lemmas assume the invoking process does not
+        leave; ``min_stay`` enforces the Section 5 hypothesis that a
+        joiner stays at least that long.  Pass ``profile`` (see
+        :mod:`repro.churn.profiles`) for a non-constant rate; ``rate``
+        is then ignored.
+        """
+        if self._churn is not None:
+            raise ConfigError("churn controller already attached")
+        churn = ConstantChurn(
+            rate=rate, n=self.config.n, period=period, start=start
+        )
+        shielded = set(protected)
+        if protect_writer:
+            shielded.add(self.writer_pid)
+        controller = ChurnController(
+            engine=self.engine,
+            membership=self.membership,
+            trace=self.trace,
+            rng=self.rng,
+            churn=churn,
+            spawn=self.spawn_joiner,
+            depart=self.leave,
+            protected=shielded,
+            min_stay=min_stay,
+            stop_at=stop_at,
+            victim_policy=victim_policy,
+            profile=profile,
+        )
+        controller.install()
+        self._churn = controller
+        return controller
+
+    @property
+    def churn(self) -> ChurnController | None:
+        return self._churn
+
+    # ------------------------------------------------------------------
+    # Register operations
+    # ------------------------------------------------------------------
+
+    def read(self, pid: str) -> OperationHandle:
+        """Invoke a read at ``pid`` and record it in the history."""
+        handle = self.node(pid).read()
+        self.history.record_operation(handle)
+        return handle
+
+    def write(self, value: Any | None = None, pid: str | None = None) -> OperationHandle:
+        """Invoke a write (by the designated writer unless ``pid`` given).
+
+        ``value=None`` draws the next unique value, keeping the history
+        checkable (the checkers require distinct written values).
+        """
+        writer = pid if pid is not None else self.writer_pid
+        if value is None:
+            value = self.next_value()
+        handle = self.node(writer).write(value)
+        self.history.record_operation(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Running and checking
+    # ------------------------------------------------------------------
+
+    def run_until(self, horizon: Time) -> None:
+        """Advance simulated time to ``horizon``."""
+        self.engine.run_until(horizon)
+
+    def run_for(self, duration: Time) -> None:
+        """Advance simulated time by ``duration``."""
+        self.engine.run_until(self.engine.now + duration)
+
+    def close(self) -> History:
+        """Freeze the history at the current instant and return it."""
+        if not self._closed:
+            self.history.close(self.engine.now)
+            self._closed = True
+        return self.history
+
+    def check_safety(self, check_joins: bool = True) -> SafetyReport:
+        """Judge regularity (Section 2.2 Safety) on the history so far."""
+        return RegularityChecker(self.history, check_joins=check_joins).check()
+
+    def check_atomicity(self) -> AtomicityReport:
+        """Judge atomicity — regularity plus absence of new/old inversions."""
+        return find_new_old_inversions(self.history)
+
+    def check_liveness(self, grace: Time | None = None) -> LivenessReport:
+        """Judge liveness on the *closed* history.
+
+        ``grace`` defaults to ``3δ`` — the synchronous protocol's
+        worst-case operation latency; pass a larger value for runs that
+        end while quorum protocols are legitimately still collecting.
+        """
+        self.close()
+        if grace is None:
+            grace = 3.0 * self.config.delta
+        return LivenessChecker(self.history, grace=grace).check()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicSystem(protocol={self.config.protocol!r}, "
+            f"n={self.config.n}, t={self.engine.now!r}, "
+            f"present={len(self.membership)})"
+        )

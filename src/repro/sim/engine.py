@@ -1,0 +1,208 @@
+"""The discrete-event scheduler at the heart of every simulation.
+
+Design notes
+------------
+
+The engine is intentionally tiny and fully deterministic:
+
+* the event queue is a binary heap ordered by
+  ``(time, priority, sequence)`` — see :mod:`repro.sim.events`;
+* cancelling an event marks it dead in place (lazy deletion), which
+  keeps cancellation O(1) and the heap free of bookkeeping;
+* the clock only ever moves when an event is dequeued, so a handler
+  always observes ``engine.now`` equal to its own firing time.
+
+Every source of nondeterminism in a simulation must flow through the
+seeded RNG streams (:mod:`repro.sim.rng`); given the same configuration
+and seed, two runs produce byte-identical traces.  The whole test
+strategy of the library leans on this property.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterator
+
+from .clock import Time, VirtualClock
+from .errors import SchedulerError
+from .events import Event, Priority
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler.
+
+    >>> engine = EventScheduler()
+    >>> fired = []
+    >>> _ = engine.schedule(5.0, fired.append, "late")
+    >>> _ = engine.schedule(1.0, fired.append, "early")
+    >>> engine.run()
+    >>> fired
+    ['early', 'late']
+    >>> engine.now
+    5.0
+    """
+
+    def __init__(self, start: Time = 0.0) -> None:
+        self._clock = VirtualClock(start)
+        self._queue: list[Event] = []
+        self._sequence = 0
+        self._running = False
+        self._fired_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Time:
+        """The current simulated instant."""
+        return self._clock.now
+
+    @property
+    def pending_count(self) -> int:
+        """The number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def fired_count(self) -> int:
+        """The number of events executed since construction."""
+        return self._fired_count
+
+    def __len__(self) -> int:
+        return self.pending_count
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: Time,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = Priority.TIMER,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` units from now."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule {delay!r} units in the past")
+        return self.schedule_at(
+            self.now + delay, callback, *args, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        instant: Time,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = Priority.TIMER,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute time ``instant``."""
+        if instant < self.now:
+            raise SchedulerError(
+                f"cannot schedule at {instant!r}, the clock already reads {self.now!r}"
+            )
+        event = Event(
+            time=float(instant),
+            priority=int(priority),
+            sequence=self._sequence,
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        self._sequence += 1
+        heappush(self._queue, event)
+        return event
+
+    def call_soon(
+        self,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = Priority.OPERATION,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at the current instant (after running events)."""
+        return self.schedule_at(self.now, callback, *args, priority=priority, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns ``False`` if none remain."""
+        event = self._pop_live()
+        if event is None:
+            return False
+        self._clock.advance_to(event.time)
+        self._fired_count += 1
+        event.fire()
+        return True
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events`` fired).
+
+        Returns the number of events executed by this call.
+        """
+        return self._drain(until=None, max_events=max_events)
+
+    def run_until(self, horizon: Time, max_events: int | None = None) -> int:
+        """Run every event with ``time <= horizon`` and park the clock there.
+
+        Events scheduled beyond the horizon stay queued, so a simulation
+        can be resumed with a later horizon.  Returns the number of
+        events executed by this call.
+        """
+        if horizon < self.now:
+            raise SchedulerError(
+                f"horizon {horizon!r} is before current time {self.now!r}"
+            )
+        fired = self._drain(until=horizon, max_events=max_events)
+        self._clock.advance_to(horizon)
+        return fired
+
+    def _drain(self, until: Time | None, max_events: int | None) -> int:
+        if self._running:
+            raise SchedulerError("the scheduler is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while max_events is None or fired < max_events:
+                event = self._peek_live()
+                if event is None:
+                    break
+                if until is not None and event.time > until:
+                    break
+                heappop(self._queue)
+                self._clock.advance_to(event.time)
+                self._fired_count += 1
+                event.fire()
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    # ------------------------------------------------------------------
+    # Queue internals (lazy deletion of cancelled events)
+    # ------------------------------------------------------------------
+
+    def _peek_live(self) -> Event | None:
+        while self._queue and self._queue[0].cancelled:
+            heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def _pop_live(self) -> Event | None:
+        event = self._peek_live()
+        if event is not None:
+            heappop(self._queue)
+        return event
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Yield live pending events in firing order (for diagnostics)."""
+        return iter(sorted(e for e in self._queue if not e.cancelled))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventScheduler(now={self.now!r}, pending={self.pending_count}, "
+            f"fired={self._fired_count})"
+        )

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the simulation kernel.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class ClockError(SimulationError):
+    """An operation would move the virtual clock backwards."""
+
+
+class SchedulerError(SimulationError):
+    """An event was scheduled or cancelled incorrectly."""
+
+
+class EventCancelledError(SchedulerError):
+    """A cancelled event handle was fired or re-cancelled."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process was driven through an illegal transition."""
+
+
+class ProcessDepartedError(ProcessError):
+    """An operation was attempted on a process that left the system."""
+
+
+class OperationError(SimulationError):
+    """An operation handle was used incorrectly."""
+
+
+class OperationPendingError(OperationError):
+    """The result of an operation was requested before it completed."""
+
+
+class OperationAbandonedError(OperationError):
+    """The result of an operation was requested after its process left."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the network substrate."""
+
+
+class UnknownProcessError(NetworkError):
+    """A message was addressed to a process the network never saw."""
+
+
+class ChurnError(ReproError):
+    """The churn model was configured or driven incorrectly."""
+
+
+class HistoryError(ReproError):
+    """An operation history is malformed or internally inconsistent."""
+
+
+class CheckerError(ReproError):
+    """A correctness checker could not interpret the supplied history."""
+
+
+class ConfigError(ReproError):
+    """A system configuration is invalid or inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured or executed incorrectly."""

@@ -1,0 +1,72 @@
+"""Event records and handles used by the scheduler.
+
+An *event* is a callback bound to a firing time.  Events are totally
+ordered by ``(time, priority, sequence)``:
+
+* ``time`` — the simulated instant at which the event fires;
+* ``priority`` — a small integer used to give simultaneous events a
+  deterministic, semantically meaningful order (message deliveries
+  happen before churn, churn before measurement probes, ...);
+* ``sequence`` — a monotonically increasing counter that breaks the
+  remaining ties in scheduling order, making every run reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .clock import Time
+from .errors import EventCancelledError
+
+
+class Priority(enum.IntEnum):
+    """Deterministic ordering of simultaneous events.
+
+    Lower values fire first.  The tiers encode the causality the paper
+    assumes within one time unit: messages are delivered, then local
+    protocol timers fire, then the churn adversary acts, then the
+    measurement probes observe the resulting state.
+    """
+
+    DELIVERY = 0
+    TIMER = 10
+    OPERATION = 20
+    CHURN = 30
+    PROBE = 40
+    HORIZON = 50
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Instances are owned by the scheduler.
+
+    The comparison order *is* the execution order, which is why the
+    callback and its arguments are excluded from comparisons.
+    """
+
+    time: Time
+    priority: int
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def fire(self) -> None:
+        """Invoke the callback.  Cancelled events must never be fired."""
+        if self.cancelled:
+            raise EventCancelledError(
+                f"event {self.label or self.sequence} fired after cancellation"
+            )
+        self.callback(*self.args)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler discards it instead of firing."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__qualname__", "<fn>")
+        return f"Event(t={self.time!r}, prio={self.priority}, {name}, {state})"

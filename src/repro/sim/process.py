@@ -1,0 +1,295 @@
+"""Simulated processes: the paper's *nodes*.
+
+A :class:`SimProcess` owns:
+
+* a lifecycle — ``LISTENING`` from the instant it enters the system
+  (it can already receive and process messages, Section 2.1), ``ACTIVE``
+  once its ``join`` operation returns, ``DEPARTED`` once it leaves;
+* a message dispatcher that routes payloads to ``on_<type>`` handlers;
+* an operation runner that drives generator-based operation bodies
+  (:mod:`repro.sim.operations`) through ``Wait``/``WaitUntil`` effects.
+
+Departure is silent and final, matching the paper's model: a departed
+process never sends or receives again, and any in-flight operation it
+had is *abandoned* (recorded as such, excused by the liveness checker).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from .clock import Time
+from .engine import EventScheduler
+from .errors import ProcessDepartedError, ProcessError
+from .events import Priority
+from .operations import (
+    Effect,
+    OperationBody,
+    OperationHandle,
+    Wait,
+    WaitUntil,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..net.message import Message
+
+
+class ProcessMode(enum.Enum):
+    """Lifecycle of a process in the dynamic system (Section 2.1)."""
+
+    LISTENING = "listening"  # entered, join in progress: receives messages
+    ACTIVE = "active"  # join returned: full participant
+    DEPARTED = "departed"  # left (or crashed): silent forever
+
+
+class SimProcess:
+    """Base class for every protocol node.
+
+    Subclasses implement message handlers named ``on_<payload type>``
+    (for a payload class ``Inquiry`` the handler is ``on_inquiry``) and
+    operation bodies as generators passed to :meth:`run_operation`.
+    """
+
+    def __init__(self, pid: str, engine: EventScheduler) -> None:
+        self.pid = pid
+        self.engine = engine
+        self._mode = ProcessMode.LISTENING
+        self._entered_at: Time = engine.now
+        self._activated_at: Time | None = None
+        self._departed_at: Time | None = None
+        self._runners: list[_OperationRunner] = []
+        self._watchers: list[_ConditionWatcher] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> ProcessMode:
+        return self._mode
+
+    @property
+    def present(self) -> bool:
+        """True while the process is in the system (listening or active)."""
+        return self._mode is not ProcessMode.DEPARTED
+
+    @property
+    def is_active(self) -> bool:
+        return self._mode is ProcessMode.ACTIVE
+
+    @property
+    def entered_at(self) -> Time:
+        return self._entered_at
+
+    @property
+    def activated_at(self) -> Time | None:
+        return self._activated_at
+
+    @property
+    def departed_at(self) -> Time | None:
+        return self._departed_at
+
+    def mark_active(self) -> None:
+        """Transition LISTENING → ACTIVE (when ``join`` returns)."""
+        if self._mode is ProcessMode.DEPARTED:
+            raise ProcessDepartedError(f"{self.pid} cannot activate after departing")
+        if self._mode is ProcessMode.ACTIVE:
+            raise ProcessError(f"{self.pid} activated twice")
+        self._mode = ProcessMode.ACTIVE
+        self._activated_at = self.engine.now
+
+    def depart(self) -> None:
+        """Silently leave the system (voluntary leave or crash).
+
+        Cancels every pending timer/condition of this process and
+        abandons its in-flight operations.  Idempotent.
+        """
+        if self._mode is ProcessMode.DEPARTED:
+            return
+        self._mode = ProcessMode.DEPARTED
+        self._departed_at = self.engine.now
+        for runner in list(self._runners):
+            runner.abandon()
+        self._runners.clear()
+        self._watchers.clear()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def deliver(self, message: "Message") -> None:
+        """Dispatch a delivered message to its ``on_<type>`` handler.
+
+        Called by the network.  Messages to departed processes are
+        dropped by the network before reaching this point, but the
+        check is repeated here defensively.
+        """
+        if not self.present:
+            return
+        handler = self._handler_for(message.payload)
+        handler(message.sender, message.payload)
+        self._wake_watchers()
+
+    def _handler_for(self, payload: Any) -> Callable[[str, Any], None]:
+        name = f"on_{type(payload).__name__.lower()}"
+        handler = getattr(self, name, None)
+        if handler is None:
+            raise ProcessError(
+                f"{type(self).__name__} has no handler {name!r} for payload "
+                f"{type(payload).__name__}"
+            )
+        return handler
+
+    # ------------------------------------------------------------------
+    # Operation execution
+    # ------------------------------------------------------------------
+
+    def run_operation(
+        self,
+        kind: str,
+        body: OperationBody,
+        argument: Any = None,
+    ) -> OperationHandle:
+        """Invoke an operation: drive ``body`` through its effects.
+
+        The returned handle completes when the generator returns, or is
+        abandoned if this process departs first.
+        """
+        if not self.present:
+            raise ProcessDepartedError(
+                f"{self.pid} cannot invoke {kind} after departing"
+            )
+        handle = OperationHandle(kind, self.pid, self.engine.now, argument)
+        runner = _OperationRunner(self, body, handle)
+        self._runners.append(runner)
+        runner.advance()
+        return handle
+
+    def notify(self) -> None:
+        """Re-evaluate all pending ``WaitUntil`` conditions.
+
+        Protocol code calls this after mutating state outside a message
+        handler (handlers trigger re-evaluation automatically).
+        """
+        self._wake_watchers()
+
+    def _wake_watchers(self) -> None:
+        if not self._watchers:
+            return
+        # Watchers may complete operations whose callbacks add new
+        # watchers; iterate over a snapshot and let satisfied watchers
+        # unregister themselves.
+        for watcher in list(self._watchers):
+            watcher.poll()
+
+    def _finish_runner(self, runner: "_OperationRunner") -> None:
+        if runner in self._runners:
+            self._runners.remove(runner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.pid}, {self._mode.value})"
+
+
+class _ConditionWatcher:
+    """Re-arms a ``WaitUntil`` predicate until it fires once."""
+
+    __slots__ = ("process", "predicate", "resume", "_done")
+
+    def __init__(
+        self,
+        process: SimProcess,
+        predicate: Callable[[], bool],
+        resume: Callable[[], None],
+    ) -> None:
+        self.process = process
+        self.predicate = predicate
+        self.resume = resume
+        self._done = False
+
+    def poll(self) -> None:
+        if self._done:
+            return
+        if self.predicate():
+            self._done = True
+            if self in self.process._watchers:
+                self.process._watchers.remove(self)
+            self.resume()
+
+    def cancel(self) -> None:
+        self._done = True
+        if self in self.process._watchers:
+            self.process._watchers.remove(self)
+
+
+class _OperationRunner:
+    """Drives one operation generator through its yielded effects."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        body: OperationBody,
+        handle: OperationHandle,
+    ) -> None:
+        self.process = process
+        self.body = body
+        self.handle = handle
+        self._abandoned = False
+        self._pending_timer = None
+        self._pending_watcher: _ConditionWatcher | None = None
+
+    def advance(self) -> None:
+        """Resume the generator until it blocks or finishes."""
+        if self._abandoned:
+            return
+        while True:
+            try:
+                effect = next(self.body)
+            except StopIteration as stop:
+                self._complete(stop.value)
+                return
+            if not isinstance(effect, Effect):
+                raise ProcessError(
+                    f"operation {self.handle.kind} yielded {effect!r}; "
+                    f"only Wait/WaitUntil effects are allowed"
+                )
+            if isinstance(effect, Wait):
+                self._pending_timer = self.process.engine.schedule(
+                    effect.duration,
+                    self._on_timer,
+                    priority=Priority.OPERATION,
+                    label=f"{self.process.pid}:{self.handle.kind}:wait",
+                )
+                return
+            if isinstance(effect, WaitUntil):
+                if effect.predicate():
+                    continue  # already satisfied: keep running synchronously
+                watcher = _ConditionWatcher(self.process, effect.predicate, self._on_condition)
+                self._pending_watcher = watcher
+                self.process._watchers.append(watcher)
+                return
+            raise ProcessError(f"unknown effect {effect!r}")  # pragma: no cover
+
+    def _on_timer(self) -> None:
+        self._pending_timer = None
+        self.advance()
+
+    def _on_condition(self) -> None:
+        self._pending_watcher = None
+        self.advance()
+
+    def _complete(self, result: Any) -> None:
+        self.process._finish_runner(self)
+        self.handle._complete(result, self.process.engine.now)
+
+    def abandon(self) -> None:
+        """Stop the operation because the process departed."""
+        self._abandoned = True
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        if self._pending_watcher is not None:
+            self._pending_watcher.cancel()
+            self._pending_watcher = None
+        self.body.close()
+        self.handle._abandon(self.process.engine.now)

@@ -1,0 +1,12 @@
+"""Visualisation: ASCII space-time diagrams and message-flow listings,
+in the style of the paper's protocol figures."""
+
+from .message_flow import render_message_flow
+from .timeline import TimelineError, TimelineRenderer, render_timeline
+
+__all__ = [
+    "render_message_flow",
+    "TimelineError",
+    "TimelineRenderer",
+    "render_timeline",
+]

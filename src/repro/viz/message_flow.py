@@ -1,0 +1,86 @@
+"""Message-flow listings: the arrows of the paper's figures, as text.
+
+While :mod:`repro.viz.timeline` draws the process lines, this module
+lists the messages between them — who sent what to whom, when it was
+sent and when it landed (or was dropped) — so a scenario like
+Figure 3(a) can be read end to end:
+
+    t= 10.00  p0001 --WriteMsg--> p0002          (arrives 15.00)
+    t= 10.50  p0004 ==Inquiry==> *               (broadcast #3)
+    t= 11.00  p0002 --Reply--> p0004             (arrives 11.50)
+    t= 15.50  p0001 --Inquiry--x DROPPED         (receiver left)
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import Time
+from ..sim.trace import TraceKind, TraceLog
+
+
+def render_message_flow(
+    trace: TraceLog,
+    start: Time = 0.0,
+    end: Time | None = None,
+    processes: set[str] | None = None,
+    payload_types: set[str] | None = None,
+    limit: int | None = None,
+) -> str:
+    """A chronological listing of sends, broadcasts and drops.
+
+    ``processes`` filters to events touching any of the given pids
+    (as sender or receiver); ``payload_types`` filters by message type
+    (e.g. ``{"Inquiry", "Reply"}``).
+    """
+    lines: list[str] = []
+    for record in trace:
+        if record.time < start:
+            continue
+        if end is not None and record.time > end:
+            continue
+        rendered = _render_record(record, processes, payload_types)
+        if rendered is not None:
+            lines.append(rendered)
+        if limit is not None and len(lines) >= limit:
+            lines.append("... (truncated)")
+            break
+    if not lines:
+        return "(no matching message events)"
+    return "\n".join(lines)
+
+
+def _render_record(record, processes, payload_types) -> str | None:
+    details = record.details
+    payload = details.get("type", "")
+    if payload_types is not None and payload not in payload_types:
+        return None
+    if record.kind is TraceKind.SEND:
+        sender, receiver = record.process, details.get("dest")
+        if not _touches(processes, sender, receiver):
+            return None
+        return (
+            f"t={record.time:8.2f}  {sender} --{payload}--> {receiver}"
+            f"  (arrives {details.get('arrives', float('nan')):.2f})"
+        )
+    if record.kind is TraceKind.BROADCAST:
+        sender = record.process
+        if not _touches(processes, sender):
+            return None
+        return (
+            f"t={record.time:8.2f}  {sender} =={payload}==> *"
+            f"  (broadcast #{details.get('broadcast_id')})"
+        )
+    if record.kind is TraceKind.DROP:
+        receiver, sender = record.process, details.get("sender")
+        if not _touches(processes, sender, receiver):
+            return None
+        return (
+            f"t={record.time:8.2f}  {sender} --{payload}--x {receiver}"
+            f"  DROPPED (receiver left)"
+        )
+    return None
+
+
+def _touches(processes: set[str] | None, *pids: str | None) -> bool:
+    if processes is None:
+        return True
+    return any(pid in processes for pid in pids if pid is not None)

@@ -1,0 +1,39 @@
+"""Workloads: operation plans, drivers and the scripted figure scenarios."""
+
+from .generators import (
+    periodic_times,
+    periodic_writes,
+    poisson_reads,
+    poisson_times,
+    read_heavy_plan,
+    write_heavy_plan,
+)
+from .scenarios import (
+    DelayRule,
+    ScenarioResult,
+    ScriptedDelays,
+    figure_3a,
+    figure_3b,
+    new_old_inversion,
+)
+from .schedule import ReadOp, WorkloadDriver, WorkloadOp, WorkloadStats, WriteOp
+
+__all__ = [
+    "periodic_times",
+    "periodic_writes",
+    "poisson_reads",
+    "poisson_times",
+    "read_heavy_plan",
+    "write_heavy_plan",
+    "DelayRule",
+    "ScenarioResult",
+    "ScriptedDelays",
+    "figure_3a",
+    "figure_3b",
+    "new_old_inversion",
+    "ReadOp",
+    "WorkloadDriver",
+    "WorkloadOp",
+    "WorkloadStats",
+    "WriteOp",
+]

@@ -1,0 +1,114 @@
+"""Workload plan generators.
+
+The paper's synchronous protocol is explicitly "targeted for
+applications where the number of reads outperforms the number of
+writes" (Section 3.3), so the canonical workload here is read-heavy:
+periodic writes with a Poisson stream of reads from random active
+processes.  All generators are pure functions from parameters (plus an
+explicit RNG) to a plan — no hidden state, fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim.clock import Time
+from ..sim.errors import ExperimentError
+from .schedule import ReadOp, WorkloadOp, WriteOp
+
+
+def periodic_times(start: Time, period: Time, count: int) -> list[Time]:
+    """``count`` instants spaced ``period`` apart, starting at ``start``."""
+    if period <= 0:
+        raise ExperimentError(f"period must be positive, got {period!r}")
+    if count < 0:
+        raise ExperimentError(f"count must be non-negative, got {count!r}")
+    return [start + i * period for i in range(count)]
+
+
+def poisson_times(
+    start: Time, end: Time, rate: float, rng: random.Random
+) -> list[Time]:
+    """A Poisson arrival process of intensity ``rate`` on ``[start, end)``."""
+    if rate < 0:
+        raise ExperimentError(f"rate must be non-negative, got {rate!r}")
+    if end < start:
+        raise ExperimentError(f"end {end!r} precedes start {start!r}")
+    times = []
+    t = start
+    if rate == 0:
+        return times
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end:
+            return times
+        times.append(t)
+
+
+def periodic_writes(
+    start: Time, period: Time, count: int, writer: str | None = None
+) -> list[WorkloadOp]:
+    """``count`` serialized writes, one every ``period`` time units.
+
+    Values are left to the system's unique-value generator, keeping the
+    history checkable.
+    """
+    return [WriteOp(time=t, writer=writer) for t in periodic_times(start, period, count)]
+
+
+def poisson_reads(
+    start: Time, end: Time, rate: float, rng: random.Random
+) -> list[WorkloadOp]:
+    """Poisson reads by uniformly-drawn active processes."""
+    return [ReadOp(time=t) for t in poisson_times(start, end, rate, rng)]
+
+
+def read_heavy_plan(
+    start: Time,
+    end: Time,
+    write_period: Time,
+    read_rate: float,
+    rng: random.Random,
+    writer: str | None = None,
+) -> list[WorkloadOp]:
+    """The canonical Section 3.3 workload: many reads, few writes.
+
+    Writes start half a period after ``start`` so the first reads
+    exercise the initial value too.
+    """
+    if end <= start:
+        raise ExperimentError(f"end {end!r} must exceed start {start!r}")
+    write_count = max(0, int((end - start - write_period / 2) // write_period))
+    plan: list[WorkloadOp] = []
+    plan.extend(
+        periodic_writes(start + write_period / 2, write_period, write_count, writer)
+    )
+    plan.extend(poisson_reads(start, end, read_rate, rng))
+    plan.sort(key=lambda op: op.time)
+    return plan
+
+
+def write_heavy_plan(
+    start: Time,
+    end: Time,
+    write_period: Time,
+    reads_per_write: int,
+    rng: random.Random,
+    writer: str | None = None,
+) -> list[WorkloadOp]:
+    """A stress variant: frequent writes with a few reads in between.
+
+    Used by ablations to show where the fast-read design stops paying
+    off (every write costs a broadcast + δ, reads stay free).
+    """
+    plan: list[WorkloadOp] = []
+    t = start
+    while t < end:
+        plan.append(WriteOp(time=t, writer=writer))
+        for _ in range(reads_per_write):
+            offset = rng.uniform(0.0, write_period)
+            if t + offset < end:
+                plan.append(ReadOp(time=t + offset))
+        t += write_period
+    plan.sort(key=lambda op: op.time)
+    return plan

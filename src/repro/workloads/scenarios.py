@@ -1,0 +1,258 @@
+"""Scripted scenarios: the paper's figures as executable, checkable runs.
+
+Each scenario builds a small system, drives an exact schedule of joins,
+writes, reads and departures through an :class:`AdversarialDelay` whose
+every choice respects the synchronous bound ``δ`` (the adversary picks
+*legal* delays, it does not break the model), and returns the closed
+history together with the checker verdicts.
+
+Scenarios
+---------
+
+* :func:`figure_3a` — the join protocol **without** the line-02
+  ``wait(δ)`` (the naive variant) admits a run where the joiner adopts
+  the *old* value although a write has completed, and a later read
+  returns it: a regularity violation.
+* :func:`figure_3b` — the same adversarial schedule against the full
+  protocol: the wait forces the inquiry to start after the write's
+  dissemination deadline, the joiner adopts the new value, the run is
+  safe.
+* :func:`new_old_inversion` — the introduction's figure: two readers
+  concurrent with the same write can see it in opposite orders across
+  non-overlapping reads.  The run is regular yet not atomic.
+
+Transcription note for Figure 3(a).  In this report's pseudo-code the
+writer installs the new value locally at line 01 of ``write`` — before
+broadcasting — so an inquiry answered by the writer always returns the
+fresh value, and the figure's bad run additionally needs the writer's
+reply to be impossible: the adversary lets the writer **leave right
+after its write terminates** (which the model allows — the termination
+premise only requires the writer to survive its own write) while the
+inquiry's broadcast delivery to it takes the full ``δ``.  The published
+ICDCS'09 variant, where the writer updates its copy only upon
+delivering its own broadcast, produces the same outcome without the
+departure; we reproduce the report as written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.checker import (
+    AtomicityReport,
+    LivenessReport,
+    SafetyReport,
+)
+from ..net.delay import AdversarialDelay, SynchronousDelay
+from ..runtime.config import SystemConfig
+from ..runtime.system import DynamicSystem
+from ..sim.clock import Time
+from ..sim.operations import OperationHandle
+
+
+@dataclass(frozen=True)
+class DelayRule:
+    """First-match delay rule: ``None`` fields match anything."""
+
+    payload_type: str | None = None
+    sender: str | None = None
+    dest: str | None = None
+    delay: float = 1.0
+
+
+class ScriptedDelays:
+    """An adversary policy built from an ordered rule list.
+
+    Every produced delay must respect the scenario's ``δ`` — the rules
+    *schedule* the synchronous nondeterminism, they do not exceed it.
+    """
+
+    def __init__(self, rules: list[DelayRule], default: float) -> None:
+        self.rules = list(rules)
+        self.default = default
+
+    def __call__(
+        self, sender: str, dest: str, payload: Any, send_time: Time
+    ) -> float:
+        name = type(payload).__name__
+        for rule in self.rules:
+            if rule.payload_type is not None and rule.payload_type != name:
+                continue
+            if rule.sender is not None and rule.sender != sender:
+                continue
+            if rule.dest is not None and rule.dest != dest:
+                continue
+            return rule.delay
+        return self.default
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario produced, ready for assertions and reports."""
+
+    title: str
+    system: DynamicSystem
+    safety: SafetyReport
+    atomicity: AtomicityReport
+    liveness: LivenessReport
+    handles: dict[str, OperationHandle] = field(default_factory=dict)
+    narrative: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"=== {self.title} ==="]
+        lines.extend(self.narrative)
+        lines.append(self.safety.summary())
+        lines.append(self.atomicity.summary())
+        lines.append(self.liveness.summary())
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 3(a): the naive join reads a stale value
+# ----------------------------------------------------------------------
+
+#: δ used by all Figure 3 scenarios.
+FIGURE3_DELTA = 5.0
+
+
+def _figure3_system(protocol: str, seed: int) -> DynamicSystem:
+    """n = 3 (p_j writer, p_h, p_k) under a scripted synchronous adversary."""
+    delta = FIGURE3_DELTA
+    rules = [
+        # The write's dissemination takes the full δ to every replica.
+        DelayRule(payload_type="WriteMsg", delay=delta),
+        # The inquiry reaches p_h and p_k quickly ...
+        DelayRule(payload_type="Inquiry", dest="p0002", delay=0.5),
+        DelayRule(payload_type="Inquiry", dest="p0003", delay=0.5),
+        # ... but takes the full δ toward the writer p_j.
+        DelayRule(payload_type="Inquiry", dest="p0001", delay=delta),
+        # Replies travel fast.
+        DelayRule(payload_type="Reply", delay=0.5),
+    ]
+    policy = ScriptedDelays(rules, default=1.0)
+    config = SystemConfig(
+        n=3,
+        delta=delta,
+        protocol=protocol,
+        delay=AdversarialDelay(policy, fallback=SynchronousDelay(delta)),
+        entrant_policy="none",
+        seed=seed,
+    )
+    return DynamicSystem(config)
+
+
+def _run_figure3(protocol: str, seed: int, title: str) -> ScenarioResult:
+    delta = FIGURE3_DELTA
+    system = _figure3_system(protocol, seed)
+    narrative = [
+        f"n=3 seeds hold 'v0'; p0001 is the writer; delta={delta}",
+    ]
+    # t=10: the writer broadcasts write('v1'); it completes at t=15.
+    system.run_until(10.0)
+    write_handle = system.write("v1")
+    narrative.append("t=10.0  p0001 invokes write('v1')")
+    # t=10.5: p_i enters and starts its join.
+    system.run_until(10.5)
+    joiner = system.spawn_joiner()
+    narrative.append(f"t=10.5  {joiner} enters the system and starts join()")
+    # t=15.2: the writer leaves, right after its write terminated at 15.
+    system.run_until(15.2)
+    assert write_handle.done, "the write must complete before the writer leaves"
+    system.leave(system.writer_pid)
+    narrative.append("t=15.2  the writer p0001 leaves (its write terminated at 15.0)")
+    # Let the join finish, then read at the joiner.
+    join_handle = system.history.joins()[0]
+    system.run_until(27.0)
+    assert join_handle.done, "the join should have terminated by t=27"
+    narrative.append(
+        f"t={join_handle.response_time:.1f}  {joiner} finishes join with "
+        f"value {join_handle.result.value!r}"
+    )
+    read_handle = system.read(joiner)
+    system.run_until(30.0)
+    narrative.append(
+        f"t={read_handle.response_time:.1f}  {joiner} reads -> "
+        f"{read_handle.result!r} (the write of 'v1' completed at 15.0)"
+    )
+    system.close()
+    return ScenarioResult(
+        title=title,
+        system=system,
+        safety=system.check_safety(),
+        atomicity=system.check_atomicity(),
+        liveness=system.check_liveness(),
+        handles={"write": write_handle, "join": join_handle, "read": read_handle},
+        narrative=narrative,
+    )
+
+
+def figure_3a(seed: int = 0) -> ScenarioResult:
+    """Figure 3(a): without the line-02 wait, the run violates safety."""
+    return _run_figure3(
+        "naive", seed, "Figure 3(a) — join without wait(δ): stale read"
+    )
+
+
+def figure_3b(seed: int = 0) -> ScenarioResult:
+    """Figure 3(b): with the wait, the same adversary cannot win."""
+    return _run_figure3(
+        "sync", seed, "Figure 3(b) — join with wait(δ): correct read"
+    )
+
+
+# ----------------------------------------------------------------------
+# The introduction's new/old inversion
+# ----------------------------------------------------------------------
+
+
+def new_old_inversion(seed: int = 0) -> ScenarioResult:
+    """Two non-overlapping reads see one write in opposite orders.
+
+    The write's broadcast reaches reader A almost immediately and
+    reader B only at the ``δ`` deadline; A reads (new value), finishes,
+    then B reads (old value).  Regularity allows it — both reads are
+    concurrent with the write — but atomicity does not: this is the
+    new/old inversion of Section 1, proof that the protocol implements
+    a *regular*, not atomic, register.
+    """
+    delta = FIGURE3_DELTA
+    # n=4: p0001 writer, p0002 reader A (fast path), p0003 reader B
+    # (slow path), p0004 spectator.
+    rules = [
+        DelayRule(payload_type="WriteMsg", dest="p0002", delay=0.4),
+        DelayRule(payload_type="WriteMsg", dest="p0003", delay=4.9),
+        DelayRule(payload_type="WriteMsg", delay=1.0),
+    ]
+    policy = ScriptedDelays(rules, default=1.0)
+    config = SystemConfig(
+        n=4,
+        delta=delta,
+        protocol="sync",
+        delay=AdversarialDelay(policy, fallback=SynchronousDelay(delta)),
+        entrant_policy="none",
+        seed=seed,
+    )
+    system = DynamicSystem(config)
+    narrative = [f"n=4 seeds hold 'v0'; p0001 is the writer; delta={delta}"]
+    system.run_until(20.0)
+    write_handle = system.write("v1")  # completes at t=25
+    narrative.append("t=20.0  p0001 invokes write('v1'); WRITE reaches p0002 at 20.4"
+                     " and p0003 only at 24.9")
+    system.run_until(21.0)
+    read_a = system.read("p0002")
+    narrative.append(f"t=21.0  p0002 reads -> {read_a.result!r} (the new value)")
+    system.run_until(22.0)
+    read_b = system.read("p0003")
+    narrative.append(f"t=22.0  p0003 reads -> {read_b.result!r} (the old value)")
+    system.run_until(30.0)
+    system.close()
+    return ScenarioResult(
+        title="New/old inversion — regular but not atomic",
+        system=system,
+        safety=system.check_safety(),
+        atomicity=system.check_atomicity(),
+        liveness=system.check_liveness(),
+        handles={"write": write_handle, "read_new": read_a, "read_old": read_b},
+        narrative=narrative,
+    )

@@ -1,0 +1,160 @@
+"""Workload scheduling: turning operation plans into simulated invocations.
+
+A workload is a list of :class:`ReadOp` / :class:`WriteOp` plans.  The
+:class:`WorkloadDriver` installs them into a system's event queue and,
+at each firing time, resolves *who* performs the operation:
+
+* a ``WriteOp`` goes to the designated writer (or an explicit pid) and
+  is **skipped** if the previous write has not completed — the paper
+  assumes writes are never concurrent, and the checkers require
+  serialized writes, so the driver enforces serialization and counts
+  the skips (a liveness signal in its own right);
+* a ``ReadOp`` goes to an explicit pid or to a uniformly drawn *active*
+  process; if no active process exists at that instant the read is
+  skipped and counted (another breakdown signal).
+
+The driver records every issued handle, so experiments can compute
+latency distributions without digging through the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..runtime.system import DynamicSystem
+from ..sim.clock import Time
+from ..sim.errors import ExperimentError
+from ..sim.events import Priority
+from ..sim.operations import OperationHandle
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Plan: read at ``time``, by ``reader`` (``None`` = random active)."""
+
+    time: Time
+    reader: str | None = None
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Plan: write ``value`` at ``time`` (``None`` = auto-unique value)."""
+
+    time: Time
+    value: Any = None
+    writer: str | None = None
+
+
+WorkloadOp = ReadOp | WriteOp
+
+
+@dataclass
+class WorkloadStats:
+    """What the driver actually managed to issue."""
+
+    reads_issued: int = 0
+    reads_skipped: int = 0  # no active process available
+    writes_issued: int = 0
+    writes_skipped: int = 0  # previous write still pending
+    read_handles: list[OperationHandle] = field(default_factory=list)
+    write_handles: list[OperationHandle] = field(default_factory=list)
+
+    @property
+    def write_completion_rate(self) -> float:
+        """Fraction of issued writes that completed."""
+        if not self.write_handles:
+            return 1.0
+        done = sum(1 for h in self.write_handles if h.done)
+        return done / len(self.write_handles)
+
+    @property
+    def read_completion_rate(self) -> float:
+        """Fraction of issued reads that completed."""
+        if not self.read_handles:
+            return 1.0
+        done = sum(1 for h in self.read_handles if h.done)
+        return done / len(self.read_handles)
+
+
+class WorkloadDriver:
+    """Installs a workload plan into a system and tracks outcomes."""
+
+    def __init__(self, system: DynamicSystem, avoid_writer_reads: bool = False) -> None:
+        """``avoid_writer_reads`` excludes the designated writer from the
+        random reader pool (useful when measuring reader-side latency
+        in isolation)."""
+        self.system = system
+        self.avoid_writer_reads = avoid_writer_reads
+        self.stats = WorkloadStats()
+        self._rng = system.rng.stream("workload.readers")
+        self._pending_write: OperationHandle | None = None
+        self._installed = False
+
+    def install(self, plan: list[WorkloadOp]) -> None:
+        """Schedule every planned operation (call once, before running)."""
+        if self._installed:
+            raise ExperimentError("workload installed twice")
+        self._installed = True
+        for op in plan:
+            if op.time < self.system.now:
+                raise ExperimentError(
+                    f"operation planned at {op.time!r} but the clock already "
+                    f"reads {self.system.now!r}"
+                )
+            if isinstance(op, WriteOp):
+                self.system.engine.schedule_at(
+                    op.time,
+                    self._fire_write,
+                    op,
+                    priority=Priority.OPERATION,
+                    label="workload write",
+                )
+            elif isinstance(op, ReadOp):
+                self.system.engine.schedule_at(
+                    op.time,
+                    self._fire_read,
+                    op,
+                    priority=Priority.OPERATION,
+                    label="workload read",
+                )
+            else:  # pragma: no cover - plan construction bug
+                raise ExperimentError(f"unknown workload op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+
+    def _fire_write(self, op: WriteOp) -> None:
+        if self._pending_write is not None and self._pending_write.pending:
+            self.stats.writes_skipped += 1
+            return
+        writer = op.writer if op.writer is not None else self.system.writer_pid
+        if not self.system.membership.is_present(writer):
+            self.stats.writes_skipped += 1
+            return
+        handle = self.system.write(op.value, pid=writer)
+        self._pending_write = handle
+        self.stats.writes_issued += 1
+        self.stats.write_handles.append(handle)
+
+    def _fire_read(self, op: ReadOp) -> None:
+        reader = op.reader if op.reader is not None else self._pick_reader()
+        if reader is None or not self.system.membership.is_present(reader):
+            self.stats.reads_skipped += 1
+            return
+        node = self.system.node(reader)
+        if not node.is_active:
+            self.stats.reads_skipped += 1
+            return
+        handle = self.system.read(reader)
+        self.stats.reads_issued += 1
+        self.stats.read_handles.append(handle)
+
+    def _pick_reader(self) -> str | None:
+        candidates = self.system.active_pids()
+        if self.avoid_writer_reads:
+            candidates = [pid for pid in candidates if pid != self.system.writer_pid]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)

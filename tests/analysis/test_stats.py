@@ -1,0 +1,93 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    percentile,
+    proportion,
+    summarize,
+    wilson_interval,
+)
+from repro.sim.errors import ExperimentError
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.stdev == pytest.approx(1.2909944, rel=1e-6)
+
+    def test_single_sample(self):
+        summary = summarize([5.0])
+        assert summary.count == 1
+        assert summary.stdev == 0.0
+        assert summary.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+    def test_format(self):
+        text = summarize([1.0, 3.0]).format(precision=1)
+        assert "2.0" in text and "k=2" in text
+
+
+class TestProportion:
+    def test_ratio(self):
+        assert proportion(3, 4) == 0.75
+
+    def test_zero_trials(self):
+        assert proportion(0, 0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ExperimentError):
+            proportion(5, 4)
+        with pytest.raises(ExperimentError):
+            proportion(-1, 4)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(8, 10)
+        assert low < 0.8 < high
+
+    def test_handles_extremes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert high < 0.25
+        low, high = wilson_interval(20, 20)
+        assert low > 0.75
+        assert high == 1.0
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_more_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25.0) == 2.5
+
+    def test_extremes(self):
+        data = [3.0, 1.0, 2.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 3.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            percentile([], 50.0)
+        with pytest.raises(ExperimentError):
+            percentile([1.0], 150.0)

@@ -1,0 +1,273 @@
+"""Unit tests for the regularity, atomicity and liveness checkers.
+
+Each test encodes one clause of the Section 2.2 specification (or of
+the introduction's regular-vs-atomic distinction) against a hand-built
+history with exact timestamps.
+"""
+
+import pytest
+
+from repro.core.checker import (
+    LivenessChecker,
+    RegularityChecker,
+    find_new_old_inversions,
+)
+from repro.core.history import History
+from repro.sim.errors import CheckerError
+from tests.core.helpers import join, read, write
+
+
+class TestRegularityNoConcurrency:
+    def test_read_of_initial_value_before_any_write(self):
+        history = History("v0")
+        read(history, "v0", 1.0, 1.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_read_of_last_completed_write(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        read(history, "v1", 3.0, 3.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_stale_read_is_a_violation(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        read(history, "v0", 3.0, 3.0)
+        report = RegularityChecker(history).check()
+        assert not report.is_safe
+        assert report.violation_count == 1
+        assert "last write completed" in report.violations[0].explanation
+
+    def test_skipping_a_write_is_a_violation(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        write(history, "v2", 3.0, 4.0)
+        read(history, "v1", 5.0, 5.0)  # v2 is the last completed write
+        assert not RegularityChecker(history).check().is_safe
+
+    def test_unwritten_value_is_a_violation(self):
+        history = History("v0")
+        read(history, "garbage", 1.0, 1.0)
+        assert not RegularityChecker(history).check().is_safe
+
+    def test_bottom_read_is_a_violation(self):
+        history = History("v0")
+        read(history, None, 1.0, 1.0)  # ⊥ was never written
+        assert not RegularityChecker(history).check().is_safe
+
+
+class TestRegularityWithConcurrency:
+    def test_concurrent_read_may_return_old_value(self):
+        history = History("v0")
+        write(history, "v1", 10.0, 20.0)
+        read(history, "v0", 12.0, 13.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_concurrent_read_may_return_new_value(self):
+        history = History("v0")
+        write(history, "v1", 10.0, 20.0)
+        read(history, "v1", 12.0, 13.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_concurrent_read_cannot_return_older_than_last_completed(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        write(history, "v2", 10.0, 20.0)
+        read(history, "v0", 12.0, 13.0)  # v0 predates completed v1
+        assert not RegularityChecker(history).check().is_safe
+
+    def test_read_overlapping_two_writes_may_return_either(self):
+        history = History("v0")
+        write(history, "v1", 10.0, 20.0)
+        write(history, "v2", 25.0, 35.0)
+        # Read spans the gap: concurrent with both writes.
+        for value in ("v1", "v2"):
+            h = History("v0")
+            write(h, "v1", 10.0, 20.0)
+            write(h, "v2", 25.0, 35.0)
+            read(h, value, 15.0, 30.0)
+            assert RegularityChecker(h).check().is_safe, value
+
+    def test_read_overlapping_pending_write(self):
+        history = History("v0")
+        write(history, "v1", 10.0, None)  # never completes
+        read(history, "v1", 50.0, 51.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_read_after_abandoned_write_may_return_old(self):
+        history = History("v0")
+        write(history, "v1", 10.0, 12.0, abandoned=True)
+        read(history, "v0", 50.0, 51.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_boundary_write_completing_at_read_invocation(self):
+        """A write completing exactly at the read's invocation counts as
+        completed-before (closed interval semantics)."""
+        history = History("v0")
+        write(history, "v1", 1.0, 5.0)
+        read(history, "v0", 5.0, 5.0)
+        assert not RegularityChecker(history).check().is_safe
+
+
+class TestJoinChecking:
+    def test_join_adopting_last_value(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        join(history, "v1", 1, 5.0, 8.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_join_adopting_stale_value_is_flagged(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        join(history, "v0", 0, 5.0, 8.0)
+        report = RegularityChecker(history).check()
+        assert not report.is_safe
+        assert report.violations[0].is_join
+
+    def test_join_concurrent_with_write_may_adopt_old(self):
+        history = History("v0")
+        write(history, "v1", 5.0, 9.0)
+        join(history, "v0", 0, 6.0, 8.0)
+        assert RegularityChecker(history).check().is_safe
+
+    def test_join_checking_can_be_disabled(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        join(history, "v0", 0, 5.0, 8.0)
+        report = RegularityChecker(history, check_joins=False).check()
+        assert report.is_safe
+        assert report.checked_count == 0
+
+    def test_plain_ok_joins_are_skipped(self):
+        """Joins that do not expose an adopted value are not judged."""
+        from repro.core.register import OP_JOIN
+        from repro.sim.operations import OperationHandle
+
+        history = History("v0")
+        handle = OperationHandle(OP_JOIN, "p", invoke_time=1.0)
+        handle._complete("ok", time=2.0)
+        history.record_operation(handle)
+        report = RegularityChecker(history).check()
+        assert report.checked_count == 0
+
+
+class TestNewOldInversions:
+    def test_inversion_detected(self):
+        history = History("v0")
+        write(history, "v1", 10.0, 20.0)
+        read(history, "v1", 11.0, 12.0)  # earlier read, new value
+        read(history, "v0", 13.0, 14.0)  # later read, old value
+        report = find_new_old_inversions(history)
+        assert report.safety.is_safe
+        assert len(report.inversions) == 1
+        assert report.is_regular_but_not_atomic
+        inversion = report.inversions[0]
+        assert inversion.earlier_write_index == 1
+        assert inversion.later_write_index == 0
+
+    def test_monotone_reads_are_atomic(self):
+        history = History("v0")
+        write(history, "v1", 10.0, 20.0)
+        read(history, "v0", 11.0, 12.0)
+        read(history, "v1", 13.0, 14.0)
+        report = find_new_old_inversions(history)
+        assert report.is_atomic
+
+    def test_overlapping_reads_cannot_invert(self):
+        history = History("v0")
+        write(history, "v1", 10.0, 20.0)
+        read(history, "v1", 11.0, 15.0)
+        read(history, "v0", 12.0, 16.0)  # overlaps the first read
+        report = find_new_old_inversions(history)
+        assert report.is_atomic  # no order between the reads
+
+    def test_violating_reads_excluded_from_inversion_scan(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        read(history, "junk", 3.0, 4.0)  # violation, unknown value
+        read(history, "v1", 5.0, 6.0)
+        report = find_new_old_inversions(history)
+        assert not report.safety.is_safe
+        assert report.inversions == []
+        assert not report.is_atomic
+        assert "NOT EVEN REGULAR" in report.summary()
+
+
+class TestLiveness:
+    def test_all_completed_is_live(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        read(history, "v1", 3.0, 3.0)
+        history.close(10.0)
+        report = LivenessChecker(history, grace=5.0).check()
+        assert report.is_live
+        assert report.completed == 2
+
+    def test_abandoned_operations_are_excused(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0, abandoned=True)
+        history.close(100.0)
+        report = LivenessChecker(history, grace=5.0).check()
+        assert report.is_live
+        assert report.excused == 1
+
+    def test_young_pending_operation_is_in_grace(self):
+        history = History("v0")
+        read(history, None, 98.0, None)
+        history.close(100.0)
+        report = LivenessChecker(history, grace=5.0).check()
+        assert report.is_live
+        assert report.in_grace == 1
+
+    def test_old_pending_operation_is_stuck(self):
+        history = History("v0")
+        read(history, None, 10.0, None)
+        history.close(100.0)
+        report = LivenessChecker(history, grace=5.0).check()
+        assert not report.is_live
+        assert report.stuck[0].age == 90.0
+
+    def test_latency_statistics(self):
+        history = History("v0")
+        write(history, "v1", 0.0, 4.0)
+        write(history, "v2", 10.0, 12.0)
+        history.close(20.0)
+        report = LivenessChecker(history, grace=5.0).check()
+        assert report.mean_latency("write") == 3.0
+        assert report.max_latency("write") == 4.0
+        with pytest.raises(CheckerError):
+            report.mean_latency("read")
+
+    def test_unclosed_history_rejected(self):
+        history = History("v0")
+        with pytest.raises(CheckerError):
+            LivenessChecker(history, grace=5.0).check()
+
+    def test_negative_grace_rejected(self):
+        history = History("v0")
+        history.close(1.0)
+        with pytest.raises(CheckerError):
+            LivenessChecker(history, grace=-1.0)
+
+
+class TestReportSummaries:
+    def test_safety_summary_mentions_counts(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        read(history, "v0", 3.0, 3.0)
+        summary = RegularityChecker(history).check().summary()
+        assert "VIOLATED" in summary
+
+    def test_violation_rate(self):
+        history = History("v0")
+        write(history, "v1", 1.0, 2.0)
+        read(history, "v0", 3.0, 3.0)
+        read(history, "v1", 4.0, 4.0)
+        report = RegularityChecker(history, check_joins=False).check()
+        assert report.violation_rate == 0.5
+
+    def test_empty_history_is_safe_and_live(self):
+        history = History("v0")
+        history.close(1.0)
+        assert RegularityChecker(history).check().is_safe
+        assert LivenessChecker(history, grace=0.0).check().is_live

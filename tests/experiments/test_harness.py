@@ -1,0 +1,67 @@
+"""Unit tests for the experiment harness and table rendering."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, format_table
+from repro.sim.errors import ExperimentError
+
+
+def make_result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="EX",
+        title="Example",
+        paper_claim="claim text",
+        params={"n": 5},
+    )
+    result.add_row(name="a", value=1.23456, flag=True)
+    result.add_row(name="bb", value=7.0, flag=False)
+    return result
+
+
+class TestExperimentResult:
+    def test_columns_come_from_first_row(self):
+        result = make_result()
+        assert result.columns == ("name", "value", "flag")
+
+    def test_column_accessor(self):
+        result = make_result()
+        assert result.column("name") == ["a", "bb"]
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_result().column("missing")
+
+    def test_describe_includes_everything(self):
+        result = make_result()
+        result.notes.append("a note")
+        result.verdict = "REPRODUCED"
+        text = result.describe()
+        assert "EX: Example" in text
+        assert "claim text" in text
+        assert "n=5" in text
+        assert "a note" in text
+        assert "REPRODUCED" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(("x", "longcol"), [{"x": 1, "longcol": "v"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert "longcol" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_floats_are_compact(self):
+        text = format_table(("v",), [{"v": 0.123456789}])
+        assert "0.1235" in text
+
+    def test_bools_render_yes_no(self):
+        text = format_table(("f",), [{"f": True}, {"f": False}])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        assert format_table(("a",), []) == "(no rows)"
+
+    def test_missing_cell_renders_empty(self):
+        text = format_table(("a", "b"), [{"a": 1}])
+        assert text  # does not raise

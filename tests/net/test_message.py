@@ -1,0 +1,33 @@
+"""Unit tests for message envelopes."""
+
+from dataclasses import dataclass
+
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class Dummy:
+    n: int = 0
+
+
+class TestMessage:
+    def test_delay_property(self):
+        msg = Message("a", "b", Dummy(), sent_at=2.0, deliver_at=5.5)
+        assert msg.delay == 3.5
+
+    def test_payload_type(self):
+        msg = Message("a", "b", Dummy(), sent_at=0.0, deliver_at=1.0)
+        assert msg.payload_type == "Dummy"
+
+    def test_ids_are_unique(self):
+        a = Message("a", "b", Dummy(), 0.0, 1.0)
+        b = Message("a", "b", Dummy(), 0.0, 1.0)
+        assert a.msg_id != b.msg_id
+
+    def test_broadcast_id_default_none(self):
+        msg = Message("a", "b", Dummy(), 0.0, 1.0)
+        assert msg.broadcast_id is None
+
+    def test_broadcast_id_carried(self):
+        msg = Message("a", "b", Dummy(), 0.0, 1.0, broadcast_id=7)
+        assert msg.broadcast_id == 7

@@ -1,0 +1,103 @@
+"""Unit tests for the point-to-point network."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.delay import SynchronousDelay
+from repro.net.network import Network
+from repro.sim.errors import NetworkError, UnknownProcessError
+from repro.sim.process import SimProcess
+from repro.sim.trace import TraceKind
+
+
+@dataclass(frozen=True)
+class Note:
+    text: str
+
+
+class Sink(SimProcess):
+    def __init__(self, pid, engine):
+        super().__init__(pid, engine)
+        self.notes: list[tuple[str, str, float]] = []
+
+    def on_note(self, sender, msg):
+        self.notes.append((sender, msg.text, self.engine.now))
+
+
+@pytest.fixture
+def net(engine, membership, trace, rng):
+    network = Network(engine, membership, SynchronousDelay(delta=5.0), trace, rng)
+    for pid in ("p1", "p2"):
+        membership.enter(Sink(pid, engine))
+    return network
+
+
+class TestSend:
+    def test_message_arrives_within_bound(self, net, engine, membership):
+        message = net.send("p1", "p2", Note("hi"))
+        assert 0.0 < message.delay <= 5.0
+        engine.run()
+        receiver = membership.process("p2")
+        assert receiver.notes == [("p1", "hi", message.deliver_at)]
+
+    def test_send_to_self_is_legal(self, net, engine, membership):
+        net.send("p1", "p1", Note("echo"))
+        engine.run()
+        assert membership.process("p1").notes[0][0] == "p1"
+
+    def test_departed_sender_rejected(self, net, membership):
+        membership.process("p1").depart()
+        membership.leave("p1", 0.0)
+        with pytest.raises(NetworkError):
+            net.send("p1", "p2", Note("x"))
+
+    def test_unknown_destination_rejected(self, net):
+        with pytest.raises(UnknownProcessError):
+            net.send("p1", "ghost", Note("x"))
+
+    def test_send_to_departed_is_dropped_on_delivery(
+        self, net, engine, membership, trace
+    ):
+        net.send("p1", "p2", Note("x"))
+        membership.process("p2").depart()
+        membership.leave("p2", 0.0)
+        engine.run()
+        assert membership.process("p2").notes == []
+        assert net.dropped_count == 1
+        assert trace.count(TraceKind.DROP) == 1
+
+    def test_receiver_leaving_mid_flight_drops(self, net, engine, membership):
+        message = net.send("p1", "p2", Note("x"))
+        # Leave strictly before the delivery instant.
+        leave_at = message.deliver_at / 2.0
+        engine.run_until(leave_at)
+        membership.process("p2").depart()
+        membership.leave("p2", leave_at)
+        engine.run()
+        assert membership.process("p2").notes == []
+        assert net.dropped_count == 1
+
+    def test_counters(self, net, engine):
+        net.send("p1", "p2", Note("a"))
+        net.send("p2", "p1", Note("b"))
+        engine.run()
+        assert net.sent_count == 2
+        assert net.delivered_count == 2
+        assert net.dropped_count == 0
+
+    def test_trace_records_send_and_receive(self, net, engine, trace):
+        net.send("p1", "p2", Note("a"))
+        engine.run()
+        assert trace.count(TraceKind.SEND) == 1
+        assert trace.count(TraceKind.RECEIVE) == 1
+
+    def test_reliability_no_loss_no_duplication(self, net, engine, membership):
+        for i in range(50):
+            net.send("p1", "p2", Note(str(i)))
+        engine.run()
+        texts = sorted(int(t) for (_, t, _) in membership.process("p2").notes)
+        assert texts == list(range(50))
+
+    def test_known_bound_reflects_model(self, net):
+        assert net.known_bound == 5.0

@@ -1,0 +1,117 @@
+"""Property-based tests for the regularity checker.
+
+Strategy: generate a random serialized-write history, compute each
+read's allowed set with an independent brute-force oracle, then hand
+the checker (a) reads drawn from the allowed set — it must accept — and
+(b) reads drawn from outside it — it must reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import RegularityChecker
+from repro.core.history import History
+from tests.core.helpers import read, write
+
+
+@dataclass(frozen=True)
+class WriteSpec:
+    value: str
+    start: float
+    end: float
+
+
+@st.composite
+def serialized_writes(draw) -> list[WriteSpec]:
+    """1–6 non-overlapping writes with strictly increasing intervals."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    cursor = 0.0
+    for i in range(1, count + 1):
+        gap = draw(st.floats(min_value=0.5, max_value=5.0))
+        duration = draw(st.floats(min_value=0.5, max_value=5.0))
+        start = cursor + gap
+        end = start + duration
+        specs.append(WriteSpec(value=f"w{i}", start=start, end=end))
+        cursor = end
+    return specs
+
+
+@st.composite
+def read_interval(draw, horizon: float):
+    start = draw(st.floats(min_value=0.0, max_value=horizon))
+    duration = draw(st.floats(min_value=0.0, max_value=5.0))
+    return start, start + duration
+
+
+def oracle_allowed(specs: list[WriteSpec], invoke: float, response: float) -> set[str]:
+    """Brute-force allowed set, straight from the Section 2.2 wording."""
+    completed_before = [s for s in specs if s.end <= invoke]
+    last = max(completed_before, key=lambda s: s.start, default=None)
+    allowed = {last.value if last is not None else "v0"}
+    for spec in specs:
+        if spec.start <= response and spec.end > invoke:
+            allowed.add(spec.value)
+    return allowed
+
+
+def build_history(specs: list[WriteSpec]) -> History:
+    history = History("v0")
+    for spec in specs:
+        write(history, spec.value, spec.start, spec.end)
+    return history
+
+
+class TestCheckerAgreesWithOracle:
+    @given(specs=serialized_writes(), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_allowed_values_accepted(self, specs, data):
+        horizon = specs[-1].end + 10.0
+        invoke, response = data.draw(read_interval(horizon))
+        allowed = oracle_allowed(specs, invoke, response)
+        returned = data.draw(st.sampled_from(sorted(allowed)))
+        history = build_history(specs)
+        read(history, returned, invoke, response)
+        report = RegularityChecker(history, check_joins=False).check()
+        assert report.is_safe, (
+            f"checker rejected {returned!r} for read [{invoke}, {response}] "
+            f"but the oracle allows {allowed}"
+        )
+
+    @given(specs=serialized_writes(), data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_disallowed_values_rejected(self, specs, data):
+        horizon = specs[-1].end + 10.0
+        invoke, response = data.draw(read_interval(horizon))
+        allowed = oracle_allowed(specs, invoke, response)
+        universe = {"v0"} | {s.value for s in specs}
+        forbidden = sorted(universe - allowed)
+        if not forbidden:
+            return  # every written value is legal for this interval
+        returned = data.draw(st.sampled_from(forbidden))
+        history = build_history(specs)
+        read(history, returned, invoke, response)
+        report = RegularityChecker(history, check_joins=False).check()
+        assert not report.is_safe, (
+            f"checker accepted {returned!r} for read [{invoke}, {response}] "
+            f"but the oracle only allows {allowed}"
+        )
+
+    @given(specs=serialized_writes())
+    @settings(max_examples=100, deadline=None)
+    def test_reading_final_value_after_everything_is_safe(self, specs):
+        history = build_history(specs)
+        last = specs[-1]
+        read(history, last.value, last.end + 1.0, last.end + 1.0)
+        assert RegularityChecker(history, check_joins=False).check().is_safe
+
+    @given(specs=serialized_writes())
+    @settings(max_examples=100, deadline=None)
+    def test_reading_initial_value_after_first_write_is_unsafe(self, specs):
+        history = build_history(specs)
+        read(history, "v0", specs[0].end + 0.1, specs[0].end + 0.1)
+        assert not RegularityChecker(history, check_joins=False).check().is_safe

@@ -1,0 +1,96 @@
+"""Property-based tests for the discrete-event scheduler.
+
+Invariants: events fire in (time, priority, sequence) order regardless
+of insertion order; the clock never moves backwards; cancellation never
+fires and never disturbs other events.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventScheduler
+
+event_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0),  # time
+        st.integers(min_value=0, max_value=50),  # priority
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestOrderingInvariants:
+    @given(specs=event_specs)
+    @settings(max_examples=200, deadline=None)
+    def test_events_fire_in_total_order(self, specs):
+        engine = EventScheduler()
+        fired: list[tuple[float, int, int]] = []
+        for sequence, (time, priority) in enumerate(specs):
+            engine.schedule_at(
+                time,
+                lambda t=time, p=priority, s=sequence: fired.append((t, p, s)),
+                priority=priority,
+            )
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(specs)
+
+    @given(specs=event_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_clock_is_monotone(self, specs):
+        engine = EventScheduler()
+        observed: list[float] = []
+        for time, priority in specs:
+            engine.schedule_at(
+                time, lambda: observed.append(engine.now), priority=priority
+            )
+        engine.run()
+        assert observed == sorted(observed)
+
+    @given(specs=event_specs, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_cancellation_removes_exactly_the_cancelled(self, specs, data):
+        engine = EventScheduler()
+        fired: list[int] = []
+        handles = []
+        for index, (time, priority) in enumerate(specs):
+            handles.append(
+                engine.schedule_at(
+                    time, lambda i=index: fired.append(i), priority=priority
+                )
+            )
+        if handles:
+            to_cancel = data.draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=len(handles) - 1),
+                    max_size=len(handles),
+                )
+            )
+            for index in to_cancel:
+                handles[index].cancel()
+        else:
+            to_cancel = set()
+        engine.run()
+        assert set(fired) == set(range(len(specs))) - to_cancel
+
+    @given(
+        specs=event_specs,
+        horizon=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_run_until_splits_cleanly(self, specs, horizon):
+        engine = EventScheduler()
+        fired: list[float] = []
+        for time, priority in specs:
+            engine.schedule_at(
+                time, lambda t=time: fired.append(t), priority=priority
+            )
+        engine.run_until(horizon)
+        assert all(t <= horizon for t in fired)
+        remaining = engine.pending_count
+        engine.run()
+        assert len(fired) == len(specs)
+        assert remaining == len([t for t, _ in specs if t > horizon])

@@ -1,0 +1,117 @@
+"""Tests for the static ABD baseline."""
+
+import pytest
+
+from repro.core.register import BOTTOM
+from repro.sim.errors import ConfigError
+from tests.conftest import make_system
+
+DELTA = 5.0
+
+
+class TestStaticOperation:
+    def test_write_then_read(self, abd_system):
+        write = abd_system.write("v1")
+        abd_system.run_for(4 * DELTA)
+        assert write.done
+        handle = abd_system.read(abd_system.seed_pids[4])
+        abd_system.run_for(4 * DELTA)
+        assert handle.done
+        assert handle.result == "v1"
+
+    def test_read_pays_two_phases(self, abd_system):
+        before = abd_system.network.sent_count
+        handle = abd_system.read(abd_system.seed_pids[4])
+        abd_system.run_for(4 * DELTA)
+        assert handle.done
+        # Phase 1: n queries + >= majority replies; phase 2: n
+        # write-backs + >= majority acks.  At least 2n messages total.
+        assert abd_system.network.sent_count - before >= 2 * 10
+
+    def test_majority_definition(self, abd_system):
+        node = abd_system.node(abd_system.seed_pids[0])
+        assert node.majority == 6
+        assert node.is_replica
+
+    def test_atomicity_with_write_back(self, abd_system):
+        """Single-writer ABD with read write-back is atomic, not merely
+        regular: sequential reads never invert."""
+        abd_system.write("v1")
+        for _ in range(4):
+            abd_system.read(abd_system.seed_pids[3])
+            abd_system.run_for(2 * DELTA)
+            abd_system.read(abd_system.seed_pids[7])
+            abd_system.run_for(2 * DELTA)
+        abd_system.run_for(4 * DELTA)
+        report = abd_system.check_atomicity()
+        assert report.is_atomic
+
+    def test_missing_universe_rejected(self, engine):
+        from repro.core.register import NodeContext
+        from repro.protocols.abd import AbdRegisterNode
+
+        ctx = NodeContext(
+            engine=engine,
+            network=None,
+            broadcast=None,
+            trace=None,
+            n=3,
+            delta=1.0,
+        )
+        node = AbdRegisterNode("p1", ctx)
+        with pytest.raises(ConfigError):
+            node.universe
+
+
+class TestNewcomers:
+    def test_join_is_trivial_and_instant(self, abd_system):
+        pid = abd_system.spawn_joiner()
+        join = abd_system.history.joins()[0]
+        assert join.done
+        assert join.latency == 0.0
+        assert abd_system.node(pid).is_active
+
+    def test_newcomer_is_not_a_replica(self, abd_system):
+        pid = abd_system.spawn_joiner()
+        abd_system.run_for(1.0)
+        assert not abd_system.node(pid).is_replica
+
+    def test_newcomer_reads_via_the_universe(self, abd_system):
+        abd_system.write("v1")
+        abd_system.run_for(4 * DELTA)
+        pid = abd_system.spawn_joiner()
+        abd_system.run_for(1.0)
+        handle = abd_system.read(pid)
+        abd_system.run_for(4 * DELTA)
+        assert handle.done
+        assert handle.result == "v1"
+
+    def test_newcomer_holds_bottom_until_it_reads(self, abd_system):
+        pid = abd_system.spawn_joiner()
+        abd_system.run_for(1.0)
+        assert abd_system.node(pid).register_value is BOTTOM
+
+
+class TestChurnCollapse:
+    def test_operations_block_once_majority_of_universe_left(self):
+        system = make_system(protocol="abd", n=10, seed=3)
+        # Remove 5 of the 10 replicas: majority (6) is unreachable.
+        for pid in system.seed_pids[1:6]:
+            system.leave(pid)
+        write = system.write("vx")
+        read = system.read(system.seed_pids[7])
+        system.run_for(20 * DELTA)
+        assert write.pending
+        assert read.pending
+
+    def test_operations_survive_minority_loss(self):
+        system = make_system(protocol="abd", n=10, seed=3)
+        for pid in system.seed_pids[1:5]:  # 4 < half
+            system.leave(pid)
+        write = system.write("vx")
+        system.run_for(6 * DELTA)
+        assert write.done
+        read = system.read(system.seed_pids[7])
+        system.run_for(6 * DELTA)
+        assert read.done
+        assert read.result == "vx"

@@ -1,0 +1,274 @@
+"""Tests for the eventually-synchronous protocol (Figures 4, 5 and 6)."""
+
+import pytest
+
+from repro.net.delay import AdversarialDelay, EventuallySynchronousDelay, SynchronousDelay
+from repro.protocols.es_reg import (
+    EsAck,
+    EsDlPrev,
+    EsInquiry,
+    EsReply,
+    EsWrite,
+)
+from repro.sim.errors import ProcessError
+from tests.conftest import make_system
+
+DELTA = 5.0
+
+
+def make_es(**overrides):
+    params = {"protocol": "es", "n": 11}
+    params.update(overrides)
+    return make_system(**params)
+
+
+class TestJoin:
+    def test_join_completes_with_majority_replies(self):
+        system = make_es()
+        pid = system.spawn_joiner()
+        join = system.history.joins()[0]
+        system.run_for(4 * DELTA)
+        assert join.done
+        assert join.result.value == "v0"
+        assert system.node(pid).is_active
+
+    def test_majority_is_floor_n_half_plus_one(self):
+        system = make_es(n=11)
+        pid = system.spawn_joiner()
+        assert system.node(pid).majority == 6
+
+    def test_join_blocks_until_majority(self):
+        """With only a minority of actives reachable, the join waits."""
+        system = make_es(n=11)
+        # Evict seeds until only 5 actives remain (< majority of 6).
+        for pid in list(system.seed_pids[:6]):
+            system.leave(pid)
+        system.spawn_joiner()
+        join = system.history.joins()[0]
+        system.run_for(10 * DELTA)
+        assert join.pending
+
+    def test_double_join_rejected(self):
+        system = make_es()
+        pid = system.spawn_joiner()
+        system.run_for(4 * DELTA)
+        with pytest.raises(ProcessError):
+            system.node(pid).join()
+
+
+class TestRead:
+    def test_read_returns_current_value(self):
+        system = make_es()
+        handle = system.read(system.seed_pids[3])
+        system.run_for(4 * DELTA)
+        assert handle.done
+        assert handle.result == "v0"
+
+    def test_read_pays_a_round_trip(self):
+        system = make_es()
+        handle = system.read(system.seed_pids[3])
+        system.run_for(4 * DELTA)
+        assert handle.latency > 0.0
+
+    def test_read_after_write_returns_new_value(self):
+        system = make_es()
+        write = system.write("v1")
+        system.run_for(6 * DELTA)
+        assert write.done
+        handle = system.read(system.seed_pids[4])
+        system.run_for(4 * DELTA)
+        assert handle.result == "v1"
+
+    def test_read_before_join_rejected(self):
+        system = make_es()
+        pid = system.spawn_joiner()
+        with pytest.raises(ProcessError):
+            system.read(pid)
+
+    def test_stale_reply_guard(self):
+        """Figure 4 line 19: replies tagged with an old read_sn are ignored."""
+        system = make_es()
+        node = system.node(system.seed_pids[2])
+        peer = system.seed_pids[3]
+        node._read_sn = 5
+        node.on_esreply(peer, EsReply(peer, "junk", 99, read_sn=3))
+        assert node._replies == {}
+        node.on_esreply(peer, EsReply(peer, "fresh", 7, read_sn=5))
+        assert node._replies == {peer: ("fresh", 7)}
+
+
+class TestWrite:
+    def test_write_completes_with_majority_acks(self):
+        system = make_es()
+        handle = system.write("v1")
+        system.run_for(6 * DELTA)
+        assert handle.done
+        assert handle.result == "ok"
+
+    def test_write_disseminates_to_majority(self):
+        system = make_es()
+        system.write("v1")
+        system.run_for(6 * DELTA)
+        holders = sum(
+            1
+            for pid in system.seed_pids
+            if system.node(pid).register_value == "v1"
+        )
+        assert holders >= system.node(system.seed_pids[0]).majority
+
+    def test_write_embeds_a_read_first(self):
+        """Figure 6 line 01: the write starts with a read."""
+        system = make_es()
+        node = system.node(system.writer_pid)
+        before = node._read_sn
+        system.write("v1")
+        assert node._read_sn == before + 1
+
+    def test_ack_guard_matches_current_sn(self):
+        """Figure 6 lines 09-10: only acks for the current sn count."""
+        system = make_es()
+        node = system.node(system.seed_pids[1])
+        node._sn = 4
+        node.on_esack("a", EsAck("a", 3))
+        assert node._write_acks == set()
+        node.on_esack("a", EsAck("a", 4))
+        assert node._write_acks == {"a"}
+
+    def test_stale_write_does_not_downgrade_but_still_acks(self):
+        """Figure 6 lines 06-08: ACK is sent in all cases."""
+        system = make_es()
+        node = system.node(system.seed_pids[1])
+        peer = system.seed_pids[4]
+        node._sn = 9
+        node._register = "newest"
+        before = system.network.sent_count
+        node.on_eswrite(peer, EsWrite(peer, "old", 3))
+        assert node.register_value == "newest"
+        assert system.network.sent_count == before + 1  # the ACK
+
+
+class TestDlPrev:
+    def test_non_active_process_defers_and_promises(self):
+        """Figure 4 lines 15-16."""
+        system = make_es()
+        joiner_pid = system.spawn_joiner()
+        joiner = system.node(joiner_pid)
+        peer = system.seed_pids[1]
+        before = system.network.sent_count
+        joiner.on_esinquiry(peer, EsInquiry(peer, 0))
+        assert (peer, 0) in joiner._reply_to
+        assert system.network.sent_count == before + 1  # the DL_PREV
+
+    def test_dl_prev_recorded_by_receiver(self):
+        """Figure 4 line 22."""
+        system = make_es()
+        node = system.node(system.seed_pids[0])
+        peer = system.seed_pids[5]
+        node.on_esdlprev(peer, EsDlPrev(peer, 4))
+        assert (peer, 4) in node._dl_prev
+
+    def test_active_reader_promises_too(self):
+        """Figure 4 line 14: an active *reading* process sends DL_PREV."""
+        system = make_es()
+        node = system.node(system.seed_pids[2])
+        peer = system.seed_pids[6]
+        node._reading = True
+        before = system.network.sent_count
+        node.on_esinquiry(peer, EsInquiry(peer, 0))
+        # One REPLY (line 13) + one DL_PREV (line 14).
+        assert system.network.sent_count == before + 2
+
+    def test_active_non_reader_only_replies(self):
+        system = make_es()
+        node = system.node(system.seed_pids[2])
+        peer = system.seed_pids[6]
+        before = system.network.sent_count
+        node.on_esinquiry(peer, EsInquiry(peer, 0))
+        assert system.network.sent_count == before + 1
+
+    def test_concurrent_joiners_unblock_each_other(self):
+        """The Lemma 5 mechanism, deterministically.
+
+        Make the seeds' replies to the first joiner impossibly slow; the
+        second joiner completes via the seeds, then answers the first
+        joiner's recorded DL_PREV/reply_to entries, unblocking it.
+        """
+        victim = {}
+
+        def starve(sender, dest, payload, t):
+            if (
+                dest == victim.get("pid")
+                and isinstance(payload, EsReply)
+                and sender not in victim.get("peers", ())
+            ):
+                return 10_000.0
+            return None
+
+        system = make_es(
+            delay=AdversarialDelay(starve, fallback=SynchronousDelay(DELTA)),
+        )
+        victim["pid"] = system.spawn_joiner()
+        first = system.history.joins()[0]
+        system.run_for(2 * DELTA)
+        assert first.pending
+        helpers = []
+        # Spawn a stream of helpers: each completes its own join via the
+        # seeds and, *if* it heard the victim's DL_PREV before finishing,
+        # answers the victim at activation.  The paper's Lemma 5 leans
+        # on joiners arriving forever; a generous finite stream suffices
+        # here (each helper catches the DL_PREV with constant
+        # probability, so the victim's majority accumulates).
+        majority = system.node(victim["pid"]).majority
+        for _ in range(6 * majority):
+            helpers.append(system.spawn_joiner())
+            victim["peers"] = tuple(helpers)
+            system.run_for(3 * DELTA)
+            if first.done:
+                break
+        system.run_for(6 * DELTA)
+        assert first.done, "the DL_PREV chain failed to unblock the victim"
+
+
+class TestEventualSynchrony:
+    def test_post_gst_operations_are_fast(self):
+        system = make_es(
+            delay=EventuallySynchronousDelay(gst=0.0, delta=DELTA),
+        )
+        handle = system.read(system.seed_pids[5])
+        system.run_for(3 * DELTA)
+        assert handle.done
+        assert handle.latency <= 2 * DELTA
+
+    def test_run_across_gst_is_safe_and_live(self):
+        system = make_es(
+            delay=EventuallySynchronousDelay(gst=40.0, delta=DELTA, pre_gst_max=40.0),
+            seed=5,
+        )
+        system.attach_churn(rate=0.004, min_stay=3 * DELTA)
+        system.write("v1")
+        system.run_until(100.0)
+        handle = system.read(system.active_pids()[3])
+        system.run_for(8 * DELTA)
+        assert handle.done
+        assert handle.result == "v1"
+        assert system.check_safety().is_safe
+        assert system.check_liveness(grace=12 * DELTA).is_live
+
+
+class TestQuorumOverride:
+    """ctx.extra['quorum_size'] powers ablation A6."""
+
+    def test_override_applies(self):
+        system = make_es(extra={"quorum_size": 4})
+        assert system.node(system.seed_pids[0]).majority == 4
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ProcessError):
+            make_es(extra={"quorum_size": 0})
+        with pytest.raises(ProcessError):
+            make_es(extra={"quorum_size": 99})
+
+    def test_join_result_exposes_ok(self):
+        from repro.protocols.common import JoinResult, OK
+
+        assert JoinResult("v", 0).ok == OK

@@ -1,0 +1,68 @@
+"""Tests for the deliberately broken no-wait variant (Figure 3(a))."""
+
+from repro.protocols.sync_reg import NaiveSyncRegisterNode, SynchronousRegisterNode
+from repro.workloads.scenarios import figure_3a, figure_3b
+from tests.conftest import make_system
+
+DELTA = 5.0
+
+
+class TestNaiveJoinTiming:
+    def test_join_skips_the_initial_wait(self):
+        system = make_system(protocol="naive")
+        system.spawn_joiner()
+        join = system.history.joins()[0]
+        system.run_for(3 * DELTA)
+        assert join.done
+        assert join.latency == 2 * DELTA  # inquiry round trip only
+
+    def test_class_flags(self):
+        assert SynchronousRegisterNode.join_wait is True
+        assert NaiveSyncRegisterNode.join_wait is False
+        assert NaiveSyncRegisterNode.protocol_name == "naive"
+
+    def test_naive_join_is_fine_without_concurrent_writes(self):
+        """The bug only bites when a write overlaps the join."""
+        system = make_system(protocol="naive")
+        system.spawn_joiner()
+        system.run_for(3 * DELTA)
+        assert system.check_safety().is_safe
+
+
+class TestFigure3Scenarios:
+    def test_figure_3a_violates_regularity(self):
+        scenario = figure_3a()
+        assert not scenario.safety.is_safe
+        assert scenario.handles["read"].result == "v0"
+        assert scenario.handles["join"].result.value == "v0"
+
+    def test_figure_3a_join_itself_is_legal(self):
+        """The join overlaps the write, so adopting the old value is
+        allowed — the violation is the *later* read (Lemma 3's point)."""
+        scenario = figure_3a()
+        join_judgements = [
+            j for j in scenario.safety.judgements if j.is_join
+        ]
+        assert all(j.valid for j in join_judgements)
+
+    def test_figure_3b_same_schedule_is_safe(self):
+        scenario = figure_3b()
+        assert scenario.safety.is_safe
+        assert scenario.handles["read"].result == "v1"
+        assert scenario.handles["join"].result.value == "v1"
+
+    def test_figure_3b_join_within_lemma1_bound(self):
+        scenario = figure_3b()
+        join = scenario.handles["join"]
+        assert join.latency <= 3 * DELTA
+
+    def test_scenarios_are_deterministic(self):
+        first = figure_3a()
+        second = figure_3a()
+        assert (
+            first.handles["read"].result == second.handles["read"].result
+        )
+        assert (
+            first.handles["join"].response_time
+            == second.handles["join"].response_time
+        )

@@ -1,0 +1,234 @@
+"""Tests for the synchronous protocol (Figures 1 and 2), line by line."""
+
+import pytest
+
+from repro.core.register import BOTTOM
+from repro.protocols.common import JoinResult
+from repro.sim.errors import ProcessError
+from repro.sim.trace import TraceKind
+from tests.conftest import make_system
+
+DELTA = 5.0
+
+
+class TestSeeds:
+    def test_seeds_start_active_with_initial_value(self, sync_system):
+        for pid in sync_system.seed_pids:
+            node = sync_system.node(pid)
+            assert node.is_active
+            assert node.register_value == "v0"
+            assert node.sequence_number == 0
+
+    def test_seed_count_matches_n(self, sync_system):
+        assert len(sync_system.seed_pids) == 10
+
+
+class TestFastRead:
+    def test_read_is_instantaneous(self, sync_system):
+        handle = sync_system.read(sync_system.seed_pids[1])
+        assert handle.done
+        assert handle.latency == 0.0
+        assert handle.result == "v0"
+
+    def test_read_sends_no_messages(self, sync_system):
+        before = sync_system.network.sent_count
+        before_bcast = sync_system.broadcast.broadcast_count
+        sync_system.read(sync_system.seed_pids[2])
+        assert sync_system.network.sent_count == before
+        assert sync_system.broadcast.broadcast_count == before_bcast
+
+    def test_read_before_join_completion_rejected(self, sync_system):
+        pid = sync_system.spawn_joiner()
+        with pytest.raises(ProcessError):
+            sync_system.read(pid)
+
+
+class TestWrite:
+    def test_write_latency_is_exactly_delta(self, sync_system):
+        handle = sync_system.write("v1")
+        sync_system.run_for(2 * DELTA)
+        assert handle.done
+        assert handle.latency == DELTA
+
+    def test_write_updates_writer_immediately(self, sync_system):
+        sync_system.write("v1")
+        writer = sync_system.node(sync_system.writer_pid)
+        assert writer.register_value == "v1"  # Figure 2 line 01
+        assert writer.sequence_number == 1
+
+    def test_write_disseminates_to_all_present_within_delta(self, sync_system):
+        sync_system.write("v1")
+        sync_system.run_for(DELTA)
+        for pid in sync_system.seed_pids:
+            assert sync_system.node(pid).register_value == "v1"
+
+    def test_sequence_numbers_increase_per_write(self, sync_system):
+        sync_system.write("v1")
+        sync_system.run_for(2 * DELTA)
+        sync_system.write("v2")
+        sync_system.run_for(2 * DELTA)
+        writer = sync_system.node(sync_system.writer_pid)
+        assert writer.sequence_number == 2
+
+    def test_stale_write_does_not_downgrade(self, sync_system):
+        """Figure 2 lines 03-04: only a higher sn updates the copy."""
+        from repro.protocols.sync_reg import WriteMsg
+
+        node = sync_system.node(sync_system.seed_pids[3])
+        node.on_writemsg("x", WriteMsg("new", 5))
+        node.on_writemsg("x", WriteMsg("old", 2))
+        assert node.register_value == "new"
+        assert node.sequence_number == 5
+
+    def test_write_before_join_completion_rejected(self, sync_system):
+        pid = sync_system.spawn_joiner()
+        with pytest.raises(ProcessError):
+            sync_system.node(pid).write("v9")
+
+
+class TestJoin:
+    def test_quiet_join_takes_exactly_three_delta(self, sync_system):
+        """wait(δ) + inquiry wait(2δ) — Figure 1 lines 02 and 06."""
+        pid = sync_system.spawn_joiner()
+        join = sync_system.history.joins()[0]
+        sync_system.run_for(4 * DELTA)
+        assert join.done
+        assert join.latency == 3 * DELTA
+        assert sync_system.node(pid).is_active
+
+    def test_quiet_join_adopts_initial_value(self, sync_system):
+        sync_system.spawn_joiner()
+        join = sync_system.history.joins()[0]
+        sync_system.run_for(4 * DELTA)
+        assert join.result == JoinResult("v0", 0)
+
+    def test_join_hearing_a_write_skips_the_inquiry(self, sync_system):
+        """Figure 1 line 03: register ≠ ⊥ after the wait — no inquiry."""
+        pid = sync_system.spawn_joiner()
+        join = sync_system.history.joins()[0]
+        # The write is broadcast while the joiner is present: delivery
+        # reaches it within δ, inside its line-02 wait.
+        sync_system.write("v1")
+        before = sync_system.broadcast.broadcast_count
+        sync_system.run_for(4 * DELTA)
+        assert join.done
+        assert join.latency == DELTA  # only the line-02 wait
+        assert join.result.value == "v1"
+        # No INQUIRY broadcast went out.
+        assert sync_system.broadcast.broadcast_count == before
+
+    def test_join_double_invocation_rejected(self, sync_system):
+        pid = sync_system.spawn_joiner()
+        sync_system.run_for(4 * DELTA)
+        with pytest.raises(ProcessError):
+            sync_system.node(pid).join()
+
+    def test_joiner_becomes_active_in_membership(self, sync_system):
+        pid = sync_system.spawn_joiner()
+        assert pid not in sync_system.active_pids()
+        sync_system.run_for(4 * DELTA)
+        assert pid in sync_system.active_pids()
+
+    def test_join_is_judged_safe_by_the_checker(self, sync_system):
+        sync_system.spawn_joiner()
+        sync_system.run_for(4 * DELTA)
+        assert sync_system.check_safety().is_safe
+
+
+class TestDeferredReplies:
+    """Figure 1 lines 13-16: a non-active process postpones its answer."""
+
+    def test_concurrent_joiners_answer_each_other_after_activation(
+        self, sync_system
+    ):
+        first = sync_system.spawn_joiner()
+        sync_system.run_for(DELTA / 2)
+        second = sync_system.spawn_joiner()
+        sync_system.run_for(6 * DELTA)
+        joins = sync_system.history.joins()
+        assert all(j.done for j in joins)
+        # The first joiner received the second's INQUIRY while not yet
+        # active, deferred it (line 15), and answered at activation
+        # (line 11): a REPLY from first to second must exist.
+        replies = sync_system.trace.filter(
+            kind=TraceKind.SEND,
+            process=first,
+            predicate=lambda r: r.details.get("type") == "Reply"
+            and r.details.get("dest") == second,
+        )
+        assert replies, "the deferred reply of Figure 1 line 11 never happened"
+
+    def test_active_process_replies_immediately(self, sync_system):
+        sync_system.spawn_joiner()
+        sync_system.run_for(DELTA + 0.1)  # the inquiry just went out
+        sync_system.run_for(3 * DELTA)
+        # Every active seed answered with a point-to-point Reply.
+        sends = sync_system.trace.filter(
+            kind=TraceKind.SEND,
+            predicate=lambda r: r.details.get("type") == "Reply",
+        )
+        assert len(sends) >= len(sync_system.seed_pids)
+
+
+class TestChurnSafety:
+    def test_read_heavy_run_under_churn_is_safe_and_live(self):
+        system = make_system(n=20, seed=11)
+        system.attach_churn(rate=0.02)
+        for t in (10.0, 20.0, 30.0):
+            system.run_until(t)
+            system.write(f"v{int(t)}")
+            system.run_until(t + 2 * DELTA)
+            for pid in system.active_pids()[:5]:
+                system.read(pid)
+        system.run_for(4 * DELTA)
+        assert system.check_safety().is_safe
+        assert system.check_liveness().is_live
+
+
+class TestFootnote4Optimization:
+    """Footnote 4: wait(δ + δ') replaces wait(2δ) when δ' is known."""
+
+    def _dual_system(self, p2p_delta=1.0, **overrides):
+        from repro.net.delay import DualBoundSynchronousDelay
+
+        return make_system(
+            delay=DualBoundSynchronousDelay(
+                broadcast_delta=DELTA, p2p_delta=p2p_delta
+            ),
+            extra={"p2p_delta": p2p_delta},
+            **overrides,
+        )
+
+    def test_optimized_join_latency(self):
+        system = self._dual_system()
+        system.spawn_joiner()
+        join = system.history.joins()[0]
+        system.run_for(4 * DELTA)
+        assert join.done
+        assert join.latency == 2 * DELTA + 1.0  # δ (wait) + δ + δ' (inquiry)
+
+    def test_optimized_join_is_safe(self):
+        system = self._dual_system(seed=17)
+        system.write("v1")
+        system.run_for(2 * DELTA)
+        system.spawn_joiner()
+        system.run_for(4 * DELTA)
+        join = system.history.joins()[0]
+        assert join.result.value == "v1"
+        assert system.check_safety().is_safe
+
+    def test_without_extra_key_the_wait_stays_2delta(self):
+        from repro.net.delay import DualBoundSynchronousDelay
+
+        system = make_system(
+            delay=DualBoundSynchronousDelay(broadcast_delta=DELTA, p2p_delta=1.0)
+        )
+        system.spawn_joiner()
+        join = system.history.joins()[0]
+        system.run_for(4 * DELTA)
+        assert join.latency == 3 * DELTA
+
+    def test_invalid_p2p_bound_rejected(self):
+        """A claimed δ' larger than δ fails fast, at node construction."""
+        with pytest.raises(ProcessError):
+            make_system(extra={"p2p_delta": 99.0})

@@ -1,0 +1,44 @@
+"""Unit tests for system configuration validation."""
+
+import pytest
+
+from repro.net.delay import AsynchronousDelay
+from repro.runtime.config import SystemConfig
+from repro.sim.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = SystemConfig()
+        assert config.n == 20
+        assert config.protocol == "sync"
+
+    def test_rejects_zero_population(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(n=0)
+
+    def test_rejects_non_positive_delta(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(delta=0.0)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ConfigError) as excinfo:
+            SystemConfig(protocol="paxos")
+        assert "sync" in str(excinfo.value)  # the error lists the options
+
+    def test_rejects_bad_sample_period(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(sample_period=0.0)
+
+    def test_accepts_every_registered_protocol(self):
+        from repro.protocols import PROTOCOLS
+
+        for name in PROTOCOLS:
+            assert SystemConfig(protocol=name).protocol == name
+
+    def test_explicit_delay_model_is_kept(self):
+        model = AsynchronousDelay(mean=3.0)
+        assert SystemConfig(delay=model).delay is model
+
+    def test_extra_dict_defaults_empty(self):
+        assert SystemConfig().extra == {}

@@ -1,0 +1,143 @@
+"""Tests for the DynamicSystem runtime façade."""
+
+import pytest
+
+from repro.sim.errors import ProcessError
+from repro.sim.trace import TraceKind
+from tests.conftest import make_system
+
+DELTA = 5.0
+
+
+class TestConstruction:
+    def test_seeds_are_active_at_time_zero(self, sync_system):
+        assert sync_system.now == 0.0
+        assert len(sync_system.active_pids()) == 10
+        assert sync_system.present_count() == 10
+
+    def test_writer_defaults_to_first_seed(self, sync_system):
+        assert sync_system.writer_pid == sync_system.seed_pids[0]
+
+    def test_seed_pids_are_stable(self, sync_system):
+        assert sync_system.seed_pids == tuple(f"p{i:04d}" for i in range(1, 11))
+
+    def test_tracker_initial_probe(self, sync_system):
+        sample = sync_system.tracker.samples[0]
+        assert sample.active == 10
+
+
+class TestDynamicity:
+    def test_spawn_joiner_enters_listening(self, sync_system):
+        pid = sync_system.spawn_joiner()
+        assert sync_system.present_count() == 11
+        assert pid not in sync_system.active_pids()
+        assert sync_system.trace.count(TraceKind.ENTER) >= 1
+
+    def test_leave_removes_process(self, sync_system):
+        victim = sync_system.seed_pids[4]
+        sync_system.leave(victim)
+        assert sync_system.present_count() == 9
+        assert not sync_system.membership.is_present(victim)
+        assert sync_system.history.departed_at(victim) == 0.0
+
+    def test_double_leave_rejected(self, sync_system):
+        victim = sync_system.seed_pids[4]
+        sync_system.leave(victim)
+        with pytest.raises(ProcessError):
+            sync_system.leave(victim)
+
+    def test_leave_mid_join_abandons(self, sync_system):
+        pid = sync_system.spawn_joiner()
+        join = sync_system.history.joins()[0]
+        sync_system.run_for(1.0)
+        sync_system.leave(pid)
+        sync_system.run_for(4 * DELTA)
+        assert join.abandoned
+
+    def test_next_value_is_unique(self, sync_system):
+        values = {sync_system.next_value() for _ in range(100)}
+        assert len(values) == 100
+
+
+class TestOperations:
+    def test_write_defaults_to_writer_and_auto_value(self, sync_system):
+        handle = sync_system.write()
+        assert handle.process_id == sync_system.writer_pid
+        assert handle.argument == "w1"
+        sync_system.run_for(2 * DELTA)
+        assert handle.done
+
+    def test_write_by_explicit_pid(self, sync_system):
+        other = sync_system.seed_pids[3]
+        handle = sync_system.write("x", pid=other)
+        assert handle.process_id == other
+
+    def test_operations_recorded_in_history(self, sync_system):
+        sync_system.write("v1")
+        sync_system.run_for(2 * DELTA)
+        sync_system.read(sync_system.seed_pids[2])
+        assert len(sync_system.history.writes()) == 1
+        assert len(sync_system.history.reads()) == 1
+
+
+class TestRunAndCheck:
+    def test_run_until_and_run_for(self, sync_system):
+        sync_system.run_until(10.0)
+        assert sync_system.now == 10.0
+        sync_system.run_for(5.0)
+        assert sync_system.now == 15.0
+
+    def test_close_is_idempotent(self, sync_system):
+        sync_system.run_until(5.0)
+        history = sync_system.close()
+        assert history.horizon == 5.0
+        sync_system.close()
+        assert history.horizon == 5.0
+
+    def test_check_wrappers(self, sync_system):
+        sync_system.write("v1")
+        sync_system.run_for(2 * DELTA)
+        sync_system.read(sync_system.seed_pids[5])
+        assert sync_system.check_safety().is_safe
+        assert sync_system.check_atomicity().is_atomic
+        assert sync_system.check_liveness().is_live
+
+    def test_default_grace_is_three_delta(self, sync_system):
+        """An operation pending for less than 3δ at the horizon is not
+        stuck."""
+        sync_system.run_until(10.0)
+        sync_system.spawn_joiner()  # needs 3δ = 15
+        sync_system.run_until(12.0)
+        report = sync_system.check_liveness()
+        assert report.is_live
+        assert report.in_grace == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        def signature(seed):
+            system = make_system(n=15, seed=seed)
+            system.attach_churn(rate=0.05)
+            system.write("v1")
+            system.run_until(40.0)
+            history = system.close()
+            return (
+                system.network.sent_count,
+                system.network.delivered_count,
+                len(history),
+                tuple(
+                    (op.kind, op.process_id, op.invoke_time, op.response_time)
+                    for op in history
+                ),
+            )
+
+        assert signature(123) == signature(123)
+
+    def test_different_seeds_differ(self):
+        def fingerprint(seed):
+            system = make_system(n=15, seed=seed)
+            system.attach_churn(rate=0.05)
+            system.run_until(40.0)
+            return system.network.sent_count
+
+        assert fingerprint(1) != fingerprint(2)

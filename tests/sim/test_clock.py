@@ -1,0 +1,41 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import START_OF_TIME, VirtualClock
+from repro.sim.errors import ClockError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == START_OF_TIME == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert VirtualClock(start=7.5).now == 7.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ClockError):
+            VirtualClock(start=-1.0)
+
+    def test_advances_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_instant_is_allowed(self):
+        clock = VirtualClock(start=2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_rejects_moving_backwards(self):
+        clock = VirtualClock(start=5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.999)
+
+    def test_coerces_to_float(self):
+        clock = VirtualClock()
+        clock.advance_to(3)
+        assert isinstance(clock.now, float)
+
+    def test_repr_mentions_now(self):
+        assert "3.5" in repr(VirtualClock(start=3.5))

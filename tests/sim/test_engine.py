@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import EventScheduler
+from repro.sim.errors import SchedulerError
+from repro.sim.events import Priority
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        fired = []
+        engine.schedule(5.0, fired.append, "late")
+        engine.schedule(1.0, fired.append, "early")
+        engine.schedule(3.0, fired.append, "middle")
+        engine.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_clock_tracks_fired_event(self, engine):
+        times = []
+        engine.schedule(2.0, lambda: times.append(engine.now))
+        engine.schedule(4.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [2.0, 4.0]
+        assert engine.now == 4.0
+
+    def test_schedule_at_absolute_time(self, engine):
+        fired = []
+        engine.schedule_at(7.0, fired.append, "x")
+        engine.run()
+        assert fired == ["x"]
+        assert engine.now == 7.0
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SchedulerError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, engine):
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SchedulerError):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_call_soon_fires_at_current_time(self, engine):
+        fired = []
+        engine.schedule(3.0, lambda: engine.call_soon(fired.append, engine.now))
+        engine.run()
+        assert fired == [3.0]
+
+
+class TestSimultaneousEvents:
+    def test_priority_orders_simultaneous_events(self, engine):
+        fired = []
+        engine.schedule(1.0, fired.append, "churn", priority=Priority.CHURN)
+        engine.schedule(1.0, fired.append, "delivery", priority=Priority.DELIVERY)
+        engine.schedule(1.0, fired.append, "timer", priority=Priority.TIMER)
+        engine.run()
+        assert fired == ["delivery", "timer", "churn"]
+
+    def test_sequence_breaks_remaining_ties(self, engine):
+        fired = []
+        for i in range(10):
+            engine.schedule(1.0, fired.append, i, priority=Priority.TIMER)
+        engine.run()
+        assert fired == list(range(10))
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        handle = engine.schedule(1.0, fired.append, "nope")
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_pending_count_excludes_cancelled(self, engine):
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending_count == 1
+        assert len(engine) == 1
+        keep.cancel()
+        assert engine.pending_count == 0
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_horizon(self, engine):
+        fired = []
+        engine.schedule(1.0, fired.append, "in")
+        engine.schedule(10.0, fired.append, "out")
+        engine.run_until(5.0)
+        assert fired == ["in"]
+        assert engine.now == 5.0
+        assert engine.pending_count == 1
+
+    def test_run_until_includes_events_at_horizon(self, engine):
+        fired = []
+        engine.schedule(5.0, fired.append, "edge")
+        engine.run_until(5.0)
+        assert fired == ["edge"]
+
+    def test_run_until_can_resume(self, engine):
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(8.0, fired.append, "b")
+        engine.run_until(5.0)
+        engine.run_until(10.0)
+        assert fired == ["a", "b"]
+
+    def test_run_until_past_horizon_rejected(self, engine):
+        engine.run_until(5.0)
+        with pytest.raises(SchedulerError):
+            engine.run_until(4.0)
+
+    def test_max_events_limits_execution(self, engine):
+        fired = []
+        for i in range(5):
+            engine.schedule(float(i + 1), fired.append, i)
+        executed = engine.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+
+class TestHandlersSchedulingMore:
+    def test_handler_can_schedule_followups(self, engine):
+        fired = []
+
+        def chain(depth: int) -> None:
+            fired.append(depth)
+            if depth < 3:
+                engine.schedule(1.0, chain, depth + 1)
+
+        engine.schedule(1.0, chain, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 4.0
+
+    def test_fired_count_accumulates(self, engine):
+        for i in range(4):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.fired_count == 4
+
+    def test_step_fires_exactly_one(self, engine):
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(2.0, fired.append, "b")
+        assert engine.step() is True
+        assert fired == ["a"]
+        assert engine.step() is True
+        assert engine.step() is False
+
+    def test_iter_pending_in_firing_order(self, engine):
+        engine.schedule(3.0, lambda: None, label="c")
+        engine.schedule(1.0, lambda: None, label="a")
+        engine.schedule(2.0, lambda: None, label="b")
+        labels = [event.label for event in engine.iter_pending()]
+        assert labels == ["a", "b", "c"]

@@ -1,0 +1,110 @@
+"""Unit tests for the membership registry and presence records."""
+
+import pytest
+
+from repro.sim.errors import ProcessError, UnknownProcessError
+from repro.sim.membership import Membership, PresenceRecord
+from repro.sim.process import SimProcess
+
+
+def make_process(pid, engine):
+    return SimProcess(pid, engine)
+
+
+class TestPresenceRecord:
+    def test_present_interval(self):
+        record = PresenceRecord(pid="p", entered_at=2.0, left_at=8.0)
+        assert not record.present_at(1.9)
+        assert record.present_at(2.0)
+        assert record.present_at(7.9)
+        assert not record.present_at(8.0)
+
+    def test_present_forever_without_leave(self):
+        record = PresenceRecord(pid="p", entered_at=2.0)
+        assert record.present_at(1e9)
+        assert record.present_now
+
+    def test_active_interval(self):
+        record = PresenceRecord(pid="p", entered_at=0.0, activated_at=3.0, left_at=9.0)
+        assert not record.active_at(2.9)
+        assert record.active_at(3.0)
+        assert record.active_at(8.9)
+        assert not record.active_at(9.0)
+
+    def test_never_activated_is_never_active(self):
+        record = PresenceRecord(pid="p", entered_at=0.0)
+        assert not record.active_at(100.0)
+
+    def test_active_throughout_window(self):
+        record = PresenceRecord(pid="p", entered_at=0.0, activated_at=3.0, left_at=20.0)
+        assert record.active_throughout(3.0, 19.0)
+        assert not record.active_throughout(2.0, 10.0)  # activated too late
+        assert not record.active_throughout(5.0, 20.0)  # leaves at window end
+        assert record.active_throughout(5.0, 19.5)
+
+
+class TestMembership:
+    def test_enter_and_lookup(self, engine, membership):
+        process = make_process("p1", engine)
+        membership.enter(process)
+        assert "p1" in membership
+        assert membership.is_present("p1")
+        assert membership.process("p1") is process
+        assert len(membership) == 1
+
+    def test_identity_reuse_forbidden(self, engine, membership):
+        membership.enter(make_process("p1", engine))
+        with pytest.raises(ProcessError):
+            membership.enter(make_process("p1", engine))
+
+    def test_unknown_pid_raises(self, membership):
+        with pytest.raises(UnknownProcessError):
+            membership.process("ghost")
+        with pytest.raises(UnknownProcessError):
+            membership.record("ghost")
+
+    def test_leave_removes_from_present(self, engine, membership):
+        membership.enter(make_process("p1", engine))
+        membership.leave("p1", 5.0)
+        assert not membership.is_present("p1")
+        assert "p1" in membership  # the record survives
+        assert len(membership) == 0
+
+    def test_double_leave_rejected(self, engine, membership):
+        membership.enter(make_process("p1", engine))
+        membership.leave("p1", 5.0)
+        with pytest.raises(ProcessError):
+            membership.leave("p1", 6.0)
+
+    def test_mark_active_after_leave_rejected(self, engine, membership):
+        membership.enter(make_process("p1", engine))
+        membership.leave("p1", 5.0)
+        with pytest.raises(ProcessError):
+            membership.mark_active("p1", 6.0)
+
+    def test_active_processes_requires_mark(self, engine, membership):
+        p1, p2 = make_process("p1", engine), make_process("p2", engine)
+        membership.enter(p1)
+        membership.enter(p2)
+        p1.mark_active()
+        membership.mark_active("p1", 0.0)
+        actives = membership.active_processes()
+        assert [p.pid for p in actives] == ["p1"]
+
+    def test_counting_queries(self, engine, membership):
+        for i, activate in enumerate([True, True, False]):
+            process = make_process(f"p{i}", engine)
+            membership.enter(process)
+            if activate:
+                process.mark_active()
+                membership.mark_active(f"p{i}", 1.0)
+        membership.leave("p0", 10.0)
+        assert membership.active_count_at(5.0) == 2
+        assert membership.active_count_at(10.0) == 1
+        assert membership.active_throughout_count(1.0, 9.0) == 2
+        assert membership.active_throughout_count(1.0, 10.0) == 1
+
+    def test_iter_records_in_entry_order(self, engine, membership):
+        for pid in ("a", "b", "c"):
+            membership.enter(make_process(pid, engine))
+        assert [r.pid for r in membership.iter_records()] == ["a", "b", "c"]

@@ -1,0 +1,218 @@
+"""Unit tests for the process framework and the operation runner."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim.engine import EventScheduler
+from repro.sim.errors import ProcessDepartedError, ProcessError
+from repro.sim.operations import Wait, WaitUntil
+from repro.sim.process import ProcessMode, SimProcess
+
+
+@dataclass(frozen=True)
+class Ping:
+    payload: str = "ping"
+
+
+class EchoProcess(SimProcess):
+    """A process that records delivered pings."""
+
+    def __init__(self, pid: str, engine: EventScheduler) -> None:
+        super().__init__(pid, engine)
+        self.received: list[str] = []
+
+    def on_ping(self, sender: str, msg: Ping) -> None:
+        self.received.append(f"{sender}:{msg.payload}")
+
+
+@dataclass(frozen=True)
+class FakeMessage:
+    sender: str
+    payload: object
+
+
+class TestLifecycle:
+    def test_starts_listening(self, engine):
+        process = EchoProcess("p1", engine)
+        assert process.mode is ProcessMode.LISTENING
+        assert process.present
+        assert not process.is_active
+
+    def test_mark_active(self, engine):
+        process = EchoProcess("p1", engine)
+        engine.run_until(4.0)
+        process.mark_active()
+        assert process.is_active
+        assert process.activated_at == 4.0
+
+    def test_double_activation_rejected(self, engine):
+        process = EchoProcess("p1", engine)
+        process.mark_active()
+        with pytest.raises(ProcessError):
+            process.mark_active()
+
+    def test_departure_is_final(self, engine):
+        process = EchoProcess("p1", engine)
+        process.depart()
+        assert not process.present
+        assert process.mode is ProcessMode.DEPARTED
+        with pytest.raises(ProcessDepartedError):
+            process.mark_active()
+
+    def test_departure_is_idempotent(self, engine):
+        process = EchoProcess("p1", engine)
+        process.depart()
+        process.depart()
+
+    def test_departed_process_ignores_messages(self, engine):
+        process = EchoProcess("p1", engine)
+        process.depart()
+        process.deliver(FakeMessage("p2", Ping()))
+        assert process.received == []
+
+
+class TestDispatch:
+    def test_message_routed_by_payload_type(self, engine):
+        process = EchoProcess("p1", engine)
+        process.deliver(FakeMessage("p2", Ping("hello")))
+        assert process.received == ["p2:hello"]
+
+    def test_unknown_payload_raises(self, engine):
+        @dataclass(frozen=True)
+        class Mystery:
+            pass
+
+        process = EchoProcess("p1", engine)
+        with pytest.raises(ProcessError):
+            process.deliver(FakeMessage("p2", Mystery()))
+
+
+class TestOperationRunner:
+    def test_wait_suspends_for_duration(self, engine):
+        process = EchoProcess("p1", engine)
+
+        def body():
+            yield Wait(3.0)
+            return "done"
+
+        handle = process.run_operation("op", body())
+        assert handle.pending
+        engine.run()
+        assert handle.done
+        assert handle.result == "done"
+        assert handle.latency == 3.0
+
+    def test_immediate_body_completes_synchronously(self, engine):
+        process = EchoProcess("p1", engine)
+
+        def body():
+            return 42
+            yield  # pragma: no cover
+
+        handle = process.run_operation("op", body())
+        assert handle.done
+        assert handle.result == 42
+        assert handle.latency == 0.0
+
+    def test_wait_until_wakes_on_message(self, engine):
+        class Collector(EchoProcess):
+            def op_body(self):
+                yield WaitUntil(lambda: len(self.received) >= 2)
+                return list(self.received)
+
+        process = Collector("p1", engine)
+        handle = process.run_operation("collect", process.op_body())
+        assert handle.pending
+        process.deliver(FakeMessage("a", Ping()))
+        assert handle.pending
+        process.deliver(FakeMessage("b", Ping()))
+        assert handle.done
+        assert len(handle.result) == 2
+
+    def test_wait_until_already_true_continues(self, engine):
+        process = EchoProcess("p1", engine)
+
+        def body():
+            yield WaitUntil(lambda: True)
+            return "fast"
+
+        handle = process.run_operation("op", body())
+        assert handle.done
+
+    def test_notify_re_evaluates_conditions(self, engine):
+        process = EchoProcess("p1", engine)
+        flag = {"ready": False}
+
+        def body():
+            yield WaitUntil(lambda: flag["ready"])
+            return "woken"
+
+        handle = process.run_operation("op", body())
+        assert handle.pending
+        flag["ready"] = True
+        process.notify()
+        assert handle.done
+
+    def test_mixed_effects(self, engine):
+        process = EchoProcess("p1", engine)
+
+        def body():
+            yield Wait(2.0)
+            yield WaitUntil(lambda: len(process.received) >= 1)
+            yield Wait(1.0)
+            return engine.now
+
+        handle = process.run_operation("op", body())
+        engine.run()  # the Wait(2.0) elapses; condition still false
+        assert handle.pending
+        process.deliver(FakeMessage("x", Ping()))
+        engine.run()  # the final Wait(1.0)
+        assert handle.done
+        assert handle.result == 3.0
+
+    def test_departure_abandons_running_operation(self, engine):
+        process = EchoProcess("p1", engine)
+
+        def body():
+            yield Wait(10.0)
+            return "never"
+
+        handle = process.run_operation("op", body())
+        engine.run_until(1.0)
+        process.depart()
+        engine.run()
+        assert handle.abandoned
+
+    def test_departed_process_cannot_invoke(self, engine):
+        process = EchoProcess("p1", engine)
+        process.depart()
+
+        def body():
+            yield Wait(1.0)
+
+        with pytest.raises(ProcessDepartedError):
+            process.run_operation("op", body())
+
+    def test_bad_yield_value_raises(self, engine):
+        process = EchoProcess("p1", engine)
+
+        def body():
+            yield "not an effect"
+
+        with pytest.raises(ProcessError):
+            process.run_operation("op", body())
+
+    def test_concurrent_operations_on_one_process(self, engine):
+        process = EchoProcess("p1", engine)
+
+        def body(duration):
+            yield Wait(duration)
+            return duration
+
+        slow = process.run_operation("slow", body(5.0))
+        fast = process.run_operation("fast", body(1.0))
+        engine.run()
+        assert fast.done and slow.done
+        assert fast.response_time == 1.0
+        assert slow.response_time == 5.0

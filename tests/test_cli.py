@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBounds:
+    def test_prints_both_caps(self, capsys):
+        assert main(["bounds", "--delta", "5", "--n", "21"]) == 0
+        out = capsys.readouterr().out
+        assert "0.066667" in out  # 1/(3*5)
+        assert "0.003175" in out  # 1/(3*5*21)
+        assert "11" in out  # majority
+
+    def test_lemma2_evaluation(self, capsys):
+        assert main(
+            ["bounds", "--delta", "5", "--n", "20", "--churn", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "n(1−3δc) = 14.00" in out
+
+
+class TestScenario:
+    @pytest.mark.parametrize("name", ["fig3a", "fig3b", "inversion"])
+    def test_scenarios_run(self, name, capsys):
+        assert main(["scenario", name]) == 0
+        out = capsys.readouterr().out
+        assert "regularity:" in out
+
+    def test_timeline_flag(self, capsys):
+        assert main(["scenario", "fig3a", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_messages_flag(self, capsys):
+        assert main(["scenario", "fig3a", "--messages"]) == 0
+        out = capsys.readouterr().out
+        assert "==Inquiry==> *" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "fig9"])
+
+
+class TestSimulate:
+    def test_safe_run_returns_zero(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol", "sync",
+                "--n", "12",
+                "--churn", "0.01",
+                "--horizon", "80",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out
+        assert "LIVE" in out
+
+    def test_zero_churn(self, capsys):
+        assert main(
+            ["simulate", "--churn", "0", "--n", "8", "--horizon", "60"]
+        ) == 0
+
+    def test_timeline_output(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--n", "6",
+                "--churn", "0.01",
+                "--horizon", "60",
+                "--timeline",
+            ]
+        ) == 0
+        assert "legend:" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "--ids", "E1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out
+        assert "all 1 experiments reproduced" in out
+
+    def test_ablation_by_id(self, capsys):
+        assert main(["experiments", "--ids", "A3", "--quick"]) == 0
+        assert "A3" in capsys.readouterr().out
+
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["experiments", "--ids", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_mixed_ids(self, capsys):
+        assert main(["experiments", "--ids", "E2", "E3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E2:" in out and "E3:" in out

@@ -1,0 +1,110 @@
+"""Tests for the ASCII space-time diagram renderer."""
+
+import pytest
+
+from repro.viz.timeline import TimelineError, TimelineRenderer, render_timeline
+from tests.conftest import make_system
+
+DELTA = 5.0
+
+
+class TestRendering:
+    def _system(self):
+        system = make_system(n=3)
+        system.write("v1")
+        system.run_until(20.0)
+        system.spawn_joiner()
+        system.run_until(40.0)
+        system.close()
+        return system
+
+    def test_row_per_process(self):
+        system = self._system()
+        text = render_timeline(system, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("time")
+        for pid in ("p0001", "p0002", "p0003", "p0004"):
+            assert any(line.startswith(pid) for line in lines)
+
+    def test_seed_rows_are_active(self):
+        system = self._system()
+        text = render_timeline(system, width=40)
+        row = next(
+            line for line in text.splitlines() if line.startswith("p0002")
+        )
+        assert "=" in row
+        assert ":" not in row  # seeds never listen
+
+    def test_joiner_shows_absent_then_join_then_active(self):
+        system = self._system()
+        text = render_timeline(system, width=40)
+        row = next(
+            line for line in text.splitlines() if line.startswith("p0004")
+        )
+        body = row.split(None, 1)[1]
+        assert body.index(".") < body.index("J") < body.index("=")
+
+    def test_write_marker_present(self):
+        system = self._system()
+        text = render_timeline(system, width=40)
+        writer_row = next(
+            line for line in text.splitlines() if line.startswith("p0001")
+        )
+        assert "W" in writer_row
+
+    def test_leave_marker(self):
+        system = make_system(n=3)
+        system.run_until(10.0)
+        system.leave(system.seed_pids[2])
+        system.run_until(20.0)
+        system.close()
+        text = render_timeline(system, width=40)
+        row = next(
+            line for line in text.splitlines() if line.startswith("p0003")
+        )
+        assert "x" in row
+        assert row.rstrip().endswith(".")  # absent afterwards
+
+    def test_pid_filter(self):
+        system = self._system()
+        text = render_timeline(system, width=40, pids=["p0001"])
+        assert "p0001" in text
+        assert "p0002" not in text
+
+    def test_legend_always_included(self):
+        system = self._system()
+        assert "legend:" in render_timeline(system, width=40)
+
+
+class TestValidation:
+    def test_unknown_pid_rejected(self):
+        system = make_system(n=2)
+        system.run_until(5.0)
+        system.close()
+        renderer = TimelineRenderer(system.membership, system.history)
+        with pytest.raises(TimelineError):
+            renderer.render(pids=["ghost"])
+
+    def test_bad_width_rejected(self):
+        system = make_system(n=2)
+        system.close()
+        with pytest.raises(TimelineError):
+            TimelineRenderer(system.membership, system.history, width=3, end=1.0)
+
+    def test_needs_an_end_time(self):
+        system = make_system(n=2)
+        with pytest.raises(TimelineError):
+            TimelineRenderer(system.membership, system.history)
+
+    def test_empty_window_rejected(self):
+        system = make_system(n=2)
+        system.close()
+        with pytest.raises(TimelineError):
+            TimelineRenderer(
+                system.membership, system.history, start=5.0, end=5.0
+            )
+
+    def test_open_history_uses_current_time(self):
+        system = make_system(n=2)
+        system.run_until(10.0)
+        assert render_timeline(system, width=20)  # no explicit end needed

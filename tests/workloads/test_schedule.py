@@ -1,0 +1,117 @@
+"""Unit tests for the workload driver."""
+
+import pytest
+
+from repro.sim.errors import ExperimentError
+from repro.workloads.schedule import ReadOp, WorkloadDriver, WriteOp
+from tests.conftest import make_system
+
+DELTA = 5.0
+
+
+class TestWriteSerialization:
+    def test_overlapping_writes_are_skipped(self):
+        """The driver enforces the paper's no-concurrent-writes premise."""
+        system = make_system(protocol="es", n=11)
+        driver = WorkloadDriver(system)
+        # ES writes take ~2 round trips; 0.1 apart guarantees overlap.
+        driver.install([WriteOp(time=1.0), WriteOp(time=1.1), WriteOp(time=1.2)])
+        system.run_until(40.0)
+        assert driver.stats.writes_issued == 1
+        assert driver.stats.writes_skipped == 2
+
+    def test_sequential_writes_all_issue(self):
+        system = make_system()
+        driver = WorkloadDriver(system)
+        driver.install([WriteOp(time=1.0), WriteOp(time=20.0), WriteOp(time=40.0)])
+        system.run_until(60.0)
+        assert driver.stats.writes_issued == 3
+        assert driver.stats.writes_skipped == 0
+        assert driver.stats.write_completion_rate == 1.0
+
+    def test_departed_writer_skips(self):
+        system = make_system()
+        driver = WorkloadDriver(system)
+        driver.install([WriteOp(time=10.0)])
+        system.run_until(5.0)
+        system.leave(system.writer_pid)
+        system.run_until(20.0)
+        assert driver.stats.writes_issued == 0
+        assert driver.stats.writes_skipped == 1
+
+
+class TestReaderSelection:
+    def test_reads_target_active_processes(self):
+        system = make_system()
+        driver = WorkloadDriver(system)
+        driver.install([ReadOp(time=float(t)) for t in range(1, 11)])
+        system.run_until(20.0)
+        assert driver.stats.reads_issued == 10
+        for handle in driver.stats.read_handles:
+            assert handle.done
+
+    def test_explicit_reader_honoured(self):
+        system = make_system()
+        target = system.seed_pids[6]
+        driver = WorkloadDriver(system)
+        driver.install([ReadOp(time=1.0, reader=target)])
+        system.run_until(5.0)
+        assert driver.stats.read_handles[0].process_id == target
+
+    def test_no_active_processes_skips(self):
+        system = make_system(n=2)
+        driver = WorkloadDriver(system)
+        driver.install([ReadOp(time=10.0)])
+        system.leave(system.seed_pids[0])
+        system.leave(system.seed_pids[1])
+        system.run_until(20.0)
+        assert driver.stats.reads_skipped == 1
+
+    def test_avoid_writer_reads(self):
+        system = make_system(n=3)
+        driver = WorkloadDriver(system, avoid_writer_reads=True)
+        driver.install([ReadOp(time=float(t)) for t in range(1, 21)])
+        system.run_until(30.0)
+        readers = {h.process_id for h in driver.stats.read_handles}
+        assert system.writer_pid not in readers
+
+    def test_joining_reader_is_skipped(self):
+        system = make_system()
+        pid = system.spawn_joiner()
+        driver = WorkloadDriver(system)
+        driver.install([ReadOp(time=1.0, reader=pid)])  # still joining at t=1
+        system.run_until(5.0)
+        assert driver.stats.reads_skipped == 1
+
+
+class TestInstallRules:
+    def test_double_install_rejected(self):
+        system = make_system()
+        driver = WorkloadDriver(system)
+        driver.install([])
+        with pytest.raises(ExperimentError):
+            driver.install([])
+
+    def test_past_operation_rejected(self):
+        system = make_system()
+        system.run_until(10.0)
+        driver = WorkloadDriver(system)
+        with pytest.raises(ExperimentError):
+            driver.install([ReadOp(time=5.0)])
+
+
+class TestStatsProperties:
+    def test_completion_rates_default_to_one(self):
+        from repro.workloads.schedule import WorkloadStats
+
+        stats = WorkloadStats()
+        assert stats.read_completion_rate == 1.0
+        assert stats.write_completion_rate == 1.0
+
+    def test_completion_rates_count_done_handles(self):
+        system = make_system()
+        driver = WorkloadDriver(system)
+        driver.install([WriteOp(time=1.0), ReadOp(time=2.0)])
+        system.run_until(20.0)
+        assert driver.stats.write_completion_rate == 1.0
+        assert driver.stats.read_completion_rate == 1.0
