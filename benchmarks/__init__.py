@@ -1,0 +1,9 @@
+"""Benchmark suite package.
+
+Making ``benchmarks`` a package lets the ``test_bench_*`` modules use
+``from .conftest import regenerate`` regardless of how pytest is
+invoked (``python -m pytest``, plain ``pytest``, or a sub-path run):
+with an ``__init__.py`` present, pytest imports the modules under the
+``benchmarks.`` namespace instead of as top-level modules, so the
+relative import always has a parent package.
+"""

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Headless kernel benchmark entry point.
+
+Equivalent to ``python -m repro bench``; kept next to the pytest
+benchmarks so CI (or a bare checkout without the package installed) can
+produce the ``BENCH_kernel.json`` trajectory artifact with one command:
+
+    python benchmarks/run_bench.py [--out BENCH_kernel.json] [--repeats N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import ARTIFACT_NAME, run_and_report  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=ARTIFACT_NAME)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    try:
+        return run_and_report(out_path=args.out, repeats=args.repeats)
+    except OSError as error:
+        print(f"error: cannot write artifact: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

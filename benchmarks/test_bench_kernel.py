@@ -2,43 +2,46 @@
 
 Not a paper artifact — these track the cost of the machinery every
 experiment stands on (event throughput, broadcast fan-out, protocol
-operation cost), so regressions in the simulator itself are visible
-separately from the experiments.
+operation cost, checker sweeps fast vs. paranoid), so regressions in
+the simulator itself are visible separately from the experiments.
+
+``python -m repro bench`` (or ``benchmarks/run_bench.py``) runs the
+same workloads headless and writes a ``BENCH_kernel.json`` artifact.
 """
 
 from __future__ import annotations
 
+import pytest
+
+from repro.bench import (
+    _time_best,
+    broadcast_fanout,
+    checker_history,
+    churn_ticks,
+    engine_throughput,
+)
+from repro.core.checker import RegularityChecker, find_new_old_inversions
 from repro.runtime.config import SystemConfig
 from repro.runtime.system import DynamicSystem
-from repro.sim.engine import EventScheduler
+
+
+@pytest.fixture(scope="module")
+def two_k_history():
+    """The fixed-seed ~2k-op history, built once for all checker cases
+    (it is closed and read-only, so sharing it is safe)."""
+    return checker_history()
 
 
 def test_bench_engine_event_throughput(benchmark):
-    """Schedule and fire 10k no-op events."""
-
-    def run() -> int:
-        engine = EventScheduler()
-        for i in range(10_000):
-            engine.schedule(float(i % 97) + 0.5, lambda: None)
-        return engine.run()
-
-    fired = benchmark(run)
+    """Schedule and fire 10k no-op events (same workload as repro.bench)."""
+    fired = benchmark(engine_throughput)
     assert fired == 10_000
 
 
 def test_bench_broadcast_fanout(benchmark):
-    """One hundred broadcasts into a 50-process system."""
-
-    def run() -> int:
-        system = DynamicSystem(
-            SystemConfig(n=50, delta=5.0, protocol="sync", seed=1, trace=False)
-        )
-        for _ in range(100):
-            system.write()
-            system.run_for(12.0)
-        return system.network.delivered_count
-
-    delivered = benchmark(run)
+    """One hundred broadcasts into a 50-process system, tracing off
+    (same workload as repro.bench)."""
+    delivered = benchmark(lambda: broadcast_fanout(False))
     assert delivered >= 100 * 50
 
 
@@ -75,35 +78,78 @@ def test_bench_es_quorum_read_cost(benchmark):
 
 
 def test_bench_churn_tick_cost(benchmark):
-    """300 ticks of 10%-churn bookkeeping on a 100-process system."""
-
-    def run() -> int:
-        system = DynamicSystem(
-            SystemConfig(n=100, delta=5.0, protocol="sync", seed=1, trace=False)
-        )
-        system.attach_churn(rate=0.1)
-        system.run_until(300.0)
-        return system.churn.ticks_executed
-
-    assert benchmark(run) == 300
+    """300 ticks of 10%-churn bookkeeping on a 100-process system
+    (same workload as repro.bench)."""
+    assert benchmark(churn_ticks) == 300
 
 
-def test_bench_checker_cost(benchmark):
-    """Regularity-check a history with ~2k operations."""
-    system = DynamicSystem(
-        SystemConfig(n=20, delta=5.0, protocol="sync", seed=1, trace=False)
-    )
-    for round_idx in range(20):
-        system.write()
-        system.run_for(12.0)
-        for pid in system.active_pids()[:20]:
-            for _ in range(5):
-                system.read(pid)
-    system.close()
+def test_bench_checker_cost(benchmark, two_k_history):
+    """Regularity-check a history with ~2k operations (fast sweep).
 
-    def run():
-        return system.check_safety()
-
-    report = benchmark(run)
+    Uses the same workload as ``repro.bench`` and the paranoid sibling
+    below, so the speedup comparison is apples to apples."""
+    report = benchmark(lambda: RegularityChecker(two_k_history).check())
     assert report.is_safe
     assert report.checked_count >= 1_000
+
+
+def test_bench_checker_cost_paranoid(benchmark, two_k_history):
+    """The same ~2k-op history under the brute-force reference oracle."""
+    report = benchmark(
+        lambda: RegularityChecker(two_k_history, paranoid=True).check()
+    )
+    assert report.is_safe
+
+
+def test_bench_atomicity_cost(benchmark, two_k_history):
+    """Inversion sweep (O(R log R)) on the ~2k-op history."""
+    report = benchmark(lambda: find_new_old_inversions(two_k_history))
+    assert report.safety.is_safe
+
+
+def test_bench_broadcast_fanout_trace_on(benchmark):
+    """The fan-out workload with the flight recorder on — the delta
+    against ``test_bench_broadcast_fanout`` is the cost of tracing,
+    which the trace-off fast path removes entirely.  Shares the
+    workload with ``repro.bench`` so pytest and ``BENCH_kernel.json``
+    measure the same thing."""
+    delivered = benchmark(lambda: broadcast_fanout(True))
+    assert delivered >= 100 * 50
+
+
+def test_bench_point_to_point_send_trace_off(benchmark):
+    """10k raw sends with tracing off: no trace kwargs, no label f-strings.
+
+    The destination has departed, so every delivery attempt is dropped
+    at the presence gate — the benchmark isolates the send/schedule/
+    deliver machinery from protocol handler cost.
+    """
+    system = DynamicSystem(
+        SystemConfig(n=10, delta=5.0, protocol="sync", seed=1, trace=False)
+    )
+    a, b = system.seed_pids[0], system.seed_pids[1]
+    system.leave(b)
+
+    def run() -> int:
+        for _ in range(10_000):
+            system.network.send(a, b, None)
+        system.run_for(20.0)
+        return 10_000
+
+    assert benchmark(run) == 10_000
+    assert system.network.dropped_count >= 10_000
+
+
+def test_checker_fast_beats_naive_by_3x(two_k_history):
+    """Perf guard (not a benchmark fixture): the full checker pipeline
+    — regularity plus inversion detection — must be at least 3× faster
+    than the retained O(R×W)/O(R²) oracles on the ~2k-op history.
+    Uses the same best-of-N timing harness as BENCH_kernel.json."""
+    fast, _ = _time_best(lambda: find_new_old_inversions(two_k_history), 3)
+    naive, _ = _time_best(
+        lambda: find_new_old_inversions(two_k_history, paranoid=True), 3
+    )
+    assert naive >= 3.0 * fast, (
+        f"expected >=3x speedup, got {naive / fast:.2f}x "
+        f"(fast {fast * 1e3:.2f}ms, naive {naive * 1e3:.2f}ms)"
+    )

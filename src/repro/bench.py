@@ -1,0 +1,229 @@
+"""Headless kernel benchmarks: ``python -m repro bench``.
+
+Runs the micro-benchmarks that track the cost of the simulation
+substrate (event throughput, broadcast fan-out with tracing on/off,
+churn bookkeeping, checker cost fast vs. paranoid) without pytest, and
+writes the results as a ``BENCH_kernel.json`` trajectory artifact so
+every PR leaves a perf baseline behind.
+
+The artifact also records a determinism digest — a SHA-256 over the
+operation history of a fixed-seed churn run — computed twice in the
+same process, so a scheduler or RNG regression that breaks
+reproducibility is caught by the same entry point that measures speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from typing import Any, Callable
+
+from .core.checker import RegularityChecker, find_new_old_inversions
+from .core.history import History
+from .runtime.config import SystemConfig
+from .runtime.system import DynamicSystem
+from .sim.engine import EventScheduler
+
+ARTIFACT_NAME = "BENCH_kernel.json"
+SCHEMA_VERSION = 1
+
+
+def _time_best(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall time; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Workload builders
+# ----------------------------------------------------------------------
+
+
+def engine_throughput(events: int = 10_000) -> int:
+    """Schedule and drain ``events`` no-op events (shared with pytest)."""
+    engine = EventScheduler()
+    for i in range(events):
+        engine.schedule(float(i % 97) + 0.5, _noop)
+    return engine.run()
+
+
+def _noop() -> None:
+    return None
+
+
+def broadcast_fanout(trace: bool, broadcasts: int = 100, n: int = 50) -> int:
+    """The fan-out workload shared with ``benchmarks/test_bench_kernel.py``."""
+    system = DynamicSystem(
+        SystemConfig(n=n, delta=5.0, protocol="sync", seed=1, trace=trace)
+    )
+    for _ in range(broadcasts):
+        system.write()
+        system.run_for(12.0)
+    return system.network.delivered_count
+
+
+def churn_ticks(ticks: float = 300.0, n: int = 100) -> int:
+    """Run ``ticks`` time units of 10%-churn bookkeeping (shared with pytest)."""
+    system = DynamicSystem(
+        SystemConfig(n=n, delta=5.0, protocol="sync", seed=1, trace=False)
+    )
+    system.attach_churn(rate=0.1)
+    system.run_until(ticks)
+    return system.churn.ticks_executed
+
+
+def checker_history(rounds: int = 20, readers: int = 20, per: int = 5) -> History:
+    """The ~2k-operation history the checker benchmarks judge."""
+    system = DynamicSystem(
+        SystemConfig(n=20, delta=5.0, protocol="sync", seed=1, trace=False)
+    )
+    for _ in range(rounds):
+        system.write()
+        system.run_for(12.0)
+        for pid in system.active_pids()[:readers]:
+            for _ in range(per):
+                system.read(pid)
+    return system.close()
+
+
+def history_digest(seed: int = 7) -> str:
+    """SHA-256 fingerprint of a fixed-seed churn run's operation history."""
+    system = DynamicSystem(
+        SystemConfig(n=15, delta=5.0, protocol="sync", seed=seed, trace=False)
+    )
+    system.attach_churn(rate=0.05, min_stay=15.0)
+    for _ in range(10):
+        system.write()
+        system.run_for(8.0)
+        for pid in system.active_pids()[:5]:
+            system.read(pid)
+        system.run_for(4.0)
+    history = system.close()
+    blob = repr(
+        [
+            (op.kind, op.process_id, op.invoke_time, op.response_time, str(op.argument))
+            for op in history
+        ]
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+def run_kernel_benchmarks(repeats: int = 3) -> dict[str, Any]:
+    """Execute every kernel benchmark and return the artifact payload."""
+    benchmarks: list[dict[str, Any]] = []
+
+    def record(name: str, seconds: float, metric: str, value: Any) -> None:
+        benchmarks.append(
+            {
+                "name": name,
+                "wall_seconds": round(seconds, 6),
+                "metric": metric,
+                "value": value,
+            }
+        )
+
+    seconds, fired = _time_best(engine_throughput, repeats)
+    record("engine_event_throughput", seconds, "events_fired", fired)
+
+    seconds_off, delivered = _time_best(lambda: broadcast_fanout(False), repeats)
+    record("broadcast_fanout_trace_off", seconds_off, "delivered", delivered)
+
+    seconds_on, delivered_on = _time_best(lambda: broadcast_fanout(True), repeats)
+    record("broadcast_fanout_trace_on", seconds_on, "delivered", delivered_on)
+
+    seconds, ticks = _time_best(churn_ticks, repeats)
+    record("churn_tick_cost", seconds, "ticks", ticks)
+
+    history = checker_history()
+    ops = len(history)
+
+    fast_reg, report = _time_best(lambda: RegularityChecker(history).check(), repeats)
+    record("checker_regularity_fast", fast_reg, "reads_checked", report.checked_count)
+
+    naive_reg, naive_report = _time_best(
+        lambda: RegularityChecker(history, paranoid=True).check(), repeats
+    )
+    record(
+        "checker_regularity_paranoid",
+        naive_reg,
+        "reads_checked",
+        naive_report.checked_count,
+    )
+
+    fast_atom, atom = _time_best(lambda: find_new_old_inversions(history), repeats)
+    record("checker_atomicity_fast", fast_atom, "is_atomic", atom.is_atomic)
+
+    naive_atom, naive_atom_report = _time_best(
+        lambda: find_new_old_inversions(history, paranoid=True), repeats
+    )
+    record(
+        "checker_atomicity_paranoid",
+        naive_atom,
+        "is_atomic",
+        naive_atom_report.is_atomic,
+    )
+    if naive_atom_report.is_atomic != atom.is_atomic or (
+        naive_report.is_safe != report.is_safe
+    ):
+        raise AssertionError(
+            "fast and paranoid checkers disagree on the benchmark history — "
+            "run the equivalence property suite"
+        )
+
+    digest_a = history_digest()
+    digest_b = history_digest()
+
+    return {
+        "artifact": "BENCH_kernel",
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "history_ops": ops,
+        "benchmarks": benchmarks,
+        "derived": {
+            "trace_off_speedup": round(seconds_on / seconds_off, 3),
+            "checker_regularity_speedup": round(naive_reg / fast_reg, 3),
+            "checker_atomicity_speedup": round(naive_atom / fast_atom, 3),
+        },
+        "determinism": {
+            "digest": digest_a,
+            "stable_within_process": digest_a == digest_b,
+        },
+    }
+
+
+def write_artifact(payload: dict[str, Any], out_path: str) -> None:
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def run_and_report(out_path: str = ARTIFACT_NAME, repeats: int = 3) -> int:
+    """CLI body shared by ``python -m repro bench`` and run_bench.py."""
+    payload = run_kernel_benchmarks(repeats=repeats)
+    write_artifact(payload, out_path)
+    width = max(len(b["name"]) for b in payload["benchmarks"])
+    for bench in payload["benchmarks"]:
+        print(
+            f"{bench['name']:<{width}}  {bench['wall_seconds'] * 1e3:9.2f} ms  "
+            f"({bench['metric']}={bench['value']})"
+        )
+    for key, value in payload["derived"].items():
+        print(f"{key:<{width}}  {value:9.2f} x")
+    stable = payload["determinism"]["stable_within_process"]
+    print(f"determinism digest {payload['determinism']['digest'][:16]}… "
+          f"{'STABLE' if stable else 'UNSTABLE'}")
+    print(f"wrote {out_path}")
+    return 0 if stable else 1

@@ -144,7 +144,17 @@ class ChurnController:
         )
 
     def _quota_for(self, now: Time) -> int:
-        """Whole refreshes this tick: constant spec or rate profile."""
+        """Whole refreshes this tick: constant spec or rate profile.
+
+        The constant path uses :class:`ConstantChurn`'s drift-free
+        cumulative-floor accounting (possible because the quota is a
+        single multiplication away).  Varying profile rates have no
+        closed form, so this path keeps a fractional carry: its error
+        stays bounded at one float rounding of ~1.0 per tick (a whole
+        refresh could only be misplaced after ~1e15 ticks), whereas an
+        ever-growing cumulative sum would round at the magnitude of
+        the sum and degrade on long runs.
+        """
         if self.profile is None:
             return self.churn.refreshes_for_next_tick()
         self._profile_carry += (

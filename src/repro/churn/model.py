@@ -54,7 +54,8 @@ class ConstantChurn:
             raise ChurnError(f"tick period must be positive, got {self.period!r}")
         if self.start is None:
             self.start = self.period
-        self._carry = 0.0
+        self._ticks_drawn = 0
+        self._emitted = 0
 
     @property
     def per_tick_quota(self) -> float:
@@ -64,17 +65,21 @@ class ConstantChurn:
     def refreshes_for_next_tick(self) -> int:
         """The integer number of leave/join pairs for the next tick.
 
-        Stateful: the fractional remainder carries over so the long-run
-        average equals :attr:`per_tick_quota` exactly.
+        Stateful: after ``k`` ticks exactly ``floor(k · quota)``
+        refreshes have been emitted, so the long-run average equals
+        :attr:`per_tick_quota` with error < 1 at every prefix.  (An
+        incremental carry would accumulate float rounding error and
+        eventually drop a whole refresh, e.g. at quota = 2/3.)
         """
-        self._carry += self.per_tick_quota
-        whole = int(self._carry)
-        self._carry -= whole
+        self._ticks_drawn += 1
+        whole = int(self.per_tick_quota * self._ticks_drawn) - self._emitted
+        self._emitted += whole
         return whole
 
     def reset(self) -> None:
-        """Forget the fractional carry (for reuse across runs)."""
-        self._carry = 0.0
+        """Forget the accumulated schedule (for reuse across runs)."""
+        self._ticks_drawn = 0
+        self._emitted = 0
 
 
 def synchronous_churn_bound(delta: Time) -> float:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands, mirroring how the library is typically used:
+Five subcommands, mirroring how the library is typically used:
 
 ``experiments``
     Run the reproduction battery (E1–E11, optionally the A1–A4
@@ -20,6 +20,12 @@ Four subcommands, mirroring how the library is typically used:
     Print the paper's analytic bounds for given δ and n: the
     synchronous cap ``1/(3δ)``, the ES cap ``1/(3δn)``, Lemma 2's
     window bound.
+
+``bench``
+    Run the headless kernel benchmarks and write the
+    ``BENCH_kernel.json`` trajectory artifact (event throughput,
+    broadcast fan-out with tracing on/off, churn bookkeeping, checker
+    cost fast vs. paranoid, determinism digest).
 """
 
 from __future__ import annotations
@@ -99,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--write-period", type=float, default=30.0)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--timeline", action="store_true")
+    simulate.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="judge the history with the brute-force reference checkers",
+    )
 
     bounds = sub.add_parser("bounds", help="print the analytic bounds")
     bounds.add_argument("--delta", type=float, default=5.0)
@@ -108,6 +119,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="also evaluate Lemma 2's bound at this churn rate",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run the kernel benchmarks and write BENCH_kernel.json"
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_kernel.json",
+        help="artifact path (default: BENCH_kernel.json)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per benchmark; the best wall time is kept",
     )
     return parser
 
@@ -123,6 +149,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "bounds":
             return _cmd_bounds(args)
+        if args.command == "bench":
+            from .bench import run_and_report
+
+            try:
+                return run_and_report(out_path=args.out, repeats=args.repeats)
+            except OSError as error:
+                print(f"error: cannot write artifact: {error}", file=sys.stderr)
+                return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -199,7 +233,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     driver.install(plan)
     system.run_until(args.horizon)
     system.close()
-    safety = system.check_safety()
+    safety = system.check_safety(paranoid=args.paranoid)
     liveness = system.check_liveness(grace=10.0 * args.delta)
     print(
         f"protocol={args.protocol} n={args.n} δ={args.delta} "

@@ -24,7 +24,7 @@ from ..sim.operations import OperationHandle
 from .register import OP_JOIN, OP_READ, OP_WRITE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRecord:
     """A write as the checker sees it.
 
@@ -69,8 +69,11 @@ class History:
     def __init__(self, initial_value: Any) -> None:
         self.initial_value = initial_value
         self._operations: list[OperationHandle] = []
+        self._by_kind: dict[str, list[OperationHandle]] = {}
         self._departures: dict[str, Time] = {}
         self._horizon: Time | None = None
+        self._write_records_cache: list[WriteRecord] | None = None
+        self._value_map_cache: dict[Any, WriteRecord] | None = None
 
     # ------------------------------------------------------------------
     # Recording (called by the system runtime)
@@ -79,6 +82,9 @@ class History:
     def record_operation(self, handle: OperationHandle) -> None:
         """Register an invoked operation (its completion fills in later)."""
         self._operations.append(handle)
+        self._by_kind.setdefault(handle.kind, []).append(handle)
+        self._write_records_cache = None
+        self._value_map_cache = None
 
     def record_departure(self, pid: str, time: Time) -> None:
         """Note that ``pid`` left the system at ``time``."""
@@ -104,10 +110,14 @@ class History:
         return iter(self._operations)
 
     def operations(self, kind: str | None = None) -> list[OperationHandle]:
-        """All operations, optionally filtered by kind."""
+        """All operations, optionally filtered by kind.
+
+        Per-kind lists are maintained on append, so filtered access
+        does not rescan the full operation list.
+        """
         if kind is None:
             return list(self._operations)
-        return [op for op in self._operations if op.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def joins(self) -> list[OperationHandle]:
         return self.operations(OP_JOIN)
@@ -133,7 +143,15 @@ class History:
         invocations overlap in time — the correctness conditions below
         are stated for serialized writes, and the workloads guarantee
         serialization, so an overlap is a harness bug worth failing on.
+
+        Once the history is closed the result is memoized (and the
+        cache dropped again on any later append); while the run is
+        still open the records are recomputed, since pending handles
+        can complete without a new append.  Treat the returned list as
+        read-only.
         """
+        if self._write_records_cache is not None:
+            return self._write_records_cache
         writes = sorted(self.writes(), key=lambda op: (op.invoke_time, op.op_id))
         records = [
             WriteRecord(
@@ -172,6 +190,8 @@ class History:
                     abandoned=abandoned,
                 )
             )
+        if self._horizon is not None:
+            self._write_records_cache = records
         return records
 
     def value_to_write(self) -> dict[Any, WriteRecord]:
@@ -179,8 +199,11 @@ class History:
 
         Raises if two writes used the same value: the checkers need the
         mapping to be unambiguous (the workload generators enforce
-        uniqueness by construction).
+        uniqueness by construction).  Memoized alongside
+        :meth:`write_records` once the history is closed.
         """
+        if self._value_map_cache is not None:
+            return self._value_map_cache
         mapping: dict[Any, WriteRecord] = {}
         for record in self.write_records():
             if record.value in mapping:
@@ -190,6 +213,8 @@ class History:
                     f"checkers require unique written values"
                 )
             mapping[record.value] = record
+        if self._horizon is not None:
+            self._value_map_cache = mapping
         return mapping
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

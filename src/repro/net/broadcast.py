@@ -44,7 +44,7 @@ EntrantPolicy = Union[str, float]
 _broadcast_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlightBroadcast:
     """Bookkeeping for one broadcast during its delivery window."""
 
@@ -117,15 +117,19 @@ class BroadcastService:
         now = self.engine.now
         broadcast_id = next(_broadcast_counter)
         self.broadcast_count += 1
-        self.trace.record(
-            now,
-            TraceKind.BROADCAST,
-            sender,
-            type=type(payload).__name__,
-            broadcast_id=broadcast_id,
-        )
-        recipients = set(self.membership.present_pids())
-        for dest in self.membership.present_pids():
+        if self.trace.enabled:
+            self.trace.record(
+                now,
+                TraceKind.BROADCAST,
+                sender,
+                type=type(payload).__name__,
+                broadcast_id=broadcast_id,
+            )
+        # One membership snapshot serves both the fan-out and (when an
+        # entrant policy is active) the in-flight record; without a
+        # policy no bookkeeping is materialized at all.
+        recipients = self.membership.present_pids()
+        for dest in recipients:
             delay = self.delay_model.sample_broadcast(
                 sender, dest, payload, now, self._rng
             )
@@ -151,7 +155,7 @@ class BroadcastService:
                     payload=payload,
                     sent_at=now,
                     window_end=now + self._window,
-                    recipients=recipients,
+                    recipients=set(recipients),
                 )
             )
         return broadcast_id

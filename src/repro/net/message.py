@@ -17,7 +17,7 @@ from ..sim.clock import Time
 _message_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One point-to-point message or one broadcast delivery instance.
 

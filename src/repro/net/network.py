@@ -80,22 +80,32 @@ class Network:
             deliver_at=now + delay,
         )
         self.sent_count += 1
-        self.trace.record(
-            now,
-            TraceKind.SEND,
-            sender,
-            dest=dest,
-            type=message.payload_type,
-            arrives=message.deliver_at,
-        )
+        # Fast path: with tracing off, sends build no trace kwargs and
+        # no label f-string — the per-message cost is just the Message
+        # and the heap push.
+        if self.trace.enabled:
+            self.trace.record(
+                now,
+                TraceKind.SEND,
+                sender,
+                dest=dest,
+                type=message.payload_type,
+                arrives=message.deliver_at,
+            )
         self.engine.schedule_at(
             message.deliver_at,
             self._deliver,
             message,
             priority=Priority.DELIVERY,
-            label=f"deliver:{message.payload_type}:{sender}->{dest}",
+            label=self._delivery_label(message),
         )
         return message
+
+    def _delivery_label(self, message: Message) -> str:
+        """Debug label for a delivery event; empty when tracing is off."""
+        if not self.trace.enabled:
+            return ""
+        return f"deliver:{message.payload_type}:{message.sender}->{message.dest}"
 
     def deliver_scheduled(self, message: Message) -> None:
         """Schedule an externally-built message (used by the broadcast
@@ -105,31 +115,35 @@ class Network:
             self._deliver,
             message,
             priority=Priority.DELIVERY,
-            label=f"deliver:{message.payload_type}:{message.sender}->{message.dest}",
+            label=self._delivery_label(message),
         )
 
     def _deliver(self, message: Message) -> None:
         if not self.membership.is_present(message.dest):
             self.dropped_count += 1
+            if self.trace.enabled:
+                self.trace.record(
+                    self.engine.now,
+                    TraceKind.DROP,
+                    message.dest,
+                    sender=message.sender,
+                    type=message.payload_type,
+                )
+            return
+        self.delivered_count += 1
+        if self.trace.enabled:
+            kind = (
+                TraceKind.DELIVER
+                if message.broadcast_id is not None
+                else TraceKind.RECEIVE
+            )
             self.trace.record(
                 self.engine.now,
-                TraceKind.DROP,
+                kind,
                 message.dest,
                 sender=message.sender,
                 type=message.payload_type,
             )
-            return
-        self.delivered_count += 1
-        kind = (
-            TraceKind.DELIVER if message.broadcast_id is not None else TraceKind.RECEIVE
-        )
-        self.trace.record(
-            self.engine.now,
-            kind,
-            message.dest,
-            sender=message.sender,
-            type=message.payload_type,
-        )
         self.membership.process(message.dest).deliver(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

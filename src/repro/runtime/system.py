@@ -279,13 +279,21 @@ class DynamicSystem:
             self._closed = True
         return self.history
 
-    def check_safety(self, check_joins: bool = True) -> SafetyReport:
-        """Judge regularity (Section 2.2 Safety) on the history so far."""
-        return RegularityChecker(self.history, check_joins=check_joins).check()
+    def check_safety(
+        self, check_joins: bool = True, paranoid: bool = False
+    ) -> SafetyReport:
+        """Judge regularity (Section 2.2 Safety) on the history so far.
 
-    def check_atomicity(self) -> AtomicityReport:
+        ``paranoid`` selects the brute-force reference checker instead
+        of the default sub-quadratic sweep.
+        """
+        return RegularityChecker(
+            self.history, check_joins=check_joins, paranoid=paranoid
+        ).check()
+
+    def check_atomicity(self, paranoid: bool = False) -> AtomicityReport:
         """Judge atomicity — regularity plus absence of new/old inversions."""
-        return find_new_old_inversions(self.history)
+        return find_new_old_inversions(self.history, paranoid=paranoid)
 
     def check_liveness(self, grace: Time | None = None) -> LivenessReport:
         """Judge liveness on the *closed* history.

@@ -48,6 +48,7 @@ class EventScheduler:
         self._sequence = 0
         self._running = False
         self._fired_count = 0
+        self._live = 0  # non-cancelled events still in the queue
 
     # ------------------------------------------------------------------
     # Introspection
@@ -60,8 +61,12 @@ class EventScheduler:
 
     @property
     def pending_count(self) -> int:
-        """The number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """The number of live (non-cancelled) events still queued.
+
+        O(1): the counter is maintained on schedule, cancel and fire
+        instead of scanning the heap.
+        """
+        return self._live
 
     @property
     def fired_count(self) -> int:
@@ -111,9 +116,15 @@ class EventScheduler:
             args=args,
             label=label,
         )
+        event._owner = self
         self._sequence += 1
+        self._live += 1
         heappush(self._queue, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for events still in the queue."""
+        self._live -= 1
 
     def call_soon(
         self,
@@ -174,6 +185,8 @@ class EventScheduler:
                 if until is not None and event.time > until:
                     break
                 heappop(self._queue)
+                event._consumed = True
+                self._live -= 1
                 self._clock.advance_to(event.time)
                 self._fired_count += 1
                 event.fire()
@@ -188,13 +201,17 @@ class EventScheduler:
 
     def _peek_live(self) -> Event | None:
         while self._queue and self._queue[0].cancelled:
-            heappop(self._queue)
+            # Cancelled events already left the live count (Event.cancel
+            # notifies the owner); mark them consumed for symmetry.
+            heappop(self._queue)._consumed = True
         return self._queue[0] if self._queue else None
 
     def _pop_live(self) -> Event | None:
         event = self._peek_live()
         if event is not None:
             heappop(self._queue)
+            event._consumed = True
+            self._live -= 1
         return event
 
     def iter_pending(self) -> Iterator[Event]:

@@ -9,12 +9,15 @@ ordered by ``(time, priority, sequence)``:
   happen before churn, churn before measurement probes, ...);
 * ``sequence`` — a monotonically increasing counter that breaks the
   remaining ties in scheduling order, making every run reproducible.
+
+``Event`` is a ``__slots__`` class rather than a dataclass: millions of
+instances are created per large run, and slots cut both the per-event
+memory and the attribute-access cost on the scheduler's hot path.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .clock import Time
@@ -38,21 +41,74 @@ class Priority(enum.IntEnum):
     HORIZON = 50
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.  Instances are owned by the scheduler.
 
     The comparison order *is* the execution order, which is why the
     callback and its arguments are excluded from comparisons.
+
+    ``_owner`` (set by the scheduler) lets :meth:`cancel` keep the
+    owner's live-event counter exact without a queue scan; ``_consumed``
+    marks events the scheduler already removed from its queue, so a
+    late ``cancel()`` on a fired event does not corrupt the counter.
     """
 
-    time: Time
-    priority: int
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "args",
+        "label",
+        "cancelled",
+        "_owner",
+        "_consumed",
+    )
+
+    def __init__(
+        self,
+        time: Time,
+        priority: int,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = cancelled
+        self._owner: Any = None
+        self._consumed = False
+
+    # ------------------------------------------------------------------
+    # Ordering (the heap and ``sorted`` need ``__lt__``; ``__eq__`` keeps
+    # the dataclass-era semantics of comparing the sort key)
+    # ------------------------------------------------------------------
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.sequence) < (
+            other.time,
+            other.priority,
+            other.sequence,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.priority, self.sequence) == (
+            other.time,
+            other.priority,
+            other.sequence,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
 
     def fire(self) -> None:
         """Invoke the callback.  Cancelled events must never be fired."""
@@ -64,7 +120,12 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event so the scheduler discards it instead of firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self._owner
+        if owner is not None and not self._consumed:
+            owner._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

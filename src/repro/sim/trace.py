@@ -35,7 +35,7 @@ class TraceKind(enum.Enum):
     NOTE = "note"  # free-form annotation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One timestamped fact about the run."""
 

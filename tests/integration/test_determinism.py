@@ -71,6 +71,50 @@ class TestBitwiseReproducibility:
         assert run_fingerprint("es", 9, factory) == run_fingerprint("es", 9, factory)
 
 
+class TestTraceTransparency:
+    """The trace fast path must be semantically invisible.
+
+    With ``trace=False`` the kernel skips trace-record and label
+    construction entirely; the operation history must nonetheless be
+    byte-identical to the traced run — tracing is observation, never
+    behaviour.
+    """
+
+    @pytest.mark.parametrize("protocol", ["sync", "es"])
+    def test_trace_on_off_same_history(self, protocol):
+        def ops_fingerprint(trace: bool) -> tuple:
+            system = make_system(protocol=protocol, n=11, seed=13, trace=trace)
+            system.attach_churn(rate=0.03, min_stay=15.0)
+            driver = WorkloadDriver(system)
+            plan = read_heavy_plan(
+                start=5.0,
+                end=80.0,
+                write_period=20.0,
+                read_rate=0.5,
+                rng=system.rng.stream("fp.plan"),
+            )
+            driver.install(plan)
+            system.run_until(120.0)
+            history = system.close()
+            return tuple(
+                (op.kind, op.process_id, op.invoke_time, op.response_time,
+                 str(op.argument))
+                for op in history
+            )
+
+        assert ops_fingerprint(True) == ops_fingerprint(False)
+
+
+class TestBenchDigestStability:
+    def test_fixed_seed_digest_is_stable(self):
+        """The bench artifact's determinism digest: two fixed-seed runs
+        in one process must hash identically (the smoke check that the
+        kernel refactor did not perturb operation histories)."""
+        from repro.bench import history_digest
+
+        assert history_digest() == history_digest()
+
+
 class TestExperimentDeterminism:
     def test_experiments_are_reproducible(self):
         from repro.experiments import EXPERIMENTS
