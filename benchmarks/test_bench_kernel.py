@@ -117,6 +117,15 @@ def test_bench_broadcast_fanout_trace_on(benchmark):
     assert delivered >= 100 * 50
 
 
+def test_bench_broadcast_fanout_fault_gated(benchmark):
+    """The fan-out workload with an installed-but-idle fault plan: every
+    message pays the fault gate, none is touched.  The delta against
+    ``test_bench_broadcast_fanout`` is the cost of having the gate
+    open; an idle plan must not change what is delivered."""
+    delivered = benchmark(lambda: broadcast_fanout(False, gated=True))
+    assert delivered == broadcast_fanout(False)
+
+
 def test_bench_point_to_point_send_trace_off(benchmark):
     """10k raw sends with tracing off: no trace kwargs, no label f-strings.
 

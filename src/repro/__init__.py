@@ -51,6 +51,14 @@ from .core import (
     SafetyReport,
     find_new_old_inversions,
 )
+from .faults import (
+    CrashFault,
+    DelaySpikeFault,
+    FaultInjector,
+    FaultPlan,
+    LossFault,
+    PartitionFault,
+)
 from .net import (
     AdversarialDelay,
     AsynchronousDelay,
@@ -90,6 +98,12 @@ __all__ = [
     "RegularityChecker",
     "SafetyReport",
     "find_new_old_inversions",
+    "CrashFault",
+    "DelaySpikeFault",
+    "FaultInjector",
+    "FaultPlan",
+    "LossFault",
+    "PartitionFault",
     "AdversarialDelay",
     "AsynchronousDelay",
     "DelayModel",

@@ -14,14 +14,14 @@ reproducibility is caught by the same entry point that measures speed.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import platform
 import time
 from typing import Any, Callable
 
 from .core.checker import RegularityChecker, find_new_old_inversions
-from .core.history import History
+from .core.history import History, operation_digest
+from .faults.plan import FaultPlan, PartitionFault
 from .runtime.config import SystemConfig
 from .runtime.system import DynamicSystem
 from .sim.engine import EventScheduler
@@ -58,10 +58,23 @@ def _noop() -> None:
     return None
 
 
-def broadcast_fanout(trace: bool, broadcasts: int = 100, n: int = 50) -> int:
-    """The fan-out workload shared with ``benchmarks/test_bench_kernel.py``."""
+def broadcast_fanout(
+    trace: bool, broadcasts: int = 100, n: int = 50, gated: bool = False
+) -> int:
+    """The fan-out workload shared with ``benchmarks/test_bench_kernel.py``.
+
+    ``gated=True`` installs a fault plan whose only fault lies beyond
+    the run's horizon, so every message pays the fault gate but none is
+    ever touched — this isolates the cost of having the gate open.
+    """
+    faults = None
+    if gated:
+        faults = FaultPlan.of(
+            PartitionFault(start=1e9, end=2e9, group_a=frozenset({"p0001"})),
+            name="bench-gate",
+        )
     system = DynamicSystem(
-        SystemConfig(n=n, delta=5.0, protocol="sync", seed=1, trace=trace)
+        SystemConfig(n=n, delta=5.0, protocol="sync", seed=1, trace=trace, faults=faults)
     )
     for _ in range(broadcasts):
         system.write()
@@ -93,10 +106,17 @@ def checker_history(rounds: int = 20, readers: int = 20, per: int = 5) -> Histor
     return system.close()
 
 
-def history_digest(seed: int = 7) -> str:
-    """SHA-256 fingerprint of a fixed-seed churn run's operation history."""
+def history_digest(seed: int = 7, faults: FaultPlan | None = None) -> str:
+    """SHA-256 fingerprint of a fixed-seed churn run's operation history.
+
+    ``faults=None`` is the canonical determinism workload (its digest is
+    compared across PRs); passing a plan fingerprints a faulted run,
+    which must be just as reproducible.
+    """
     system = DynamicSystem(
-        SystemConfig(n=15, delta=5.0, protocol="sync", seed=seed, trace=False)
+        SystemConfig(
+            n=15, delta=5.0, protocol="sync", seed=seed, trace=False, faults=faults
+        )
     )
     system.attach_churn(rate=0.05, min_stay=15.0)
     for _ in range(10):
@@ -105,14 +125,7 @@ def history_digest(seed: int = 7) -> str:
         for pid in system.active_pids()[:5]:
             system.read(pid)
         system.run_for(4.0)
-    history = system.close()
-    blob = repr(
-        [
-            (op.kind, op.process_id, op.invoke_time, op.response_time, str(op.argument))
-            for op in history
-        ]
-    ).encode()
-    return hashlib.sha256(blob).hexdigest()
+    return operation_digest(system.close())
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +155,16 @@ def run_kernel_benchmarks(repeats: int = 3) -> dict[str, Any]:
 
     seconds_on, delivered_on = _time_best(lambda: broadcast_fanout(True), repeats)
     record("broadcast_fanout_trace_on", seconds_on, "delivered", delivered_on)
+
+    seconds_gated, delivered_gated = _time_best(
+        lambda: broadcast_fanout(False, gated=True), repeats
+    )
+    record("broadcast_fanout_fault_gated", seconds_gated, "delivered", delivered_gated)
+    if delivered_gated != delivered:
+        raise AssertionError(
+            "an idle fault plan changed the fan-out workload's deliveries — "
+            "the fault gate is not transparent"
+        )
 
     seconds, ticks = _time_best(churn_ticks, repeats)
     record("churn_tick_cost", seconds, "ticks", ticks)
@@ -184,6 +207,12 @@ def run_kernel_benchmarks(repeats: int = 3) -> dict[str, Any]:
 
     digest_a = history_digest()
     digest_b = history_digest()
+    faulted_plan = FaultPlan.of(
+        PartitionFault(start=30.0, end=45.0, group_a=frozenset({"p0001", "p0002"})),
+        name="bench-faulted",
+    )
+    faulted_a = history_digest(faults=faulted_plan)
+    faulted_b = history_digest(faults=faulted_plan)
 
     return {
         "artifact": "BENCH_kernel",
@@ -194,12 +223,15 @@ def run_kernel_benchmarks(repeats: int = 3) -> dict[str, Any]:
         "benchmarks": benchmarks,
         "derived": {
             "trace_off_speedup": round(seconds_on / seconds_off, 3),
+            "fault_gate_overhead": round(seconds_gated / seconds_off, 3),
             "checker_regularity_speedup": round(naive_reg / fast_reg, 3),
             "checker_atomicity_speedup": round(naive_atom / fast_atom, 3),
         },
         "determinism": {
             "digest": digest_a,
             "stable_within_process": digest_a == digest_b,
+            "faulted_digest": faulted_a,
+            "faulted_stable_within_process": faulted_a == faulted_b,
         },
     }
 
@@ -223,7 +255,10 @@ def run_and_report(out_path: str = ARTIFACT_NAME, repeats: int = 3) -> int:
     for key, value in payload["derived"].items():
         print(f"{key:<{width}}  {value:9.2f} x")
     stable = payload["determinism"]["stable_within_process"]
+    faulted_stable = payload["determinism"]["faulted_stable_within_process"]
     print(f"determinism digest {payload['determinism']['digest'][:16]}… "
           f"{'STABLE' if stable else 'UNSTABLE'}")
+    print(f"faulted digest     {payload['determinism']['faulted_digest'][:16]}… "
+          f"{'STABLE' if faulted_stable else 'UNSTABLE'}")
     print(f"wrote {out_path}")
-    return 0 if stable else 1
+    return 0 if (stable and faulted_stable) else 1

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands, mirroring how the library is typically used:
+Six subcommands, mirroring how the library is typically used:
 
 ``experiments``
     Run the reproduction battery (E1–E11, optionally the A1–A4
@@ -26,6 +26,13 @@ Five subcommands, mirroring how the library is typically used:
     ``BENCH_kernel.json`` trajectory artifact (event throughput,
     broadcast fan-out with tracing on/off, churn bookkeeping, checker
     cost fast vs. paranoid, determinism digest).
+
+``explore``
+    Sweep the adversarial scenario matrix (protocol × delay model ×
+    churn × fault plan × seed), judge every history with the checkers,
+    shrink violating fault schedules and optionally write the JSON
+    counterexample report.  In-model violations are bugs (exit 1);
+    out-of-model ones document the paper's hypotheses (exit 0).
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from .churn.model import (
     synchronous_churn_bound,
 )
 from .experiments import ABLATIONS, EXPERIMENTS
+from .net.delay import DELAY_MODEL_NAMES
 from .runtime.config import SystemConfig
 from .runtime.system import DynamicSystem
 from .sim.errors import ReproError
@@ -135,6 +143,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="timing repeats per benchmark; the best wall time is kept",
     )
+
+    explore = sub.add_parser(
+        "explore", help="sweep adversarial fault scenarios and shrink violations"
+    )
+    explore.add_argument(
+        "--budget", type=int, default=50, help="max scenario cells to run"
+    )
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["sync", "es", "abd"],
+        choices=["sync", "naive", "es", "abd"],
+    )
+    explore.add_argument(
+        "--delays", nargs="+", default=["sync", "es"], choices=DELAY_MODEL_NAMES
+    )
+    explore.add_argument(
+        "--churn", nargs="+", type=float, default=[0.0, 0.02], metavar="RATE"
+    )
+    explore.add_argument(
+        "--plans",
+        nargs="+",
+        default=None,
+        metavar="PLAN",
+        help="fault plans to sweep (default: the whole library)",
+    )
+    explore.add_argument("--n", type=int, default=10)
+    explore.add_argument("--delta", type=float, default=5.0)
+    explore.add_argument("--horizon", type=float, default=120.0)
+    explore.add_argument("--seeds-per-combo", type=int, default=1)
+    explore.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip minimizing violating fault schedules",
+    )
+    explore.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON counterexample report here",
+    )
+    explore.add_argument(
+        "--verbose", action="store_true", help="print every run, not just violations"
+    )
     return parser
 
 
@@ -157,6 +210,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             except OSError as error:
                 print(f"error: cannot write artifact: {error}", file=sys.stderr)
                 return 2
+        if args.command == "explore":
+            return _cmd_explore(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -253,6 +308,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         pids = [r.pid for r in system.membership.iter_records()][:25]
         print(render_timeline(system, width=76, pids=pids))
     return 0 if (safety.is_safe and liveness.is_live) else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from .workloads.explorer import DEFAULT_PLAN_NAMES, PLAN_BUILDERS, explore
+
+    plan_names = tuple(args.plans) if args.plans else DEFAULT_PLAN_NAMES
+    unknown = [p for p in plan_names if p not in PLAN_BUILDERS]
+    if unknown:
+        print(
+            f"error: unknown plan(s) {', '.join(unknown)}; "
+            f"known: {', '.join(PLAN_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    report = explore(
+        budget=args.budget,
+        seed=args.seed,
+        protocols=tuple(args.protocols),
+        delays=tuple(args.delays),
+        churn_rates=tuple(args.churn),
+        plan_names=plan_names,
+        seeds_per_combo=args.seeds_per_combo,
+        n=args.n,
+        delta=args.delta,
+        horizon=args.horizon,
+        shrink=not args.no_shrink,
+    )
+    for outcome in report.outcomes:
+        if args.verbose or outcome.violated:
+            print(outcome.summary())
+            if outcome.shrunk_plan is not None:
+                print(f"    shrunk to {outcome.shrunk_plan.describe()}")
+                if outcome.shrunk_verdict == "bug":
+                    print(
+                        "    ESCALATED: the minimized fault schedule is "
+                        "in-model — this is a bug"
+                    )
+            for reason in outcome.classification.reasons:
+                if outcome.violated:
+                    print(f"    out-of-model: {reason}")
+    print(report.summary())
+    if args.out is not None:
+        try:
+            with open(args.out, "w") as handle:
+                json.dump(report.to_dict(), handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}")
+    bugs = report.bugs
+    if bugs:
+        print(f"IN-MODEL BUGS: {len(bugs)} violating scenario(s) — see above")
+        return 1
+    return 0
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:

@@ -15,6 +15,7 @@ specification only promises termination to processes that stay).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -223,3 +224,20 @@ class History:
             f"writes={len(self.writes())}, reads={len(self.reads())}, "
             f"joins={len(self.joins())})"
         )
+
+
+def operation_digest(history: History) -> str:
+    """SHA-256 fingerprint of a history's operation sequence.
+
+    Covers kind, process, invocation/response times and argument of
+    every operation in invocation order — the determinism surface the
+    benchmarks and the explorer compare across runs.  Two runs with
+    the same digest exhibited the same observable behaviour.
+    """
+    blob = repr(
+        [
+            (op.kind, op.process_id, op.invoke_time, op.response_time, str(op.argument))
+            for op in history
+        ]
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()

@@ -305,3 +305,43 @@ class AdversarialDelay(DelayModel):
 
     def __repr__(self) -> str:
         return f"AdversarialDelay(fallback={self.fallback!r})"
+
+
+#: Names accepted by :func:`make_delay` (the explorer sweeps these).
+DELAY_MODEL_NAMES: tuple[str, ...] = ("sync", "dual", "es", "async")
+
+#: GST of the named ``"es"`` model, as a multiple of ``delta`` — also
+#: used by the explorer's taxonomy to tell pre- from post-GST spikes.
+DEFAULT_GST_FACTOR = 4.0
+
+#: Point-to-point bound of the named ``"dual"`` model, as a fraction
+#: of the broadcast bound ``delta`` (footnote 4's ``δ' ≤ δ``).
+DUAL_P2P_FRACTION = 0.5
+
+
+def make_delay(name: str, delta: Time, gst: Time | None = None) -> DelayModel:
+    """Build a delay model from a sweepable name.
+
+    * ``"sync"``  — :class:`SynchronousDelay` with bound ``delta``;
+    * ``"dual"``  — :class:`DualBoundSynchronousDelay` with the
+      point-to-point bound at ``delta / 2`` (footnote 4's refinement);
+    * ``"es"``    — :class:`EventuallySynchronousDelay` with GST at
+      ``gst`` (default ``4 * delta``) and bound ``delta``;
+    * ``"async"`` — :class:`AsynchronousDelay` with mean ``delta / 2``.
+
+    The explorer and CLI use this to name delay regimes in scenario
+    matrices and corpus entries without serializing model objects.
+    """
+    if name == "sync":
+        return SynchronousDelay(delta)
+    if name == "dual":
+        return DualBoundSynchronousDelay(delta, DUAL_P2P_FRACTION * delta)
+    if name == "es":
+        return EventuallySynchronousDelay(
+            gst if gst is not None else DEFAULT_GST_FACTOR * delta, delta
+        )
+    if name == "async":
+        return AsynchronousDelay(mean=delta / 2.0)
+    raise ConfigError(
+        f"unknown delay model {name!r}; choose from {DELAY_MODEL_NAMES}"
+    )

@@ -12,12 +12,22 @@ Guarantees implemented here, mirroring the paper:
 * **Send rights** — any present process may send to any process whose
   identity it knows; identity knowledge is the protocols' concern, the
   network only refuses sends *from* departed processes.
+
+Fault injection (:mod:`repro.faults`) deliberately suspends the
+reliability guarantee: an installed :class:`FaultInjector` may veto or
+delay deliveries (loss, partitions, spikes) and crash processes at
+targeted phases.  Fault-induced drops are accounted in
+``faulted_count``, separately from ``dropped_count`` (departed
+destination), and stamped with a ``reason`` in the trace.  With no
+injector installed the paths are unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any
 
+from ..faults.injector import REASON_DEPARTED
 from ..sim.clock import Time
 from ..sim.engine import EventScheduler
 from ..sim.errors import NetworkError, UnknownProcessError
@@ -27,6 +37,9 @@ from ..sim.rng import RngRegistry
 from ..sim.trace import TraceKind, TraceLog
 from .delay import DelayModel
 from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> sim only)
+    from ..faults.injector import FaultInjector
 
 
 class Network:
@@ -47,7 +60,17 @@ class Network:
         self._rng = rng.stream("net.point_to_point")
         self.sent_count = 0
         self.delivered_count = 0
-        self.dropped_count = 0
+        self.dropped_count = 0  # destination had departed
+        self.faulted_count = 0  # injected loss / partition drops
+        # Fault gate: ``None`` means the un-faulted fast path — no extra
+        # work per message beyond this attribute test.
+        self.faults: FaultInjector | None = None
+
+    def install_faults(self, injector: FaultInjector) -> None:
+        """Install a fault injector (at most one per network)."""
+        if self.faults is not None:
+            raise NetworkError("a fault injector is already installed")
+        self.faults = injector
 
     @property
     def known_bound(self) -> Time | None:
@@ -72,12 +95,21 @@ class Network:
             raise NetworkError(
                 f"delay model produced non-positive delay {delay!r}"
             )
+        deliver_at = now + delay
+        if self.faults is not None:
+            deliver_at, fault_reason = self.faults.on_transmit(
+                sender, dest, payload, now, deliver_at
+            )
+            if fault_reason is not None:
+                return self._fault_drop_at_send(
+                    sender, dest, payload, now, deliver_at, fault_reason
+                )
         message = Message(
             sender=sender,
             dest=dest,
             payload=payload,
             sent_at=now,
-            deliver_at=now + delay,
+            deliver_at=deliver_at,
         )
         self.sent_count += 1
         # Fast path: with tracing off, sends build no trace kwargs and
@@ -107,9 +139,66 @@ class Network:
             return ""
         return f"deliver:{message.payload_type}:{message.sender}->{message.dest}"
 
+    def _account_fault_drop(
+        self, now: Time, sender: str, dest: str, payload_type: str, reason: str
+    ) -> None:
+        """Shared accounting for every injector-vetoed delivery."""
+        self.faulted_count += 1
+        if self.trace.enabled:
+            self.trace.record(
+                now,
+                TraceKind.DROP,
+                dest,
+                sender=sender,
+                type=payload_type,
+                reason=reason,
+            )
+
+    def _fault_drop_at_send(
+        self,
+        sender: str,
+        dest: str,
+        payload: Any,
+        now: Time,
+        deliver_at: Time,
+        reason: str,
+    ) -> Message:
+        """Account a message the injector vetoed before scheduling.
+
+        The message *was* sent (it counts, and traces a SEND) — it just
+        never gets a delivery event, so the trace reads SEND then DROP
+        exactly like a delivery-time loss."""
+        message = Message(
+            sender=sender, dest=dest, payload=payload, sent_at=now, deliver_at=deliver_at
+        )
+        self.sent_count += 1
+        if self.trace.enabled:
+            self.trace.record(
+                now,
+                TraceKind.SEND,
+                sender,
+                dest=dest,
+                type=message.payload_type,
+                arrives=message.deliver_at,
+            )
+        self._account_fault_drop(now, sender, dest, message.payload_type, reason)
+        return message
+
     def deliver_scheduled(self, message: Message) -> None:
         """Schedule an externally-built message (used by the broadcast
         service, which computes its own per-recipient delivery times)."""
+        if self.faults is not None:
+            now = self.engine.now
+            deliver_at, fault_reason = self.faults.on_transmit(
+                message.sender, message.dest, message.payload, now, message.deliver_at
+            )
+            if fault_reason is not None:
+                self._account_fault_drop(
+                    now, message.sender, message.dest, message.payload_type, fault_reason
+                )
+                return
+            if deliver_at != message.deliver_at:
+                message = replace(message, deliver_at=deliver_at)
         self.engine.schedule_at(
             message.deliver_at,
             self._deliver,
@@ -118,18 +207,43 @@ class Network:
             label=self._delivery_label(message),
         )
 
+    def _account_departed_drop(self, message: Message) -> None:
+        """Accounting for a delivery to a destination that has left."""
+        self.dropped_count += 1
+        if self.trace.enabled:
+            self.trace.record(
+                self.engine.now,
+                TraceKind.DROP,
+                message.dest,
+                sender=message.sender,
+                type=message.payload_type,
+                reason=REASON_DEPARTED,
+            )
+
     def _deliver(self, message: Message) -> None:
-        if not self.membership.is_present(message.dest):
-            self.dropped_count += 1
-            if self.trace.enabled:
-                self.trace.record(
+        faults = self.faults
+        if faults is not None:
+            fault_reason = faults.drop_on_deliver(message, self.engine.now)
+            if fault_reason is not None:
+                self._account_fault_drop(
                     self.engine.now,
-                    TraceKind.DROP,
+                    message.sender,
                     message.dest,
-                    sender=message.sender,
-                    type=message.payload_type,
+                    message.payload_type,
+                    fault_reason,
                 )
+                return
+        if not self.membership.is_present(message.dest):
+            self._account_departed_drop(message)
             return
+        if faults is not None:
+            # Crash faults count only genuinely deliverable messages;
+            # a crash of the destination then drops this very message
+            # at the re-checked presence gate, like any departure.
+            faults.crash_on_deliver(message)
+            if not self.membership.is_present(message.dest):
+                self._account_departed_drop(message)
+                return
         self.delivered_count += 1
         if self.trace.enabled:
             kind = (
@@ -149,5 +263,5 @@ class Network:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Network(sent={self.sent_count}, delivered={self.delivered_count}, "
-            f"dropped={self.dropped_count})"
+            f"dropped={self.dropped_count}, faulted={self.faulted_count})"
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..faults.plan import FaultPlan
 from ..net.broadcast import EntrantPolicy
 from ..net.delay import DelayModel
 from ..protocols import PROTOCOLS
@@ -50,6 +51,11 @@ class SystemConfig:
         Optional cap on retained trace records.
     sample_period:
         Cadence of the active-set tracker probes.
+    faults:
+        An optional :class:`~repro.faults.plan.FaultPlan` installed at
+        construction.  ``None`` keeps the network's fault gate closed
+        (the byte-identical fast path); an empty plan is installed but
+        draws no randomness, so it perturbs nothing either.
     """
 
     n: int = 20
@@ -62,6 +68,7 @@ class SystemConfig:
     trace: bool = True
     trace_capacity: int | None = None
     sample_period: Time = 1.0
+    faults: FaultPlan | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

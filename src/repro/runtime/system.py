@@ -38,6 +38,8 @@ from ..core.checker import (
 )
 from ..core.history import History
 from ..core.register import NodeContext, OP_READ, OP_WRITE, RegisterNode
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..net.broadcast import BroadcastService
 from ..net.delay import SynchronousDelay
 from ..net.network import Network
@@ -92,7 +94,10 @@ class DynamicSystem:
         self._pid_counter = itertools.count(1)
         self._value_counter = itertools.count(1)
         self._churn: ChurnController | None = None
+        self._faults: FaultInjector | None = None
         self._closed = False
+        if config.faults is not None:
+            self.install_faults(config.faults)
         self.seed_pids: tuple[str, ...] = self._create_seeds()
         self.writer_pid: str = self.seed_pids[0]
         # The tracker installs after the seeds exist so its t=0 probe
@@ -236,6 +241,35 @@ class DynamicSystem:
     @property
     def churn(self) -> ChurnController | None:
         return self._churn
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Install a fault plan (one injector per run).
+
+        Crash faults are wired to :meth:`leave`, so an injected crash is
+        indistinguishable from a churn departure in the history — the
+        model equates the two (Section 2.1).  Crashes deliberately
+        bypass churn's ``protect_writer`` shield: targeting the writer
+        at a phase is exactly what the injections are for.
+        """
+        if self._faults is not None:
+            raise ConfigError("fault plan already installed")
+        injector = FaultInjector(
+            plan,
+            self.rng.stream("faults.injector"),
+            crash_hook=self._fault_crash,
+        )
+        self.network.install_faults(injector)
+        self._faults = injector
+        return injector
+
+    @property
+    def faults(self) -> FaultInjector | None:
+        return self._faults
+
+    def _fault_crash(self, pid: str) -> None:
+        """Crash-fault hook: a silent departure, skipped if already gone."""
+        if pid in self.membership and self.membership.is_present(pid):
+            self.leave(pid)
 
     # ------------------------------------------------------------------
     # Register operations

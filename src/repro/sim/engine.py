@@ -73,6 +73,13 @@ class EventScheduler:
         """The number of events executed since construction."""
         return self._fired_count
 
+    def next_event_time(self) -> Time | None:
+        """When the next live event fires, or ``None`` if the queue is
+        empty.  The explorer uses this to tell a quiesced system (all
+        operations resolved, nothing left to do) from a stalled one."""
+        event = self._peek_live()
+        return event.time if event is not None else None
+
     def __len__(self) -> int:
         return self.pending_count
 

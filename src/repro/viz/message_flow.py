@@ -13,6 +13,7 @@ Figure 3(a) can be read end to end:
 
 from __future__ import annotations
 
+from ..faults.injector import REASON_DEPARTED
 from ..sim.clock import Time
 from ..sim.trace import TraceKind, TraceLog
 
@@ -73,9 +74,11 @@ def _render_record(record, processes, payload_types) -> str | None:
         receiver, sender = record.process, details.get("sender")
         if not _touches(processes, sender, receiver):
             return None
+        reason = details.get("reason", REASON_DEPARTED)
+        cause = "receiver left" if reason == REASON_DEPARTED else f"fault: {reason}"
         return (
             f"t={record.time:8.2f}  {sender} --{payload}--x {receiver}"
-            f"  DROPPED (receiver left)"
+            f"  DROPPED ({cause})"
         )
     return None
 

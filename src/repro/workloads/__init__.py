@@ -1,5 +1,16 @@
-"""Workloads: operation plans, drivers and the scripted figure scenarios."""
+"""Workloads: operation plans, drivers, scripted figure scenarios and
+the adversarial scenario explorer."""
 
+from .explorer import (
+    ExplorationReport,
+    ScenarioOutcome,
+    ScenarioSpec,
+    build_plan,
+    classify_scenario,
+    explore,
+    run_scenario,
+    shrink_plan,
+)
 from .generators import (
     periodic_times,
     periodic_writes,
@@ -19,6 +30,14 @@ from .scenarios import (
 from .schedule import ReadOp, WorkloadDriver, WorkloadOp, WorkloadStats, WriteOp
 
 __all__ = [
+    "ExplorationReport",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "build_plan",
+    "classify_scenario",
+    "explore",
+    "run_scenario",
+    "shrink_plan",
     "periodic_times",
     "periodic_writes",
     "poisson_reads",

@@ -1,0 +1,668 @@
+"""Adversarial scenario explorer: sweep, check, shrink, report.
+
+A FoundationDB/Jepsen-style deterministic simulation-testing loop over
+the register protocols: enumerate a matrix of protocol × delay model ×
+churn profile × fault plan × seed, run every cell under the seeded
+fault injector, judge each closed history with the regularity /
+atomicity / liveness checkers, and shrink any violating run's fault
+schedule to a minimal counterexample (drop whole faults — down to the
+empty plan when the faults turn out irrelevant — then bisect the
+surviving windows; the minimized plan is re-judged, so a shrink that
+lands in in-model territory escalates the cell to a bug).
+
+Verdicts are driven by **regularity alone**.  Atomicity and liveness
+are checked and recorded on every outcome but never fail a run: a
+regular register legitimately exhibits new/old inversions (that is
+experiment E1's point), and liveness caps are protocol-specific (the
+ES cap ``1/(3δn)`` sits below sweep churn rates, so quorum stalls are
+expected there — "stall, don't lie" is the behaviour under test).
+
+The explorer separates two kinds of violation using
+:meth:`~repro.faults.plan.FaultPlan.classify`:
+
+* ``bug`` — the history violated regularity although the plan stayed
+  within the paper's model assumptions.  This refutes a lemma (or
+  reveals a harness defect) and fails the CLI run.
+* ``expected-breakage`` — the plan broke a hypothesis (heavy loss, a
+  drop partition, a spike past the known bound) and the protocol broke
+  with it.  These runs *document* the paper's assumptions; the corpus
+  records them so the boundary never silently moves.
+
+Everything is derived from the root seed: two invocations with the
+same arguments produce byte-identical reports (no wall-clock values
+appear anywhere in the artifact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator
+
+from ..core.checker import LivenessReport, SafetyReport
+from ..core.history import operation_digest
+from ..faults.plan import (
+    CrashFault,
+    DelaySpikeFault,
+    Fault,
+    FaultPlan,
+    LossFault,
+    PartitionFault,
+    PlanClassification,
+)
+from ..net.delay import (
+    DEFAULT_GST_FACTOR,
+    DELAY_MODEL_NAMES,
+    DUAL_P2P_FRACTION,
+    make_delay,
+)
+from ..runtime.config import SystemConfig
+from ..runtime.system import DynamicSystem
+from ..sim.clock import Time
+from ..sim.errors import ExperimentError
+from .generators import read_heavy_plan
+from .schedule import WorkloadDriver
+
+REPORT_SCHEMA_VERSION = 1
+
+#: Verdicts a scenario run can end with.
+VERDICT_OK = "ok"
+VERDICT_NEAR_MISS = "near-miss"  # faults fired, safety held
+VERDICT_BUG = "bug"  # violation under an in-model plan
+VERDICT_BREAKAGE = "expected-breakage"  # violation under an out-of-model plan
+
+
+def _seed_group(n: int, fraction: float = 1 / 3) -> frozenset[str]:
+    """The first ``fraction`` of the seed pids (``p0001`` …), min 1."""
+    count = max(1, int(n * fraction))
+    return frozenset(f"p{i:04d}" for i in range(1, count + 1))
+
+
+# ----------------------------------------------------------------------
+# The fault-plan library the matrix sweeps
+# ----------------------------------------------------------------------
+
+
+def _plan_none(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    return FaultPlan(name="none")
+
+
+#: Reply-style payloads per protocol (sync, es, abd) — the messages the
+#: light-loss plan may eat without touching the dissemination itself.
+REPLY_PAYLOADS = frozenset({"Reply", "EsReply", "EsAck", "AbdQueryReply", "AbdAck"})
+
+#: Dissemination-style payloads per protocol — the writer-crash trigger.
+WRITE_PAYLOADS = frozenset({"WriteMsg", "EsWrite", "AbdWrite"})
+
+
+def _plan_light_loss(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Below the cover threshold and confined to reply/ack traffic: the
+    # dissemination itself stays reliable, so safety should survive.
+    return FaultPlan.of(
+        LossFault(probability=0.05, payload_types=REPLY_PAYLOADS),
+        name="light-loss",
+    )
+
+
+def _plan_heavy_loss(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    return FaultPlan.of(LossFault(probability=0.35), name="heavy-loss")
+
+
+def _plan_partition_defer(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Shorter than delta and defer-mode: every crossing message still
+    # meets the synchronous bound, so the run stays in-model.
+    start = horizon * 0.3
+    return FaultPlan.of(
+        PartitionFault(
+            start=start, end=start + 0.8 * delta, group_a=_seed_group(n), mode="defer"
+        ),
+        name="partition-defer",
+    )
+
+
+def _plan_partition_drop(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    start = horizon * 0.3
+    return FaultPlan.of(
+        PartitionFault(
+            start=start, end=start + 3.0 * delta, group_a=_seed_group(n), mode="drop"
+        ),
+        name="partition-drop",
+    )
+
+
+def _plan_delay_spike(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    start = horizon * 0.4
+    return FaultPlan.of(
+        DelaySpikeFault(start=start, end=start + 2.0 * delta, factor=4.0),
+        name="delay-spike",
+    )
+
+
+def _plan_writer_crash(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # The writer departs the instant its third WRITE dissemination
+    # lands somewhere — the Figure 3(a) flavour of departure.  One
+    # crash fault per protocol's write payload; at most one can ever
+    # fire (a run speaks a single protocol).
+    return FaultPlan.of(
+        *(
+            CrashFault(phase=phase, victim="sender", occurrence=3)
+            for phase in sorted(WRITE_PAYLOADS)
+        ),
+        name="writer-crash",
+    )
+
+
+def _plan_combo(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Deliberately over-provisioned; the shrinker's job is to find
+    # which ingredient actually breaks the run.
+    start = horizon * 0.3
+    return FaultPlan.of(
+        LossFault(probability=0.25, start=horizon * 0.1),
+        PartitionFault(
+            start=start, end=start + 3.0 * delta, group_a=_seed_group(n), mode="drop"
+        ),
+        DelaySpikeFault(start=horizon * 0.6, end=horizon * 0.6 + 2.0 * delta, factor=3.0),
+        name="combo",
+    )
+
+
+PLAN_BUILDERS = {
+    "none": _plan_none,
+    "light-loss": _plan_light_loss,
+    "heavy-loss": _plan_heavy_loss,
+    "partition-defer": _plan_partition_defer,
+    "partition-drop": _plan_partition_drop,
+    "delay-spike": _plan_delay_spike,
+    "writer-crash": _plan_writer_crash,
+    "combo": _plan_combo,
+}
+
+DEFAULT_PLAN_NAMES = tuple(PLAN_BUILDERS)
+
+
+def build_plan(name: str, delta: Time, horizon: Time, n: int) -> FaultPlan:
+    """Instantiate a library plan for the given scenario dimensions."""
+    try:
+        builder = PLAN_BUILDERS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown fault plan {name!r}; choose from {sorted(PLAN_BUILDERS)}"
+        ) from None
+    return builder(delta, horizon, n)
+
+
+# ----------------------------------------------------------------------
+# One scenario
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to replay one explorer cell exactly."""
+
+    protocol: str = "sync"
+    n: int = 10
+    delta: Time = 5.0
+    delay: str = "sync"
+    churn_rate: float = 0.0
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    seed: int = 0
+    horizon: Time = 120.0
+    read_rate: float = 0.4
+    write_period: Time = 20.0
+
+    def label(self) -> str:
+        plan = self.plan.name or "anonymous"
+        return (
+            f"{self.protocol}/{self.delay} c={self.churn_rate:g} "
+            f"plan={plan} seed={self.seed}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "delta": self.delta,
+            "delay": self.delay,
+            "churn_rate": self.churn_rate,
+            "plan": self.plan.to_dict(),
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "read_rate": self.read_rate,
+            "write_period": self.write_period,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ScenarioSpec":
+        data = dict(payload)
+        data["plan"] = FaultPlan.from_dict(data.get("plan") or {})
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """The checkers' judgement of one scenario run."""
+
+    spec: ScenarioSpec
+    verdict: str
+    safe: bool
+    violation_count: int
+    checked_count: int
+    atomic: bool
+    inversion_count: int
+    live: bool
+    stuck_count: int
+    classification: PlanClassification
+    digest: str
+    fault_counters: dict[str, int]
+    network_counters: dict[str, int]
+    reads_issued: int
+    writes_issued: int
+    quiesced: bool
+    first_violation: str | None = None
+    shrunk_plan: FaultPlan | None = None
+    shrink_runs: int = 0
+    # The verdict of re-running the cell under the shrunk plan: a
+    # shrink can cross from out-of-model into in-model territory (e.g.
+    # a 3-delta defer partition bisected below delta), isolating a
+    # genuine bug the original plan's classification excused.
+    shrunk_verdict: str | None = None
+
+    @property
+    def violated(self) -> bool:
+        return not self.safe
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "verdict": self.verdict,
+            "safe": self.safe,
+            "violations": self.violation_count,
+            "checked": self.checked_count,
+            "atomic": self.atomic,
+            "inversions": self.inversion_count,
+            "live": self.live,
+            "stuck": self.stuck_count,
+            "in_model": self.classification.in_model,
+            "classification_reasons": list(self.classification.reasons),
+            "digest": self.digest,
+            "fault_counters": dict(self.fault_counters),
+            "network_counters": dict(self.network_counters),
+            "reads_issued": self.reads_issued,
+            "writes_issued": self.writes_issued,
+            "quiesced": self.quiesced,
+        }
+        if self.first_violation is not None:
+            payload["first_violation"] = self.first_violation
+        if self.shrunk_plan is not None:
+            payload["shrunk_plan"] = self.shrunk_plan.to_dict()
+            payload["shrink_runs"] = self.shrink_runs
+            payload["shrunk_verdict"] = self.shrunk_verdict
+        return payload
+
+    def summary(self) -> str:
+        checks = (
+            f"safe={self.safe} atomic={self.atomic} live={self.live} "
+            f"({self.violation_count}/{self.checked_count} bad reads)"
+        )
+        return f"[{self.verdict:>17}] {self.spec.label()}  {checks}"
+
+
+def classify_scenario(
+    spec: ScenarioSpec, known_bound: Time | None
+) -> PlanClassification:
+    """Is this *whole scenario* within the model each protocol assumes?
+
+    Extends :meth:`FaultPlan.classify` with the protocol-level
+    hypotheses: the synchronous protocols need a known delay bound, the
+    ES protocol needs eventual synchrony, the static ABD baseline needs
+    no churn, and every dynamic protocol needs churn below the
+    synchronous cap ``1/(3δ)`` (Lemma 2's regime).  A regularity
+    violation in an in-model scenario refutes a lemma; one in an
+    out-of-model scenario documents why the hypothesis is needed.
+    """
+    plan_cls = spec.plan.classify(spec.delta, known_bound=known_bound)
+    reasons = list(plan_cls.reasons)
+    if spec.protocol in ("sync", "naive") and spec.delay not in ("sync", "dual"):
+        reasons.append(
+            f"the {spec.protocol} protocol assumes a synchronous system; "
+            f"the {spec.delay!r} delay model provides no usable bound"
+        )
+    if spec.protocol == "es" and spec.delay == "async":
+        reasons.append(
+            "the es protocol assumes eventual synchrony; the async model "
+            "never stabilizes (the Theorem 2 setting)"
+        )
+    if spec.delay == "dual":
+        # The dual model's point-to-point bound is delta/2 (make_delay),
+        # and the protocol shortens its waits relying on it — a defer
+        # partition may hold a p2p message up to its full duration.
+        p2p_bound = DUAL_P2P_FRACTION * spec.delta
+        for partition in spec.plan.partitions:
+            if partition.mode == "defer" and partition.duration > p2p_bound:
+                reasons.append(
+                    f"defer partition of length {partition.duration} exceeds "
+                    f"the dual model's point-to-point bound {p2p_bound}"
+                )
+    if spec.delay == "es":
+        # known_bound is None, but eventual synchrony still promises
+        # post-GST delivery within delta — a spike window reaching past
+        # GST breaks that hypothesis.
+        gst = DEFAULT_GST_FACTOR * spec.delta
+        for spike in spec.plan.spikes:
+            if spike.end is None or spike.end > gst:
+                reasons.append(
+                    f"delay spike window reaches past GST={gst}; eventual "
+                    f"synchrony promises post-GST delivery within delta"
+                )
+    if spec.protocol == "abd" and spec.churn_rate > 0:
+        reasons.append(
+            "the abd baseline assumes a static system; churn violates "
+            "its fixed-universe hypothesis"
+        )
+    sync_cap = 1.0 / (3.0 * spec.delta)
+    if spec.churn_rate > sync_cap:
+        reasons.append(
+            f"churn rate {spec.churn_rate} exceeds the synchronous cap "
+            f"1/(3delta) = {sync_cap:.4f}"
+        )
+    return PlanClassification(in_model=not reasons, reasons=tuple(reasons))
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Run one cell of the matrix and judge its history."""
+    plan = spec.plan
+    config = SystemConfig(
+        n=spec.n,
+        delta=spec.delta,
+        protocol=spec.protocol,
+        delay=make_delay(spec.delay, spec.delta),
+        seed=spec.seed,
+        trace=False,
+        faults=plan if not plan.is_empty else None,
+    )
+    system = DynamicSystem(config)
+    if spec.churn_rate > 0:
+        system.attach_churn(rate=spec.churn_rate, min_stay=3.0 * spec.delta)
+    driver = WorkloadDriver(system)
+    driver.install(
+        read_heavy_plan(
+            start=5.0,
+            end=max(6.0, spec.horizon - 4.0 * spec.delta),
+            write_period=spec.write_period,
+            read_rate=spec.read_rate,
+            rng=system.rng.stream("explorer.plan"),
+        )
+    )
+    system.run_until(spec.horizon)
+    history = system.close()
+    safety: SafetyReport = system.check_safety()
+    atomicity = system.check_atomicity()
+    liveness: LivenessReport = system.check_liveness(grace=10.0 * spec.delta)
+    classification = classify_scenario(spec, system.delay_model.known_bound)
+    counters = system.faults.counters() if system.faults is not None else {}
+    faults_bit = any(
+        counters.get(key, 0) for key in ("lost", "partition_dropped", "deferred", "spiked", "crashes_fired")
+    )
+    if not safety.is_safe:
+        verdict = VERDICT_BUG if classification.in_model else VERDICT_BREAKAGE
+    elif faults_bit:
+        verdict = VERDICT_NEAR_MISS
+    else:
+        verdict = VERDICT_OK
+    violations = safety.violations
+    return ScenarioOutcome(
+        spec=spec,
+        verdict=verdict,
+        safe=safety.is_safe,
+        violation_count=safety.violation_count,
+        checked_count=safety.checked_count,
+        atomic=atomicity.is_atomic,
+        inversion_count=len(atomicity.inversions),
+        live=liveness.is_live,
+        stuck_count=len(liveness.stuck),
+        classification=classification,
+        digest=operation_digest(history),
+        fault_counters=counters,
+        network_counters={
+            "sent": system.network.sent_count,
+            "delivered": system.network.delivered_count,
+            "dropped": system.network.dropped_count,
+            "faulted": system.network.faulted_count,
+        },
+        reads_issued=driver.stats.reads_issued,
+        writes_issued=driver.stats.writes_issued,
+        quiesced=system.engine.next_event_time() is None,
+        first_violation=(violations[0].explanation if violations else None),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shrinking: minimal violating fault schedules
+# ----------------------------------------------------------------------
+
+
+def _still_violates(spec: ScenarioSpec, plan: FaultPlan) -> bool:
+    return not run_scenario(replace(spec, plan=plan)).safe
+
+
+def _window_halves(fault: Fault, horizon: Time) -> list[Fault]:
+    """The two half-window restrictions of a windowed fault (or [])."""
+    if isinstance(fault, CrashFault):
+        return []
+    start = fault.start
+    end = fault.end if fault.end is not None else horizon
+    if end - start <= 1.0:
+        return []
+    mid = (start + end) / 2.0
+    return [
+        replace(fault, start=start, end=mid),
+        replace(fault, start=mid, end=end),
+    ]
+
+
+def shrink_plan(
+    spec: ScenarioSpec, budget: int = 12
+) -> tuple[FaultPlan, int]:
+    """Minimize a violating spec's fault schedule.
+
+    Two deterministic passes, both bounded by ``budget`` re-runs:
+    drop whole faults while the violation persists (ddmin step), then
+    bisect each survivor's time window to the smallest half that still
+    violates.  Returns the shrunk plan and the number of runs spent.
+    """
+    faults = list(spec.plan.atomic_faults())
+    name = (spec.plan.name or "plan") + "~shrunk"
+    runs = 0
+
+    # Pass 1: remove whole faults — down to the *empty* plan, which is
+    # reachable when the violation never needed the faults at all (an
+    # empty shrunk plan in a report means exactly that).
+    changed = True
+    while changed and faults and runs < budget:
+        changed = False
+        for index in range(len(faults)):
+            if runs >= budget:
+                break
+            candidate = FaultPlan.of(
+                *(faults[:index] + faults[index + 1 :]), name=name
+            )
+            runs += 1
+            if _still_violates(spec, candidate):
+                faults = list(candidate.atomic_faults())
+                changed = True
+                break
+
+    # Pass 2: bisect each surviving fault's schedule window.
+    for index, fault in enumerate(list(faults)):
+        narrowed = fault
+        while runs < budget:
+            halves = _window_halves(narrowed, spec.horizon)
+            if not halves:
+                break
+            adopted = None
+            for half in halves:
+                if runs >= budget:
+                    break
+                candidate_faults = list(faults)
+                candidate_faults[index] = half
+                runs += 1
+                if _still_violates(spec, FaultPlan.of(*candidate_faults, name=name)):
+                    adopted = half
+                    break
+            if adopted is None:
+                break
+            narrowed = adopted
+            faults[index] = narrowed
+
+    return FaultPlan.of(*faults, name=name), runs
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExplorationReport:
+    """Every outcome of one exploration, plus the derived artifact."""
+
+    root_seed: int
+    budget: int
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+    shrink_runs: int = 0
+    skipped_cells: int = 0  # matrix cells beyond the budget, never run
+
+    @property
+    def bugs(self) -> list[ScenarioOutcome]:
+        return [
+            o
+            for o in self.outcomes
+            if o.verdict == VERDICT_BUG or o.shrunk_verdict == VERDICT_BUG
+        ]
+
+    @property
+    def breakages(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if o.verdict == VERDICT_BREAKAGE]
+
+    @property
+    def near_misses(self) -> list[ScenarioOutcome]:
+        return [o for o in self.outcomes if o.verdict == VERDICT_NEAR_MISS]
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.verdict] = tally.get(outcome.verdict, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "artifact": "EXPLORE_report",
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "root_seed": self.root_seed,
+            "budget": self.budget,
+            "counts": self.counts(),
+            "skipped_cells": self.skipped_cells,
+            "runs": [outcome.to_dict() for outcome in self.outcomes],
+            "counterexamples": [
+                outcome.to_dict()
+                for outcome in self.outcomes
+                if outcome.violated
+            ],
+            "shrink_runs_total": self.shrink_runs,
+        }
+
+    def summary(self) -> str:
+        counts = self.counts()
+        rendered = ", ".join(f"{k}={v}" for k, v in counts.items()) or "no runs"
+        skipped = (
+            f"; {self.skipped_cells} matrix cells beyond the budget NOT run"
+            if self.skipped_cells
+            else ""
+        )
+        return (
+            f"explored {len(self.outcomes)} scenarios (seed {self.root_seed}): "
+            f"{rendered}; {self.shrink_runs} shrink re-runs{skipped}"
+        )
+
+
+def scenario_matrix(
+    seed: int,
+    protocols: tuple[str, ...],
+    delays: tuple[str, ...],
+    churn_rates: tuple[float, ...],
+    plan_names: tuple[str, ...],
+    seeds_per_combo: int,
+    n: int,
+    delta: Time,
+    horizon: Time,
+) -> Iterator[ScenarioSpec]:
+    """The sweep, in deterministic order (plans vary slowest)."""
+    for name in plan_names:
+        plan = build_plan(name, delta, horizon, n)
+        for protocol in protocols:
+            for delay in delays:
+                for churn_rate in churn_rates:
+                    for offset in range(seeds_per_combo):
+                        yield ScenarioSpec(
+                            protocol=protocol,
+                            n=n,
+                            delta=delta,
+                            delay=delay,
+                            churn_rate=churn_rate,
+                            plan=plan,
+                            seed=seed + offset,
+                            horizon=horizon,
+                        )
+
+
+def explore(
+    budget: int = 50,
+    seed: int = 0,
+    protocols: tuple[str, ...] = ("sync", "es", "abd"),
+    delays: tuple[str, ...] = ("sync", "es"),
+    churn_rates: tuple[float, ...] = (0.0, 0.02),
+    plan_names: tuple[str, ...] = DEFAULT_PLAN_NAMES,
+    seeds_per_combo: int = 1,
+    n: int = 10,
+    delta: Time = 5.0,
+    horizon: Time = 120.0,
+    shrink: bool = True,
+    shrink_budget: int = 12,
+) -> ExplorationReport:
+    """Sweep the matrix, judge every run, shrink every counterexample.
+
+    ``budget`` caps the number of sweep cells actually run (the matrix
+    is truncated, deterministically, never sampled); shrinking spends
+    at most ``shrink_budget`` extra runs per counterexample.
+    """
+    if budget < 1:
+        raise ExperimentError(f"budget must be at least 1, got {budget!r}")
+    for delay in delays:
+        if delay not in DELAY_MODEL_NAMES:
+            raise ExperimentError(
+                f"unknown delay model {delay!r}; choose from {DELAY_MODEL_NAMES}"
+            )
+    report = ExplorationReport(root_seed=seed, budget=budget)
+    specs = list(
+        scenario_matrix(
+            seed, tuple(protocols), tuple(delays), tuple(churn_rates),
+            tuple(plan_names), seeds_per_combo, n, delta, horizon,
+        )
+    )
+    report.skipped_cells = max(0, len(specs) - budget)
+    for spec in specs[:budget]:
+        outcome = run_scenario(spec)
+        if outcome.violated and shrink and len(spec.plan) > 0:
+            shrunk, used = shrink_plan(spec, budget=shrink_budget)
+            # Re-judge the cell under the minimized plan: its (possibly
+            # stricter) classification is the one the shrinker isolated.
+            shrunk_outcome = run_scenario(replace(spec, plan=shrunk))
+            report.shrink_runs += used + 1
+            outcome = replace(
+                outcome,
+                shrunk_plan=shrunk,
+                shrink_runs=used,
+                shrunk_verdict=shrunk_outcome.verdict,
+            )
+        report.outcomes.append(outcome)
+    return report

@@ -9,6 +9,7 @@ from repro.analysis.stats import (
     wilson_interval,
 )
 from repro.sim.errors import ExperimentError
+from tests.conftest import make_system
 
 
 class TestSummarize:
@@ -91,3 +92,62 @@ class TestPercentile:
             percentile([], 50.0)
         with pytest.raises(ExperimentError):
             percentile([1.0], 150.0)
+
+
+class TestHistoryEdgeCases:
+    """The helpers against the degenerate histories experiments can
+    produce: no operations at all, a single operation, every operation
+    abandoned by a departing process."""
+
+    def test_empty_history_yields_no_latency_samples(self):
+        system = make_system(n=2)
+        system.run_until(10.0)
+        report = system.check_liveness()
+        assert report.latencies.get("read", []) == []
+        with pytest.raises(ExperimentError):
+            summarize(report.latencies.get("read", []))
+
+    def test_single_op_history_summarizes_with_zero_spread(self):
+        system = make_system(n=2)
+        system.write("v1")
+        system.run_until(20.0)
+        report = system.check_liveness()
+        summary = summarize(report.latencies["write"])
+        assert summary.count == 1
+        assert summary.stdev == 0.0
+        assert summary.minimum == summary.maximum == summary.mean
+
+    def test_all_ops_abandoned_produce_no_latencies(self):
+        # A write and a join, both abandoned mid-flight by a leave (the
+        # two non-instantaneous operation kinds).
+        system = make_system(n=3)
+        system.write("doomed")
+        joiner = system.spawn_joiner()
+        system.run_until(1.0)
+        system.leave(system.writer_pid)
+        system.leave(joiner)
+        system.run_until(20.0)
+        report = system.check_liveness()
+        assert report.is_live  # abandoned operations are excused...
+        assert report.excused == 2
+        assert report.latencies.get("write", []) == []  # ...not measured
+        assert proportion(report.completed, len(system.history)) == 0.0
+
+
+class TestNumericEdgeCases:
+    def test_summarize_identical_samples_has_zero_stdev(self):
+        summary = summarize([4.0, 4.0, 4.0])
+        assert summary.stdev == 0.0
+        assert summary.mean == 4.0
+
+    def test_percentile_with_duplicates(self):
+        assert percentile([1.0, 1.0, 1.0, 9.0], 50.0) == 1.0
+
+    def test_proportion_of_certainty(self):
+        assert proportion(5, 5) == 1.0
+
+    def test_wilson_interval_degenerate_extremes_stay_in_bounds(self):
+        low, high = wilson_interval(0, 1)
+        assert 0.0 <= low <= high <= 1.0
+        low, high = wilson_interval(1, 1)
+        assert 0.0 <= low <= high <= 1.0

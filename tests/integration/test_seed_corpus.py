@@ -1,0 +1,174 @@
+"""The regression-seed corpus: found scenarios never regress.
+
+``tests/corpus/seeds.json`` records every explorer scenario worth
+keeping — violating runs (expected breakages of the paper's
+hypotheses) and near-misses (faults fired, safety held) — together
+with the verdict, checker counts and history digest observed when the
+entry was recorded.  This suite replays each entry and asserts the
+outcome is unchanged, so a scenario the explorer once found can never
+silently change meaning.
+
+The digests double as a determinism net: like the BENCH_kernel.json
+digest, they may only change when a PR *intentionally* changes
+scheduling, RNG draws or churn accounting — such a PR regenerates the
+corpus (and says so) with::
+
+    PYTHONPATH=src python tests/integration/test_seed_corpus.py --regen
+
+The canonical scenario list lives in :data:`CORPUS_SCENARIOS` below;
+regeneration re-runs it and rewrites the expectations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.explorer import ScenarioSpec, build_plan, run_scenario
+
+CORPUS_PATH = Path(__file__).parent.parent / "corpus" / "seeds.json"
+
+DELTA = 5.0
+HORIZON = 120.0
+N = 10
+
+
+def _spec(name: str, plan_name: str, **overrides) -> tuple[str, ScenarioSpec]:
+    plan = build_plan(plan_name, DELTA, HORIZON, N)
+    return name, ScenarioSpec(
+        n=N, delta=DELTA, horizon=HORIZON, plan=plan, **overrides
+    )
+
+
+#: The canonical corpus: one entry per scenario family the explorer
+#: surfaced.  Violating entries document hypothesis breakage; safe
+#: entries pin the near-miss boundary from the other side.
+CORPUS_SCENARIOS: list[tuple[str, ScenarioSpec]] = [
+    # -- expected breakages (out-of-model violations) ------------------
+    _spec("sync-heavy-loss", "heavy-loss", protocol="sync", delay="sync", seed=0),
+    _spec(
+        "sync-partition-drop", "partition-drop", protocol="sync", delay="sync", seed=0
+    ),
+    _spec("sync-delay-spike", "delay-spike", protocol="sync", delay="sync", seed=0),
+    _spec(
+        "sync-under-es-delays", "none", protocol="sync", delay="es", seed=0
+    ),  # the sync protocol needs the bound it assumes
+    _spec(
+        "abd-under-churn", "none", protocol="abd", delay="sync",
+        churn_rate=0.02, seed=0,
+    ),  # the paper's motivation: the static baseline breaks
+    _spec(
+        "combo-shrinks-to-partition", "combo", protocol="sync", delay="sync",
+        churn_rate=0.02, seed=0,
+    ),
+    # -- near misses (faults fired, safety held) -----------------------
+    _spec(
+        "sync-light-loss-holds", "light-loss", protocol="sync", delay="sync",
+        churn_rate=0.02, seed=0,
+    ),
+    _spec(
+        "sync-writer-crash-holds", "writer-crash", protocol="sync", delay="sync",
+        seed=0,
+    ),
+    _spec(
+        "es-stalls-dont-lie", "heavy-loss", protocol="es", delay="sync",
+        churn_rate=0.02, seed=0,
+    ),  # quorums block under loss but never return stale values
+    _spec(
+        "es-partition-drop-holds", "partition-drop", protocol="es", delay="es",
+        churn_rate=0.02, seed=0,
+    ),
+    # -- clean baselines ----------------------------------------------
+    _spec("sync-baseline", "none", protocol="sync", delay="sync",
+          churn_rate=0.02, seed=0),
+    _spec("es-baseline", "none", protocol="es", delay="es",
+          churn_rate=0.02, seed=0),
+]
+
+
+def _expectation(spec: ScenarioSpec) -> dict:
+    outcome = run_scenario(spec)
+    return {
+        "verdict": outcome.verdict,
+        "safe": outcome.safe,
+        "violations": outcome.violation_count,
+        "checked": outcome.checked_count,
+        "live": outcome.live,
+        "in_model": outcome.classification.in_model,
+        "digest": outcome.digest,
+    }
+
+
+def regenerate() -> dict:
+    """Re-run every canonical scenario and rebuild the corpus payload."""
+    entries = []
+    for name, spec in CORPUS_SCENARIOS:
+        entries.append(
+            {"name": name, "spec": spec.to_dict(), "expect": _expectation(spec)}
+        )
+    return {"schema_version": 1, "entries": entries}
+
+
+def load_corpus() -> list[dict]:
+    if not CORPUS_PATH.exists():
+        # The sync-check test below fails loudly in this case; keep
+        # import (and --regen bootstrap) working.
+        return []
+    payload = json.loads(CORPUS_PATH.read_text())
+    return payload["entries"]
+
+
+def test_corpus_file_matches_the_canonical_scenario_list():
+    """seeds.json must cover exactly the scenarios defined here."""
+    recorded = [entry["name"] for entry in load_corpus()]
+    assert recorded == [name for name, _ in CORPUS_SCENARIOS], (
+        "tests/corpus/seeds.json is out of sync with CORPUS_SCENARIOS — "
+        "regenerate it (see module docstring)"
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", load_corpus(), ids=lambda entry: entry["name"]
+)
+def test_corpus_seed_replays_to_the_recorded_verdict(entry):
+    spec = ScenarioSpec.from_dict(entry["spec"])
+    expect = entry["expect"]
+    outcome = run_scenario(spec)
+    observed = {
+        "verdict": outcome.verdict,
+        "safe": outcome.safe,
+        "violations": outcome.violation_count,
+        "checked": outcome.checked_count,
+        "live": outcome.live,
+        "in_model": outcome.classification.in_model,
+        "digest": outcome.digest,
+    }
+    assert observed == expect, (
+        f"corpus seed {entry['name']!r} no longer replays to its recorded "
+        f"outcome; if this PR intentionally changed scheduling/RNG/churn "
+        f"semantics, regenerate the corpus (see module docstring)"
+    )
+
+
+def test_corpus_keeps_documenting_the_boundary():
+    """The corpus must retain both sides of the model boundary."""
+    entries = load_corpus()
+    verdicts = {entry["expect"]["verdict"] for entry in entries}
+    assert "expected-breakage" in verdicts
+    assert {"near-miss", "ok"} & verdicts
+    assert not any(
+        entry["expect"]["verdict"] == "bug" for entry in entries
+    ), "an in-model bug must be fixed, not enshrined in the corpus"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        CORPUS_PATH.parent.mkdir(parents=True, exist_ok=True)
+        CORPUS_PATH.write_text(json.dumps(regenerate(), indent=2) + "\n")
+        print(f"wrote {CORPUS_PATH}")
+    else:
+        print("usage: python tests/integration/test_seed_corpus.py --regen")

@@ -4,6 +4,7 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.faults import FaultInjector, FaultPlan, LossFault
 from repro.net.delay import SynchronousDelay
 from repro.net.network import Network
 from repro.sim.errors import NetworkError, UnknownProcessError
@@ -101,3 +102,39 @@ class TestSend:
 
     def test_known_bound_reflects_model(self, net):
         assert net.known_bound == 5.0
+
+
+class TestDropAccounting:
+    """Fault-induced drops and departed-destination drops are counted
+    separately (``faulted_count`` vs ``dropped_count``) and carry a
+    ``reason`` in their trace records."""
+
+    def test_departed_drop_reason_in_trace(self, net, engine, membership, trace):
+        net.send("p1", "p2", Note("x"))
+        membership.process("p2").depart()
+        membership.leave("p2", 0.0)
+        engine.run()
+        (record,) = trace.filter(TraceKind.DROP)
+        assert record.details["reason"] == "departed"
+        assert net.dropped_count == 1
+        assert net.faulted_count == 0
+
+    def test_fault_drop_counted_separately(self, net, engine, rng, trace):
+        net.install_faults(
+            FaultInjector(
+                FaultPlan.of(LossFault(probability=1.0)), rng.stream("test.faults")
+            )
+        )
+        net.send("p1", "p2", Note("x"))
+        engine.run()
+        assert net.faulted_count == 1
+        assert net.dropped_count == 0
+        assert net.sent_count == 1
+        (record,) = trace.filter(TraceKind.DROP)
+        assert record.details["reason"] == "loss"
+
+    def test_no_injector_means_no_fault_accounting(self, net, engine):
+        net.send("p1", "p2", Note("x"))
+        engine.run()
+        assert net.faults is None
+        assert net.faulted_count == 0

@@ -1,0 +1,165 @@
+"""Property tests for the fault subsystem.
+
+Three families of claims:
+
+* **In-model robustness** — with faults confined to the model's
+  assumptions (loss at or below the broadcast-cover threshold,
+  defer-partitions shorter than the synchronous bound, crash-style
+  departures), regularity still holds across all three protocols.
+  Violating one of these cases would be a genuine protocol bug, not an
+  expected breakage.
+* **Fault-schedule determinism** — the same seed replays the exact
+  same fault schedule: byte-identical history digests across repeated
+  runs, for every library plan.
+* **Gate transparency** — a run with no fault plan is byte-identical
+  to the pre-faults kernel (the pinned PR 1 digest), and installing an
+  *empty* plan draws no randomness, so it is byte-identical too.
+"""
+
+import pytest
+
+from repro.bench import history_digest
+from repro.core.history import operation_digest
+from repro.faults import CrashFault, FaultPlan, LossFault, PartitionFault
+from repro.runtime.config import SystemConfig
+from repro.runtime.system import DynamicSystem
+from repro.workloads.explorer import ScenarioSpec, build_plan, run_scenario
+
+DELTA = 5.0
+
+#: The fixed-seed determinism digest recorded in BENCH_kernel.json by
+#: PR 1, before the fault subsystem existed.  A no-fault-plan run must
+#: keep reproducing it byte for byte; only a PR that *intentionally*
+#: changes scheduling, RNG draws or churn accounting may update it
+#: (and must say so, per ROADMAP "Reading BENCH_kernel.json").
+PRE_FAULTS_DIGEST = "4fbcfd6718e796c7ef1915dd1c8cb203925addac878fb1e7df84b25321e39d50"
+
+
+def in_model_plan(n: int) -> FaultPlan:
+    """Loss below the cover threshold, a defer partition shorter than
+    delta, and a crash — all inside the paper's assumptions."""
+    return FaultPlan.of(
+        LossFault(probability=0.05, payload_types=frozenset({"Reply"})),
+        PartitionFault(
+            start=40.0,
+            end=40.0 + 0.8 * DELTA,
+            group_a=frozenset(f"p{i:04d}" for i in range(2, 2 + max(1, n // 3))),
+            mode="defer",
+        ),
+        CrashFault(phase="WriteMsg", victim="dest", pid=f"p{n:04d}", occurrence=2),
+        name="in-model-mix",
+    )
+
+
+def run_faulted(protocol: str, n: int, seed: int, plan: FaultPlan | None):
+    """A churny read-heavy run with ``plan`` installed; returns the system."""
+    system = DynamicSystem(
+        SystemConfig(
+            n=n, delta=DELTA, protocol=protocol, seed=seed, trace=False, faults=plan
+        )
+    )
+    # ABD assumes a static universe, so only the dynamic protocols churn.
+    if protocol != "abd":
+        system.attach_churn(rate=0.02, min_stay=3.0 * DELTA)
+    pending_write = None
+    for _ in range(8):
+        # Serialize writes like the workload driver does: quorum writes
+        # can outlive the round under faults, and the checkers require
+        # non-overlapping write intervals.
+        if (
+            pending_write is None or not pending_write.pending
+        ) and system.membership.is_present(system.writer_pid):
+            pending_write = system.write()
+        system.run_for(8.0)
+        for pid in system.active_pids()[:4]:
+            system.read(pid)
+        system.run_for(4.0)
+    system.close()
+    return system
+
+
+class TestInModelFaultsPreserveRegularity:
+    """Verified over pinned seeds: the plan's classification says
+    in-model, and the checkers agree the history stays regular."""
+
+    @pytest.mark.parametrize("protocol,n", [("sync", 15), ("es", 15), ("abd", 15)])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_regularity_holds_under_in_model_faults(self, protocol, n, seed):
+        plan = in_model_plan(n)
+        assert plan.classify(DELTA, known_bound=DELTA).in_model
+        system = run_faulted(protocol, n, seed, plan)
+        assert system.faults is not None
+        report = system.check_safety()
+        assert report.is_safe, (
+            f"in-model faults broke regularity on {protocol} seed {seed}: "
+            f"{report.violations[0].explanation}"
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_in_model_faults_actually_fired(self, seed):
+        # Guard against the property passing vacuously.
+        system = run_faulted("sync", 15, seed, in_model_plan(15))
+        counters = system.faults.counters()
+        assert counters["lost"] + counters["deferred"] + counters["crashes_fired"] > 0
+
+    def test_explorer_agrees_for_the_in_model_library_plans(self):
+        for name in ("light-loss", "partition-defer", "writer-crash"):
+            spec = ScenarioSpec(
+                protocol="sync",
+                delay="sync",
+                churn_rate=0.02,
+                plan=build_plan(name, DELTA, 120.0, 10),
+                seed=0,
+            )
+            outcome = run_scenario(spec)
+            assert outcome.classification.in_model
+            assert outcome.safe, f"plan {name} violated regularity"
+
+
+class TestFaultScheduleDeterminism:
+    @pytest.mark.parametrize(
+        "plan_name",
+        ["light-loss", "heavy-loss", "partition-drop", "delay-spike", "writer-crash"],
+    )
+    def test_same_seed_same_history_digest(self, plan_name):
+        plan = build_plan(plan_name, DELTA, 120.0, 15)
+        digests = {
+            operation_digest(run_faulted("sync", 15, 9, plan).history)
+            for _ in range(2)
+        }
+        assert len(digests) == 1
+
+    def test_different_seeds_draw_different_schedules(self):
+        plan = build_plan("heavy-loss", DELTA, 120.0, 15)
+        a = operation_digest(run_faulted("sync", 15, 9, plan).history)
+        b = operation_digest(run_faulted("sync", 15, 10, plan).history)
+        assert a != b
+
+    def test_faulted_counters_are_reproducible(self):
+        plan = build_plan("heavy-loss", DELTA, 120.0, 15)
+        first = run_faulted("sync", 15, 9, plan)
+        second = run_faulted("sync", 15, 9, plan)
+        assert first.faults.counters() == second.faults.counters()
+        assert first.network.faulted_count == second.network.faulted_count
+
+
+class TestGateTransparency:
+    def test_no_plan_reproduces_the_pre_faults_digest(self):
+        assert history_digest() == PRE_FAULTS_DIGEST
+
+    def test_empty_plan_is_byte_identical_to_no_plan(self):
+        assert history_digest(faults=FaultPlan(name="empty")) == PRE_FAULTS_DIGEST
+
+    def test_idle_plan_is_byte_identical_to_no_plan(self):
+        # A plan whose only fault can never match (window beyond the
+        # horizon) draws no randomness and must not perturb the run.
+        idle = FaultPlan.of(
+            PartitionFault(start=1e9, end=2e9, group_a=frozenset({"p0001"})),
+            name="idle",
+        )
+        assert history_digest(faults=idle) == PRE_FAULTS_DIGEST
+
+    def test_active_plan_changes_the_digest(self):
+        # Sanity check that the digest is actually sensitive to faults.
+        plan = build_plan("heavy-loss", DELTA, 120.0, 15)
+        assert history_digest(faults=plan) != PRE_FAULTS_DIGEST

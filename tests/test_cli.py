@@ -132,3 +132,77 @@ class TestBench:
         # so speedup magnitude is asserted by the best-of-N guard in
         # benchmarks/test_bench_kernel.py, not here.
         assert payload["derived"]["checker_atomicity_speedup"] > 0.0
+
+
+class TestExplore:
+    def test_smoke_sweep_exits_zero(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--budget", "6",
+                "--protocols", "sync",
+                "--delays", "sync",
+                "--churn", "0.0",
+                "--plans", "none", "light-loss",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explored 2 scenarios" in out
+
+    def test_violations_are_printed_with_their_reasons(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--budget", "1",
+                "--protocols", "sync",
+                "--delays", "sync",
+                "--churn", "0.0",
+                "--plans", "heavy-loss",
+            ]
+        )
+        assert code == 0  # out-of-model breakage is documentation, not a bug
+        out = capsys.readouterr().out
+        assert "expected-breakage" in out
+        assert "out-of-model" in out
+        assert "shrunk to" in out
+
+    def test_report_artifact_round_trips(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "explore.json"
+        code = main(
+            [
+                "explore",
+                "--budget", "2",
+                "--protocols", "sync",
+                "--delays", "sync",
+                "--churn", "0.0",
+                "--plans", "partition-drop",
+                "--no-shrink",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["artifact"] == "EXPLORE_report"
+        assert payload["counterexamples"]
+
+    def test_unknown_plan_rejected(self, capsys):
+        assert main(["explore", "--plans", "gremlins"]) == 2
+        assert "unknown plan" in capsys.readouterr().err
+
+    def test_verbose_prints_every_run(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--budget", "1",
+                "--protocols", "sync",
+                "--delays", "sync",
+                "--churn", "0.0",
+                "--plans", "none",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        assert "[               ok]" in capsys.readouterr().out

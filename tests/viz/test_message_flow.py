@@ -1,5 +1,7 @@
 """Tests for the message-flow listing."""
 
+from repro.faults import FaultPlan, LossFault
+from repro.sim.trace import TraceLog
 from repro.viz.message_flow import render_message_flow
 from repro.workloads.scenarios import figure_3a
 from tests.conftest import make_system
@@ -55,3 +57,26 @@ class TestMessageFlow:
         system.run_until(5.0)
         text = render_message_flow(system.trace, payload_types={"Nothing"})
         assert text == "(no matching message events)"
+
+    def test_empty_trace(self):
+        assert render_message_flow(TraceLog()) == "(no matching message events)"
+
+    def test_departed_drop_names_its_cause(self):
+        scenario = figure_3a()
+        text = render_message_flow(scenario.system.trace)
+        assert "DROPPED (receiver left)" in text
+
+    def test_fault_drop_names_its_reason(self):
+        plan = FaultPlan.of(LossFault(probability=1.0, payload_types={"WriteMsg"}))
+        system = make_system(n=3, faults=plan)
+        system.write("v1")
+        system.run_until(20.0)
+        text = render_message_flow(system.trace)
+        assert "DROPPED (fault: loss)" in text
+
+    def test_single_record_trace(self):
+        system = make_system(n=2)
+        system.network.send("p0001", "p0002", "x")
+        text = render_message_flow(system.trace)
+        assert len(text.splitlines()) == 1
+        assert "p0001" in text and "p0002" in text

@@ -104,6 +104,58 @@ class TestValidation:
                 system.membership, system.history, start=5.0, end=5.0
             )
 
+    def test_empty_history_renders_lifecycle_only(self):
+        # No operations at all: rows show pure membership state.
+        system = make_system(n=2)
+        system.run_until(10.0)
+        system.close()
+        text = render_timeline(system, width=20)
+        lines = [l for l in text.splitlines() if l.startswith("p000")]
+        assert len(lines) == 2
+        assert all(set(line.split()[-1]) == {"="} for line in lines)
+
+    def test_single_operation_history(self):
+        system = make_system(n=2)
+        system.write("v1")
+        system.run_until(10.0)
+        system.close()
+        text = render_timeline(system, width=20)
+        (writer_row,) = [l for l in text.splitlines() if l.startswith("p0001")]
+        assert "W" in writer_row
+
+    def test_all_operations_abandoned(self):
+        # Every invoker leaves mid-operation (a write and a join, the
+        # two non-instantaneous kinds); markers still render and the
+        # abandoned intervals extend to the end of the window.
+        system = make_system(n=3)
+        system.write("doomed")
+        joiner = system.spawn_joiner()
+        system.run_until(1.0)
+        system.leave(system.writer_pid)
+        system.leave(joiner)
+        system.run_until(20.0)
+        system.close()
+        assert all(op.abandoned for op in system.history)
+        text = render_timeline(system, width=40)
+        rows = {l.split()[0]: l for l in text.splitlines() if l.startswith("p000")}
+        # An abandoned operation has no response, so its marker extends
+        # to the end of the window (and outranks the leave marker).
+        assert rows["p0001"].endswith("W")
+        assert rows[joiner].endswith("J")
+        # A bystander that stayed renders plain active state.
+        assert set(rows["p0002"].split()[-1]) == {"="}
+
+    def test_operation_entirely_outside_the_window_is_skipped(self):
+        system = make_system(n=2)
+        system.run_until(30.0)
+        system.write("late")
+        system.run_until(40.0)
+        system.close()
+        text = TimelineRenderer(
+            system.membership, system.history, start=0.0, end=20.0, width=20
+        ).render()
+        assert "W" not in text.splitlines()[1]
+
     def test_open_history_uses_current_time(self):
         system = make_system(n=2)
         system.run_until(10.0)
