@@ -6,6 +6,7 @@ benchmarks so CI (or a bare checkout without the package installed) can
 produce the ``BENCH_kernel.json`` trajectory artifact with one command:
 
     python benchmarks/run_bench.py [--out BENCH_kernel.json] [--repeats N]
+                                   [--workers N]
 """
 
 from __future__ import annotations
@@ -23,9 +24,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=ARTIFACT_NAME)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args(argv)
     try:
-        return run_and_report(out_path=args.out, repeats=args.repeats)
+        return run_and_report(
+            out_path=args.out, repeats=args.repeats, workers=args.workers
+        )
     except OSError as error:
         print(f"error: cannot write artifact: {error}", file=sys.stderr)
         return 2

@@ -2,9 +2,10 @@
 
 Runs the micro-benchmarks that track the cost of the simulation
 substrate (event throughput, broadcast fan-out with tracing on/off,
-churn bookkeeping, checker cost fast vs. paranoid) without pytest, and
-writes the results as a ``BENCH_kernel.json`` trajectory artifact so
-every PR leaves a perf baseline behind.
+churn bookkeeping, checker cost fast vs. paranoid, a judged explorer
+sweep serial vs. multi-worker through the execution engine) without
+pytest, and writes the results as a ``BENCH_kernel.json`` trajectory
+artifact so every PR leaves a perf baseline behind.
 
 The artifact also records a determinism digest — a SHA-256 over the
 operation history of a fixed-seed churn run — computed twice in the
@@ -14,6 +15,7 @@ reproducibility is caught by the same entry point that measures speed.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import platform
 import time
@@ -21,6 +23,7 @@ from typing import Any, Callable
 
 from .core.checker import RegularityChecker, find_new_old_inversions
 from .core.history import History, operation_digest
+from .exec.runner import default_workers, fallback_count
 from .faults.plan import FaultPlan, PartitionFault
 from .runtime.config import SystemConfig
 from .runtime.system import DynamicSystem
@@ -106,6 +109,36 @@ def checker_history(rounds: int = 20, readers: int = 20, per: int = 5) -> Histor
     return system.close()
 
 
+def explore_sweep(workers: int) -> tuple[str, int]:
+    """The explorer sweep the parallel-runner benchmark times.
+
+    Six heavyweight cells (sync and ES protocols under three fault
+    plans, churn on) through :func:`repro.workloads.explorer.explore`
+    with shrinking disabled — an embarrassingly parallel judged sweep.
+    Returns the report's JSON digest plus the cell count, so the
+    caller can assert the serial and parallel runs produced the
+    byte-identical report the engine guarantees.
+    """
+    from .workloads.explorer import explore
+
+    report = explore(
+        budget=6,
+        seed=3,
+        protocols=("sync", "es"),
+        delays=("sync",),
+        churn_rates=(0.03,),
+        plan_names=("none", "light-loss", "writer-crash"),
+        seeds_per_combo=1,
+        n=30,
+        delta=5.0,
+        horizon=300.0,
+        shrink=False,
+        workers=workers,
+    )
+    blob = json.dumps(report.to_dict(), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest(), len(report.outcomes)
+
+
 def history_digest(seed: int = 7, faults: FaultPlan | None = None) -> str:
     """SHA-256 fingerprint of a fixed-seed churn run's operation history.
 
@@ -133,8 +166,14 @@ def history_digest(seed: int = 7, faults: FaultPlan | None = None) -> str:
 # ----------------------------------------------------------------------
 
 
-def run_kernel_benchmarks(repeats: int = 3) -> dict[str, Any]:
-    """Execute every kernel benchmark and return the artifact payload."""
+def run_kernel_benchmarks(
+    repeats: int = 3, workers: int | None = None
+) -> dict[str, Any]:
+    """Execute every kernel benchmark and return the artifact payload.
+
+    ``workers`` sizes the multi-worker leg of the parallel-sweep
+    benchmark (default: all cores).
+    """
     benchmarks: list[dict[str, Any]] = []
 
     def record(name: str, seconds: float, metric: str, value: Any) -> None:
@@ -205,6 +244,26 @@ def run_kernel_benchmarks(repeats: int = 3) -> dict[str, Any]:
             "run the equivalence property suite"
         )
 
+    sweep_workers = max(1, workers) if workers is not None else default_workers()
+    serial_sweep, (serial_digest, sweep_cells) = _time_best(
+        lambda: explore_sweep(workers=1), repeats
+    )
+    record("explore_sweep_serial", serial_sweep, "cells", sweep_cells)
+    fallbacks_before = fallback_count()
+    parallel_sweep, (parallel_digest, parallel_cells) = _time_best(
+        lambda: explore_sweep(workers=sweep_workers), repeats
+    )
+    record("explore_sweep_parallel", parallel_sweep, "cells", parallel_cells)
+    # Whether the parallel leg truly ran on a pool: in a pool-less
+    # environment the Runner falls back to the serial path, and the
+    # recorded speedup would otherwise masquerade as a regression.
+    pool_used = sweep_workers > 1 and fallback_count() == fallbacks_before
+    if (serial_digest, sweep_cells) != (parallel_digest, parallel_cells):
+        raise AssertionError(
+            "the parallel explorer sweep produced a different report than "
+            "the serial one — the execution engine's ordering guarantee broke"
+        )
+
     digest_a = history_digest()
     digest_b = history_digest()
     faulted_plan = FaultPlan.of(
@@ -221,11 +280,17 @@ def run_kernel_benchmarks(repeats: int = 3) -> dict[str, Any]:
         "repeats": repeats,
         "history_ops": ops,
         "benchmarks": benchmarks,
+        "parallel_workers": sweep_workers,
+        "parallel_pool_used": pool_used,
         "derived": {
             "trace_off_speedup": round(seconds_on / seconds_off, 3),
             "fault_gate_overhead": round(seconds_gated / seconds_off, 3),
             "checker_regularity_speedup": round(naive_reg / fast_reg, 3),
             "checker_atomicity_speedup": round(naive_atom / fast_atom, 3),
+            # serial wall time over multi-worker wall time for the same
+            # judged sweep; ~1.0 (pool overhead only) on a single-core
+            # host, >1 with real cores to fan out across.
+            "parallel_explore_speedup": round(serial_sweep / parallel_sweep, 3),
         },
         "determinism": {
             "digest": digest_a,
@@ -242,9 +307,11 @@ def write_artifact(payload: dict[str, Any], out_path: str) -> None:
         handle.write("\n")
 
 
-def run_and_report(out_path: str = ARTIFACT_NAME, repeats: int = 3) -> int:
+def run_and_report(
+    out_path: str = ARTIFACT_NAME, repeats: int = 3, workers: int | None = None
+) -> int:
     """CLI body shared by ``python -m repro bench`` and run_bench.py."""
-    payload = run_kernel_benchmarks(repeats=repeats)
+    payload = run_kernel_benchmarks(repeats=repeats, workers=workers)
     write_artifact(payload, out_path)
     width = max(len(b["name"]) for b in payload["benchmarks"])
     for bench in payload["benchmarks"]:

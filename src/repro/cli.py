@@ -3,8 +3,10 @@
 Six subcommands, mirroring how the library is typically used:
 
 ``experiments``
-    Run the reproduction battery (E1–E11, optionally the A1–A4
-    ablations) and print each table and verdict.
+    Run the reproduction battery (E1–E12, optionally the ablations)
+    and print each table and verdict.  Each experiment's sweep runs
+    through the parallel execution engine (``--workers``); tables are
+    byte-identical at any worker count.
 
 ``scenario``
     Replay one of the scripted figure scenarios (``fig3a``, ``fig3b``,
@@ -31,7 +33,9 @@ Six subcommands, mirroring how the library is typically used:
     Sweep the adversarial scenario matrix (protocol × delay model ×
     churn × fault plan × seed), judge every history with the checkers,
     shrink violating fault schedules and optionally write the JSON
-    counterexample report.  In-model violations are bugs (exit 1);
+    counterexample report.  The sweep fans out across ``--workers``
+    processes (cells are independent; the report is byte-identical at
+    any worker count).  In-model violations are bugs (exit 1);
     out-of-model ones document the paper's hypotheses (exit 0).
 """
 
@@ -90,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the A1-A4 ablations in the default set",
     )
+    _add_workers_flag(experiments, "run each experiment's sweep cells")
 
     scenario = sub.add_parser("scenario", help="replay a scripted figure")
     scenario.add_argument("name", choices=sorted(_SCENARIOS))
@@ -143,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="timing repeats per benchmark; the best wall time is kept",
     )
+    _add_workers_flag(bench, "run the parallel-sweep benchmark")
 
     explore = sub.add_parser(
         "explore", help="sweep adversarial fault scenarios and shrink violations"
@@ -188,7 +194,25 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument(
         "--verbose", action="store_true", help="print every run, not just violations"
     )
+    _add_workers_flag(explore, "judge sweep cells")
     return parser
+
+
+def _add_workers_flag(sub: argparse.ArgumentParser, doing: str) -> None:
+    """The shared ``--workers`` flag of the parallel execution engine."""
+    from .exec.runner import default_workers
+
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            f"processes used to {doing} (default: all cores, "
+            f"{default_workers()} here); output is byte-identical "
+            f"at any worker count"
+        ),
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -206,7 +230,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             from .bench import run_and_report
 
             try:
-                return run_and_report(out_path=args.out, repeats=args.repeats)
+                return run_and_report(
+                    out_path=args.out, repeats=args.repeats, workers=args.workers
+                )
             except OSError as error:
                 print(f"error: cannot write artifact: {error}", file=sys.stderr)
                 return 2
@@ -242,7 +268,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         selected = dict(EXPERIMENTS)
     failures = []
     for experiment_id, runner in selected.items():
-        result = runner(seed=args.seed, quick=args.quick)
+        result = runner(seed=args.seed, quick=args.quick, workers=args.workers)
         print(result.describe())
         print()
         if not result.verdict.startswith("REPRODUCED"):
@@ -336,6 +362,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         delta=args.delta,
         horizon=args.horizon,
         shrink=not args.no_shrink,
+        workers=args.workers,
     )
     for outcome in report.outcomes:
         if args.verbose or outcome.violated:

@@ -1,0 +1,176 @@
+"""The Runner: specs in, outcomes out, spec order preserved.
+
+``Runner.map`` executes every :class:`~repro.exec.spec.RunSpec`
+through a ``concurrent.futures.ProcessPoolExecutor`` and collects the
+results **in spec order** (``Executor.map`` semantics), so a sweep's
+output is byte-identical at any worker count.  Determinism needs no
+locks: every cell derives its own seed from its spec and builds its
+own simulation, so cells share no mutable state whatsoever.
+
+``workers=1`` (or a single spec) short-circuits to a plain in-process
+loop — the serial path and the parallel path run the *same* cell
+functions on the *same* specs, which is what the equivalence property
+suite asserts.  Environments that cannot run a process pool at all
+(no ``fork``/semaphores, e.g. some sandboxes — whether that surfaces
+at pool construction or only when the first worker is spawned)
+deterministically fall back to that serial path.
+
+Pools are cached per worker count and reused across ``map`` calls, so
+one ``repro experiments`` invocation pays worker startup once for its
+twelve grids, not per grid.  Safe to share: cells are pure functions
+of their specs, and ``Executor.map`` keeps result order regardless of
+which pool ran the cells.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Iterable, Sequence
+
+from ..sim.errors import ExperimentError
+from .registry import resolve
+from .spec import RunSpec
+
+
+def execute(spec: RunSpec) -> Any:
+    """Run one spec in the current process (the pool's work function)."""
+    return resolve(spec.kind)(**spec.params)
+
+
+def default_workers() -> int:
+    """The engine's default parallelism: every available core."""
+    return os.cpu_count() or 1
+
+
+#: Live executors, keyed by worker count (reused across Runner.map calls;
+#: the interpreter's exit hooks shut them down).  Keyed by the Runner's
+#: configured count, not the per-call spec count, so one battery of
+#: differently-sized grids shares a single pool.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+#: Everything a pool can raise for environmental (not cell-code) reasons:
+#: missing multiprocessing synchronization primitives at construction,
+#: denied fork/clone when workers are lazily spawned at first submit, or
+#: workers dying without a Python exception.  Cell-code exceptions never
+#: reach these handlers: _execute_for_pool captures them in the worker
+#: and they are re-raised, unchanged, in the parent.
+_POOL_FAILURES = (ImportError, NotImplementedError, OSError, BrokenProcessPool)
+
+
+class _CellFailure:
+    """A cell's own exception, carried out of the worker as a value.
+
+    Keeps the pool's exception channel unambiguous: anything *raised*
+    by ``pool.map`` is an environmental pool failure (fall back to
+    serial), anything a cell raised — even an ``OSError`` — comes back
+    as data and is re-raised verbatim in the parent.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+def _execute_for_pool(spec: RunSpec) -> Any:
+    try:
+        return execute(spec)
+    except Exception as error:  # noqa: BLE001 - re-raised in the parent
+        return _CellFailure(error)
+
+
+#: How many times a requested pool could not be used and a sweep fell
+#: back to the serial path (read via :func:`fallback_count`, so callers
+#: like the bench can record whether their "parallel" leg really was).
+_FALLBACKS = 0
+
+
+def fallback_count() -> int:
+    """Times this process fell back from a pool to the serial path."""
+    return _FALLBACKS
+
+
+def _note_fallback() -> None:
+    global _FALLBACKS
+    if _FALLBACKS == 0:
+        warnings.warn(
+            "process pool unavailable in this environment; sweeps run "
+            "serially (results are identical, only slower)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    _FALLBACKS += 1
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def grouped(results: Sequence[Any], size: int) -> list[list[Any]]:
+    """Split flat cell results into consecutive per-row groups.
+
+    The experiments lay out repetition grids row-major (all of row 0's
+    repetitions, then row 1's, ...); this is the one place the
+    stride arithmetic mapping the engine's flat, spec-ordered result
+    list back onto grid rows lives.
+    """
+    if size < 1:
+        raise ExperimentError(f"group size must be at least 1, got {size!r}")
+    if len(results) % size:
+        raise ExperimentError(
+            f"{len(results)} results do not divide into groups of {size}"
+        )
+    return [list(results[i : i + size]) for i in range(0, len(results), size)]
+
+
+class Runner:
+    """Maps specs to outcomes, serially or across a process pool."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = max(1, workers if workers is not None else default_workers())
+
+    def map(self, specs: Iterable[RunSpec]) -> list[Any]:
+        """Execute every spec; outcomes are returned in spec order."""
+        spec_list: Sequence[RunSpec] = list(specs)
+        if self.workers <= 1 or len(spec_list) <= 1:
+            return [execute(spec) for spec in spec_list]
+        results: list[Any] = []
+        failure: _CellFailure | None = None
+        try:
+            pool = _POOLS.get(self.workers)
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=self.workers)
+                _POOLS[self.workers] = pool
+            # chunksize=1 keeps heterogeneous cells load-balanced; the
+            # result order is spec order either way.  Workers spawn
+            # lazily, so a pool larger than the spec list wastes nothing.
+            # Results are consumed lazily so a failing cell fail-fasts
+            # like the serial path would, instead of draining the sweep.
+            for result in pool.map(_execute_for_pool, spec_list, chunksize=1):
+                if isinstance(result, _CellFailure):
+                    failure = result
+                    break
+                results.append(result)
+        except _POOL_FAILURES:
+            # No process support here: drop the broken pool and let the
+            # serial path compute the identical result (or surface the
+            # same error attributably, in-process).
+            _discard_pool(self.workers)
+            _note_fallback()
+            return [execute(spec) for spec in spec_list]
+        if failure is not None:
+            raise failure.error
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Runner(workers={self.workers})"
+
+
+def run_specs(specs: Iterable[RunSpec], workers: int | None = None) -> list[Any]:
+    """Convenience wrapper: ``Runner(workers).map(specs)``."""
+    return Runner(workers).map(specs)

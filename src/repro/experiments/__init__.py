@@ -1,9 +1,16 @@
 """Experiments: one module per figure/lemma/theorem of the paper.
 
 See the per-experiment index in ``DESIGN.md``.  Each module exposes
-``run(seed=0, quick=False, ...) -> ExperimentResult``; ``run_all``
-executes the whole battery (used by ``examples/reproduce_paper.py``
-and by ``EXPERIMENTS.md`` generation).
+``run(seed=0, quick=False, ..., workers=None) -> ExperimentResult``;
+``run_all`` executes the whole battery (used by
+``examples/reproduce_paper.py`` and by ``EXPERIMENTS.md`` generation).
+
+Every experiment builds its sweep as a grid of
+:class:`repro.exec.RunSpec` cells executed through the shared engine:
+``workers`` processes run cells concurrently (default: all cores) and
+the resulting tables are byte-identical at any worker count, because
+each cell's seed is derived from the root seed and the cell's grid
+coordinates — never from execution order.
 """
 
 from __future__ import annotations
@@ -45,13 +52,24 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_all(
-    seed: int = 0, quick: bool = False, ablations: bool = False
+    seed: int = 0,
+    quick: bool = False,
+    ablations: bool = False,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
-    """Run every experiment (optionally plus ablations), in paper order."""
+    """Run every experiment (optionally plus ablations), in paper order.
+
+    ``workers`` is forwarded to each experiment's grid (default: all
+    cores); the battery itself stays sequential so experiment output
+    order is stable.
+    """
     battery = dict(EXPERIMENTS)
     if ablations:
         battery.update(ABLATIONS)
-    return [runner(seed=seed, quick=quick) for runner in battery.values()]
+    return [
+        runner(seed=seed, quick=quick, workers=workers)
+        for runner in battery.values()
+    ]
 
 
 __all__ = [

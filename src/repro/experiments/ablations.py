@@ -30,7 +30,10 @@ paper's own artifacts as E1–E11; these go beyond it):
   population diverges permanently.
 
 Each ``run_aN`` returns an :class:`~repro.experiments.harness.ExperimentResult`
-with the same conventions as E1–E11.
+with the same conventions as E1–E11.  ``workers`` is accepted for
+harness uniformity with the E-experiments (the registry calls every
+runner with the same keywords); the ablation sweeps are small and some
+adapt mid-sweep, so they run serially regardless.
 """
 
 from __future__ import annotations
@@ -51,6 +54,7 @@ def run_a1(
     n: int = 10,
     delta: float = 5.0,
     spreads: tuple[float, ...] = (0.9, 0.5, 0.1),
+    workers: int | None = None,
 ) -> ExperimentResult:
     """A1 — inversion frequency as a function of delivery spread.
 
@@ -125,6 +129,7 @@ def run_a2(
     n: int = 20,
     delta: float = 5.0,
     rounds: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """A2 — randomized Figure 3: naive vs full join over many rounds.
 
@@ -247,6 +252,7 @@ def run_a3(
     delta: float = 5.0,
     p2p_delta: float = 1.0,
     joins: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """A3 — footnote 4: ``wait(δ + δ')`` vs ``wait(2δ)``.
 
@@ -325,6 +331,7 @@ def run_a4(
     quick: bool = False,
     n: int = 20,
     delta: float = 5.0,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """A4 — entrant broadcast policy: "none" vs "all".
 
@@ -401,6 +408,7 @@ def run_a5(
     n: int = 11,
     delta: float = 4.0,
     rounds: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """A5 — concurrent ES writers: the assumed-away failure mode.
 
@@ -494,6 +502,7 @@ def run_a6(
     n: int = 11,
     delta: float = 4.0,
     rounds: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """A6 — why the ES quorum must be a majority.
 

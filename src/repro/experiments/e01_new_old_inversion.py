@@ -9,17 +9,51 @@ it (it implements regularity, not atomicity).
 
 from __future__ import annotations
 
+from typing import Any
+
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..workloads.scenarios import new_old_inversion
 from .harness import ExperimentResult
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def cell(seed: int) -> dict[str, Any]:
+    """Replay the scripted inversion scenario; summarize it as data."""
+    scenario = new_old_inversion(seed=seed)
+    rows = []
+    for label, key in (
+        ("write(v1)", "write"),
+        ("read by p0002", "read_new"),
+        ("read by p0003", "read_old"),
+    ):
+        handle = scenario.handles[key]
+        rows.append(
+            {
+                "operation": label,
+                "invoked": handle.invoke_time,
+                "responded": handle.response_time,
+                "outcome": repr(handle.result),
+            }
+        )
+    return {
+        "rows": rows,
+        "narrative": list(scenario.narrative),
+        "inversion_found": bool(scenario.atomicity.inversions),
+        "regular": scenario.safety.is_safe,
+    }
+
+
+def run(seed: int = 0, quick: bool = False, workers: int | None = None) -> ExperimentResult:
     """Replay the inversion scenario and tabulate the two reads.
 
     ``quick`` is accepted for harness uniformity; the scenario is a
-    single scripted run either way.
+    single scripted run either way (so ``workers`` has nothing to
+    parallelize — the grid is one cell).
     """
-    scenario = new_old_inversion(seed=seed)
+    (outcome,) = run_specs(
+        [RunSpec(kind="e01", params={"seed": seed}, label="e01")],
+        workers=workers,
+    )
     result = ExperimentResult(
         experiment_id="E1",
         title="New/old inversion (introduction figure)",
@@ -29,30 +63,16 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         ),
         params={"seed": seed, "protocol": "sync", "n": 4},
     )
-    write = scenario.handles["write"]
-    read_new = scenario.handles["read_new"]
-    read_old = scenario.handles["read_old"]
-    for label, handle in (
-        ("write(v1)", write),
-        ("read by p0002", read_new),
-        ("read by p0003", read_old),
-    ):
-        result.add_row(
-            operation=label,
-            invoked=handle.invoke_time,
-            responded=handle.response_time,
-            outcome=repr(handle.result),
-        )
+    for row in outcome["rows"]:
+        result.add_row(**row)
     result.notes.append(
         "both reads overlap the write's interval [20, 25]; the earlier read "
         "returned 'v1' (new), the later 'v0' (old)"
     )
-    result.notes.extend(scenario.narrative)
-    inversion_found = bool(scenario.atomicity.inversions)
-    regular = scenario.safety.is_safe
+    result.notes.extend(outcome["narrative"])
     result.verdict = (
         "REPRODUCED: run is regular yet exhibits a new/old inversion"
-        if (inversion_found and regular)
+        if (outcome["inversion_found"] and outcome["regular"])
         else "NOT REPRODUCED: expected a regular-but-not-atomic run"
     )
     return result

@@ -8,13 +8,47 @@ concurrent write) then returns that stale value — a safety violation.
 
 from __future__ import annotations
 
+from typing import Any
+
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..workloads.scenarios import figure_3a
 from .harness import ExperimentResult
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Replay the Figure 3(a) schedule against the naive protocol."""
+def cell(seed: int) -> dict[str, Any]:
+    """Replay the Figure 3(a) schedule; summarize it as data."""
     scenario = figure_3a(seed=seed)
+    rows = []
+    for label, handle in scenario.handles.items():
+        rows.append(
+            {
+                "operation": label,
+                "process": handle.process_id,
+                "invoked": handle.invoke_time,
+                "responded": handle.response_time,
+                "outcome": repr(
+                    handle.result.value if label == "join" else handle.result
+                ),
+            }
+        )
+    stale_read = scenario.handles["read"]
+    return {
+        "rows": rows,
+        "narrative": list(scenario.narrative),
+        "violations": [j.explanation for j in scenario.safety.violations],
+        "safe": scenario.safety.is_safe,
+        "read_done": stale_read.done,
+        "read_result": stale_read.result,
+    }
+
+
+def run(seed: int = 0, quick: bool = False, workers: int | None = None) -> ExperimentResult:
+    """Replay the Figure 3(a) schedule against the naive protocol."""
+    (outcome,) = run_specs(
+        [RunSpec(kind="e02", params={"seed": seed}, label="e02")],
+        workers=workers,
+    )
     result = ExperimentResult(
         experiment_id="E2",
         title="Figure 3(a) — join without wait(δ)",
@@ -24,24 +58,15 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         ),
         params={"seed": seed, "protocol": "naive", "n": 3},
     )
-    for label, handle in scenario.handles.items():
-        result.add_row(
-            operation=label,
-            process=handle.process_id,
-            invoked=handle.invoke_time,
-            responded=handle.response_time,
-            outcome=repr(
-                handle.result.value if label == "join" else handle.result
-            ),
-        )
-    result.notes.extend(scenario.narrative)
-    for judgement in scenario.safety.violations:
-        result.notes.append(f"violation: {judgement.explanation}")
-    stale_read = scenario.handles["read"]
+    for row in outcome["rows"]:
+        result.add_row(**row)
+    result.notes.extend(outcome["narrative"])
+    for explanation in outcome["violations"]:
+        result.notes.append(f"violation: {explanation}")
     reproduced = (
-        not scenario.safety.is_safe
-        and stale_read.done
-        and stale_read.result == "v0"
+        not outcome["safe"]
+        and outcome["read_done"]
+        and outcome["read_result"] == "v0"
     )
     result.verdict = (
         "REPRODUCED: the post-write read returned the stale 'v0'"

@@ -8,13 +8,47 @@ value and its reads are correct.
 
 from __future__ import annotations
 
+from typing import Any
+
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..workloads.scenarios import figure_3b
 from .harness import ExperimentResult
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Replay the Figure 3 schedule against the full synchronous protocol."""
+def cell(seed: int) -> dict[str, Any]:
+    """Replay the Figure 3(b) schedule; summarize it as data."""
     scenario = figure_3b(seed=seed)
+    rows = []
+    for label, handle in scenario.handles.items():
+        rows.append(
+            {
+                "operation": label,
+                "process": handle.process_id,
+                "invoked": handle.invoke_time,
+                "responded": handle.response_time,
+                "outcome": repr(
+                    handle.result.value if label == "join" else handle.result
+                ),
+            }
+        )
+    fresh_read = scenario.handles["read"]
+    return {
+        "rows": rows,
+        "narrative": list(scenario.narrative),
+        "safe": scenario.safety.is_safe,
+        "live": scenario.liveness.is_live,
+        "read_done": fresh_read.done,
+        "read_result": fresh_read.result,
+    }
+
+
+def run(seed: int = 0, quick: bool = False, workers: int | None = None) -> ExperimentResult:
+    """Replay the Figure 3 schedule against the full synchronous protocol."""
+    (outcome,) = run_specs(
+        [RunSpec(kind="e03", params={"seed": seed}, label="e03")],
+        workers=workers,
+    )
     result = ExperimentResult(
         experiment_id="E3",
         title="Figure 3(b) — join with wait(δ)",
@@ -24,23 +58,14 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         ),
         params={"seed": seed, "protocol": "sync", "n": 3},
     )
-    for label, handle in scenario.handles.items():
-        result.add_row(
-            operation=label,
-            process=handle.process_id,
-            invoked=handle.invoke_time,
-            responded=handle.response_time,
-            outcome=repr(
-                handle.result.value if label == "join" else handle.result
-            ),
-        )
-    result.notes.extend(scenario.narrative)
-    fresh_read = scenario.handles["read"]
+    for row in outcome["rows"]:
+        result.add_row(**row)
+    result.notes.extend(outcome["narrative"])
     reproduced = (
-        scenario.safety.is_safe
-        and fresh_read.done
-        and fresh_read.result == "v1"
-        and scenario.liveness.is_live
+        outcome["safe"]
+        and outcome["read_done"]
+        and outcome["read_result"] == "v1"
+        and outcome["live"]
     )
     result.verdict = (
         "REPRODUCED: the join adopted 'v1' and the read returned it; run safe"

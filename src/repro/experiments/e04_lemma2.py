@@ -20,14 +20,40 @@ longest-present members) and reports:
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..churn.model import lemma2_window_lower_bound, synchronous_churn_bound
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from .harness import ExperimentResult
 
 #: Fractions of the analytic cap 1/(3δ) swept by default.
 DEFAULT_CAP_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    c: float,
+    horizon: float,
+    victim_policy: str,
+) -> dict[str, Any]:
+    """One churn rate: run the system and measure window survivors."""
+    window = 3.0 * delta
+    config = SystemConfig(n=n, delta=delta, protocol="sync", seed=seed, trace=False)
+    system = DynamicSystem(config)
+    if c > 0:
+        system.attach_churn(rate=c, protect_writer=False, victim_policy=victim_policy)
+    system.run_until(horizon)
+    return {
+        "first_window": system.membership.active_throughout_count(0.0, window),
+        "min_window": system.tracker.min_window_survivors(
+            width=window, start=0.0, end=horizon - window, step=1.0
+        ),
+    }
 
 
 def run(
@@ -37,11 +63,11 @@ def run(
     delta: float = 5.0,
     cap_fractions: tuple[float, ...] = DEFAULT_CAP_FRACTIONS,
     victim_policy: str = "oldest_first",
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Sweep the churn rate and measure window survivor counts."""
     horizon = 60.0 if quick else 240.0
     cap = synchronous_churn_bound(delta)
-    window = 3.0 * delta
     result = ExperimentResult(
         experiment_id="E4",
         title="Lemma 2 — survivors of a 3δ window under constant churn",
@@ -54,35 +80,32 @@ def run(
             "seed": seed,
         },
     )
-    all_hold = True
-    for fraction in cap_fractions:
-        c = fraction * cap
-        config = SystemConfig(
+    specs = [
+        RunSpec.seeded(
+            "e04",
+            seed,
+            f"e04:{fraction}",
             n=n,
             delta=delta,
-            protocol="sync",
-            seed=derive_seed(seed, f"e04:{fraction}"),
-            trace=False,
+            c=fraction * cap,
+            horizon=horizon,
+            victim_policy=victim_policy,
         )
-        system = DynamicSystem(config)
-        if c > 0:
-            system.attach_churn(
-                rate=c, protect_writer=False, victim_policy=victim_policy
-            )
-        system.run_until(horizon)
+        for fraction in cap_fractions
+    ]
+    cells = run_specs(specs, workers=workers)
+    all_hold = True
+    for fraction, measured in zip(cap_fractions, cells):
+        c = fraction * cap
         bound = lemma2_window_lower_bound(n, c, delta)
-        first_window = system.membership.active_throughout_count(0.0, window)
-        min_window = system.tracker.min_window_survivors(
-            width=window, start=0.0, end=horizon - window, step=1.0
-        )
-        holds = first_window >= bound - 1e-9
+        holds = measured["first_window"] >= bound - 1e-9
         all_hold = all_hold and holds
         result.add_row(
             c=c,
             c_over_cap=fraction,
             bound=bound,
-            first_window=first_window,
-            min_window=min_window,
+            first_window=measured["first_window"],
+            min_window=measured["min_window"],
             bound_holds=holds,
         )
     result.notes.append(

@@ -19,17 +19,67 @@ point of the bound being worst-case).
 
 from __future__ import annotations
 
-from ..analysis.stats import summarize
+from typing import Any
+
 from ..churn.model import synchronous_churn_bound
+from ..exec.runner import grouped, run_specs
+from ..exec.spec import RunSpec
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from ..workloads.generators import read_heavy_plan
 from ..workloads.schedule import WorkloadDriver
 from .harness import ExperimentResult
 
 #: Multiples of the analytic cap swept by default.
 DEFAULT_CAP_FRACTIONS = (0.0, 0.3, 0.6, 0.9, 1.5, 3.0, 6.0)
+
+
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    c: float,
+    horizon: float,
+    victim_policy: str,
+) -> dict[str, Any]:
+    """One (churn rate, repetition): drive the workload, judge the run."""
+    config = SystemConfig(n=n, delta=delta, protocol="sync", seed=seed, trace=False)
+    system = DynamicSystem(config)
+    if c > 0:
+        system.attach_churn(rate=c, victim_policy=victim_policy)
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 4.0 * delta,
+        write_period=6.0 * delta,
+        read_rate=0.8,
+        rng=system.rng.stream("e05.plan"),
+    )
+    driver.install(plan)
+    system.run_until(horizon)
+    system.close()
+    safety = system.check_safety(check_joins=False)
+    liveness = system.check_liveness()
+    joins_started = 0
+    joins_completed = 0
+    join_latencies: list[float] = []
+    bottom_joins = 0
+    for join in system.history.joins():
+        joins_started += 1
+        if join.done:
+            joins_completed += 1
+            join_latencies.append(join.latency)
+            if join.result.sequence < 0:
+                bottom_joins += 1
+    return {
+        "reads_checked": safety.checked_count,
+        "read_violations": safety.violation_count,
+        "stuck_ops": len(liveness.stuck),
+        "joins_started": joins_started,
+        "joins_completed": joins_completed,
+        "join_latencies": join_latencies,
+        "bottom_joins": bottom_joins,
+    }
 
 
 def run(
@@ -40,6 +90,7 @@ def run(
     cap_fractions: tuple[float, ...] = DEFAULT_CAP_FRACTIONS,
     repetitions: int | None = None,
     victim_policy: str = "uniform",
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Sweep churn through and beyond the ``1/(3δ)`` cap."""
     if repetitions is None:
@@ -62,47 +113,28 @@ def run(
             "seed": seed,
         },
     )
+    specs = [
+        RunSpec.seeded(
+            "e05",
+            seed,
+            f"e05:{fraction}:{rep}",
+            n=n,
+            delta=delta,
+            c=fraction * cap,
+            horizon=horizon,
+            victim_policy=victim_policy,
+        )
+        for fraction in cap_fractions
+        for rep in range(repetitions)
+    ]
+    cells = run_specs(specs, workers=workers)
     safe_below_cap = True
-    for fraction in cap_fractions:
+    for fraction, group in zip(cap_fractions, grouped(cells, repetitions)):
         c = fraction * cap
-        reads_checked = 0
-        read_violations = 0
-        joins_started = 0
-        joins_completed = 0
-        join_latencies: list[float] = []
-        stuck_ops = 0
-        bottom_joins = 0
-        for rep in range(repetitions):
-            run_seed = derive_seed(seed, f"e05:{fraction}:{rep}")
-            config = SystemConfig(
-                n=n, delta=delta, protocol="sync", seed=run_seed, trace=False
-            )
-            system = DynamicSystem(config)
-            if c > 0:
-                system.attach_churn(rate=c, victim_policy=victim_policy)
-            driver = WorkloadDriver(system)
-            plan = read_heavy_plan(
-                start=5.0,
-                end=horizon - 4.0 * delta,
-                write_period=6.0 * delta,
-                read_rate=0.8,
-                rng=system.rng.stream("e05.plan"),
-            )
-            driver.install(plan)
-            system.run_until(horizon)
-            system.close()
-            safety = system.check_safety(check_joins=False)
-            reads_checked += safety.checked_count
-            read_violations += safety.violation_count
-            liveness = system.check_liveness()
-            stuck_ops += len(liveness.stuck)
-            for join in system.history.joins():
-                joins_started += 1
-                if join.done:
-                    joins_completed += 1
-                    join_latencies.append(join.latency)
-                    if join.result.sequence < 0:
-                        bottom_joins += 1
+        reads_checked = sum(g["reads_checked"] for g in group)
+        read_violations = sum(g["read_violations"] for g in group)
+        stuck_ops = sum(g["stuck_ops"] for g in group)
+        join_latencies = [lat for g in group for lat in g["join_latencies"]]
         violation_rate = read_violations / reads_checked if reads_checked else 0.0
         if fraction < 1.0 and (read_violations or stuck_ops):
             safe_below_cap = False
@@ -111,9 +143,9 @@ def run(
             c=c,
             reads=reads_checked,
             violation_rate=violation_rate,
-            joins=joins_started,
-            join_done=joins_completed,
-            bottom_joins=bottom_joins,
+            joins=sum(g["joins_started"] for g in group),
+            join_done=sum(g["joins_completed"] for g in group),
+            bottom_joins=sum(g["bottom_joins"] for g in group),
             join_lat_max=(max(join_latencies) if join_latencies else 0.0),
             stuck=stuck_ops,
         )

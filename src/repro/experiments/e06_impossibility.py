@@ -27,12 +27,13 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..net.delay import AdversarialDelay, AsynchronousDelay
 from ..protocols.es_reg import EsReply
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
 from ..sim.clock import Time
-from ..sim.rng import derive_seed
 from ..workloads.generators import read_heavy_plan
 from ..workloads.schedule import WorkloadDriver
 from .harness import ExperimentResult
@@ -44,97 +45,47 @@ DEFAULT_INFLATIONS = (0.5, 1.0, 2.0, 4.0)
 DEFAULT_PATIENCES = (50.0, 200.0, 800.0)
 
 
-def run(
-    seed: int = 0,
-    quick: bool = False,
-    n: int = 20,
-    delta: float = 4.0,
-    inflations: tuple[float, ...] = DEFAULT_INFLATIONS,
-    patiences: tuple[float, ...] = DEFAULT_PATIENCES,
-) -> ExperimentResult:
-    """Run both horns and tabulate them."""
-    result = ExperimentResult(
-        experiment_id="E6",
-        title="Theorem 2 — impossibility under full asynchrony",
-        paper_claim=(
-            "with no bound on message delays, a run always exists in which "
-            "the value obtained is older than the last completed write (or "
-            "the operation never returns)"
-        ),
-        params={"n": n, "delta": delta, "seed": seed},
+def horn_a_cell(
+    seed: int, n: int, delta: float, inflation: float, horizon: float
+) -> dict[str, Any]:
+    """Sync protocol under one asynchronous-delay inflation."""
+    config = SystemConfig(
+        n=n,
+        delta=delta,
+        protocol="sync",
+        seed=seed,
+        delay=AsynchronousDelay(mean=inflation * delta, min_delay=0.1),
+        trace=False,
     )
-    _horn_a(result, seed, quick, n, delta, inflations)
-    _horn_b(result, seed, quick, n, delta, patiences)
-    horn_a_rows = [r for r in result.rows if r["horn"] == "A"]
-    horn_b_rows = [r for r in result.rows if r["horn"] == "B"]
-    a_breaks = any(r["violation_rate"] > 0 for r in horn_a_rows if r["inflation"] > 1)
-    b_blocks = all(r["victim_blocked"] for r in horn_b_rows)
-    result.verdict = (
-        "REPRODUCED: the timer protocol turns unsafe and the quorum protocol "
-        "can be blocked past every horizon"
-        if (a_breaks and b_blocks)
-        else "NOT REPRODUCED: one of the horns failed to materialize"
+    system = DynamicSystem(config)
+    system.attach_churn(rate=0.02)
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 3.0 * delta,
+        write_period=5.0 * delta,
+        read_rate=0.6,
+        rng=system.rng.stream("e06.plan"),
     )
-    return result
+    driver.install(plan)
+    system.run_until(horizon)
+    system.close()
+    safety = system.check_safety(check_joins=False)
+    return {
+        "reads": safety.checked_count,
+        "violation_rate": safety.violation_rate,
+    }
 
 
-def _horn_a(
-    result: ExperimentResult,
-    seed: int,
-    quick: bool,
-    n: int,
-    delta: float,
-    inflations: tuple[float, ...],
-) -> None:
-    """Sync protocol under asynchronous delays: safety collapses."""
-    horizon = 150.0 if quick else 400.0
-    for inflation in inflations:
-        config = SystemConfig(
-            n=n,
-            delta=delta,
-            protocol="sync",
-            seed=derive_seed(seed, f"e06a:{inflation}"),
-            delay=AsynchronousDelay(mean=inflation * delta, min_delay=0.1),
-            trace=False,
-        )
-        system = DynamicSystem(config)
-        system.attach_churn(rate=0.02)
-        driver = WorkloadDriver(system)
-        plan = read_heavy_plan(
-            start=5.0,
-            end=horizon - 3.0 * delta,
-            write_period=5.0 * delta,
-            read_rate=0.6,
-            rng=system.rng.stream("e06.plan"),
-        )
-        driver.install(plan)
-        system.run_until(horizon)
-        system.close()
-        safety = system.check_safety(check_joins=False)
-        result.add_row(
-            horn="A",
-            inflation=inflation,
-            patience="",
-            reads=safety.checked_count,
-            violation_rate=safety.violation_rate,
-            victim_blocked="",
-        )
-    result.notes.append(
-        "Horn A: the synchronous protocol believes δ="
-        f"{delta}; actual delays are exponential with the stated inflation — "
-        "write/join waits expire before dissemination finishes"
-    )
+def horn_b_cell(
+    seed: int, n: int, delta: float, patiences: tuple[float, ...]
+) -> list[dict[str, Any]]:
+    """ES protocol with an adversary starving one joiner of replies.
 
-
-def _horn_b(
-    result: ExperimentResult,
-    seed: int,
-    quick: bool,
-    n: int,
-    delta: float,
-    patiences: tuple[float, ...],
-) -> None:
-    """ES protocol with an adversary starving one joiner of replies."""
+    One sequential run probed at increasing horizons: the adversarial
+    delay closes over the victim pid chosen mid-run, so this horn is a
+    single engine cell, not a per-patience grid.
+    """
     victim_box: dict[str, str] = {}
 
     def starve_victim(
@@ -150,7 +101,7 @@ def _horn_b(
         n=n,
         delta=delta,
         protocol="es",
-        seed=derive_seed(seed, "e06b"),
+        seed=seed,
         delay=AdversarialDelay(
             starve_victim, fallback=AsynchronousDelay(mean=delta, min_delay=0.1)
         ),
@@ -169,21 +120,91 @@ def _horn_b(
     controller = system.churn
     assert controller is not None
     controller.protect(victim_box["pid"])
+    probes = []
     for patience in sorted(patiences):
         if patience > horizon_cap:
             continue
         system.run_until(patience)
+        probes.append(
+            {"patience": patience, "victim_blocked": victim_join.pending}
+        )
+    system.close()
+    return probes
+
+
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    n: int = 20,
+    delta: float = 4.0,
+    inflations: tuple[float, ...] = DEFAULT_INFLATIONS,
+    patiences: tuple[float, ...] = DEFAULT_PATIENCES,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Run both horns (one grid) and tabulate them."""
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Theorem 2 — impossibility under full asynchrony",
+        paper_claim=(
+            "with no bound on message delays, a run always exists in which "
+            "the value obtained is older than the last completed write (or "
+            "the operation never returns)"
+        ),
+        params={"n": n, "delta": delta, "seed": seed},
+    )
+    horizon_a = 150.0 if quick else 400.0
+    specs = [
+        RunSpec.seeded(
+            "e06a",
+            seed,
+            f"e06a:{inflation}",
+            n=n,
+            delta=delta,
+            inflation=inflation,
+            horizon=horizon_a,
+        )
+        for inflation in inflations
+    ]
+    specs.append(
+        RunSpec.seeded("e06b", seed, "e06b", n=n, delta=delta, patiences=patiences)
+    )
+    cells = run_specs(specs, workers=workers)
+    for inflation, measured in zip(inflations, cells[:-1]):
+        result.add_row(
+            horn="A",
+            inflation=inflation,
+            patience="",
+            reads=measured["reads"],
+            violation_rate=measured["violation_rate"],
+            victim_blocked="",
+        )
+    result.notes.append(
+        "Horn A: the synchronous protocol believes δ="
+        f"{delta}; actual delays are exponential with the stated inflation — "
+        "write/join waits expire before dissemination finishes"
+    )
+    for probe in cells[-1]:
         result.add_row(
             horn="B",
             inflation=0.0,
-            patience=patience,
+            patience=probe["patience"],
             reads=0,
             violation_rate=0.0,
-            victim_blocked=victim_join.pending,
+            victim_blocked=probe["victim_blocked"],
         )
-    system.close()
     result.notes.append(
         "Horn B: every REPLY addressed to the victim joiner is delayed to "
         "t=1e6; the victim's join is still pending at every probed horizon "
         "while the rest of the system keeps running"
     )
+    horn_a_rows = [r for r in result.rows if r["horn"] == "A"]
+    horn_b_rows = [r for r in result.rows if r["horn"] == "B"]
+    a_breaks = any(r["violation_rate"] > 0 for r in horn_a_rows if r["inflation"] > 1)
+    b_blocks = all(r["victim_blocked"] for r in horn_b_rows)
+    result.verdict = (
+        "REPRODUCED: the timer protocol turns unsafe and the quorum protocol "
+        "can be blocked past every horizon"
+        if (a_breaks and b_blocks)
+        else "NOT REPRODUCED: one of the horns failed to materialize"
+    )
+    return result

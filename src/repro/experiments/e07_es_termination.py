@@ -15,33 +15,34 @@ linger (delays are arbitrary), post-GST operations settle within a few
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..analysis.stats import summarize
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..net.delay import EventuallySynchronousDelay
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from ..workloads.generators import poisson_reads
 from ..workloads.schedule import WorkloadDriver, WriteOp
 from .harness import ExperimentResult
 
 
-def run(
-    seed: int = 0,
-    quick: bool = False,
-    n: int = 21,
-    delta: float = 4.0,
-    gst: float | None = None,
-    churn_rate: float = 0.004,
-) -> ExperimentResult:
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    gst: float,
+    pre_gst_max: float,
+    churn_rate: float,
+    horizon: float,
+) -> dict[str, Any]:
     """One ES run across GST; bucketed termination statistics."""
-    gst = gst if gst is not None else (80.0 if quick else 200.0)
-    horizon = gst * 2.5
-    pre_gst_max = 15.0 * delta
     config = SystemConfig(
         n=n,
         delta=delta,
         protocol="es",
-        seed=derive_seed(seed, "e07"),
+        seed=seed,
         delay=EventuallySynchronousDelay(
             gst=gst, delta=delta, pre_gst_max=pre_gst_max
         ),
@@ -66,6 +67,70 @@ def run(
     system.run_until(horizon)
     system.close()
 
+    rows = []
+    for kind in ("join", "read", "write"):
+        ops = system.history.operations(kind)
+        for bucket, lo, hi in (
+            ("pre-GST", 0.0, gst),
+            ("post-GST", gst, horizon),
+        ):
+            bucket_ops = [op for op in ops if lo <= op.invoke_time < hi]
+            done = [op for op in bucket_ops if op.done]
+            excused = [op for op in bucket_ops if op.abandoned]
+            latencies = [op.latency for op in done]
+            rows.append(
+                {
+                    "op": kind,
+                    "bucket": bucket,
+                    "invoked": len(bucket_ops),
+                    "completed": len(done),
+                    "excused": len(excused),
+                    "mean_latency": (
+                        summarize(latencies).mean if latencies else 0.0
+                    ),
+                    "max_latency": (max(latencies) if latencies else 0.0),
+                }
+            )
+    liveness = system.check_liveness(grace=6.0 * delta)
+    safety = system.check_safety()
+    return {
+        "rows": rows,
+        "liveness_summary": liveness.summary(),
+        "safety_summary": safety.summary(),
+        "live": liveness.is_live,
+        "safe": safety.is_safe,
+    }
+
+
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    n: int = 21,
+    delta: float = 4.0,
+    gst: float | None = None,
+    churn_rate: float = 0.004,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """One ES run across GST (a single engine cell); bucketed statistics."""
+    gst = gst if gst is not None else (80.0 if quick else 200.0)
+    horizon = gst * 2.5
+    pre_gst_max = 15.0 * delta
+    (outcome,) = run_specs(
+        [
+            RunSpec.seeded(
+                "e07",
+                seed,
+                "e07",
+                n=n,
+                delta=delta,
+                gst=gst,
+                pre_gst_max=pre_gst_max,
+                churn_rate=churn_rate,
+                horizon=horizon,
+            )
+        ],
+        workers=workers,
+    )
     result = ExperimentResult(
         experiment_id="E7",
         title="Theorem 3 — ES termination across GST",
@@ -84,34 +149,15 @@ def run(
             "seed": seed,
         },
     )
-    for kind in ("join", "read", "write"):
-        ops = system.history.operations(kind)
-        for bucket, lo, hi in (
-            ("pre-GST", 0.0, gst),
-            ("post-GST", gst, horizon),
-        ):
-            bucket_ops = [op for op in ops if lo <= op.invoke_time < hi]
-            done = [op for op in bucket_ops if op.done]
-            excused = [op for op in bucket_ops if op.abandoned]
-            latencies = [op.latency for op in done]
-            result.add_row(
-                op=kind,
-                bucket=bucket,
-                invoked=len(bucket_ops),
-                completed=len(done),
-                excused=len(excused),
-                mean_latency=(summarize(latencies).mean if latencies else 0.0),
-                max_latency=(max(latencies) if latencies else 0.0),
-            )
-    liveness = system.check_liveness(grace=6.0 * delta)
-    safety = system.check_safety()
-    result.notes.append(liveness.summary())
-    result.notes.append(safety.summary())
+    for row in outcome["rows"]:
+        result.add_row(**row)
+    result.notes.append(outcome["liveness_summary"])
+    result.notes.append(outcome["safety_summary"])
     result.notes.append(
         "pre-GST latencies reflect arbitrary delays (and unblocking via "
         "later joiners); post-GST operations settle within a few δ"
     )
-    reproduced = liveness.is_live and safety.is_safe
+    reproduced = outcome["live"] and outcome["safe"]
     result.verdict = (
         "REPRODUCED: all operations by staying processes terminated and the "
         "run is regular"

@@ -18,17 +18,63 @@ beyond it.  Two effects are measured:
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..churn.model import eventually_synchronous_churn_bound
+from ..exec.runner import grouped, run_specs
+from ..exec.spec import RunSpec
 from ..net.delay import EventuallySynchronousDelay
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from ..workloads.generators import read_heavy_plan
 from ..workloads.schedule import WorkloadDriver
 from .harness import ExperimentResult
 
 #: Churn rates swept, as multiples of the paper's ES bound 1/(3δn).
 DEFAULT_BOUND_MULTIPLES = (0.0, 1.0, 4.0, 16.0, 64.0, 128.0)
+
+
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    c: float,
+    gst: float,
+    horizon: float,
+) -> dict[str, Any]:
+    """One (churn rate, repetition) under the ES protocol."""
+    config = SystemConfig(
+        n=n,
+        delta=delta,
+        protocol="es",
+        seed=seed,
+        delay=EventuallySynchronousDelay(
+            gst=gst, delta=delta, pre_gst_max=8.0 * delta
+        ),
+        trace=False,
+    )
+    system = DynamicSystem(config)
+    if c > 0:
+        system.attach_churn(rate=c, min_stay=3.0 * delta)
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 8.0 * delta,
+        write_period=10.0 * delta,
+        read_rate=0.3,
+        rng=system.rng.stream("e08.plan"),
+    )
+    driver.install(plan)
+    system.run_until(horizon)
+    system.close()
+    safety = system.check_safety(check_joins=False)
+    liveness = system.check_liveness(grace=10.0 * delta)
+    return {
+        "reads_checked": safety.checked_count,
+        "violations": safety.violation_count,
+        "stuck": len(liveness.stuck),
+        "min_active": system.tracker.min_active(),
+    }
 
 
 def run(
@@ -38,6 +84,7 @@ def run(
     delta: float = 4.0,
     bound_multiples: tuple[float, ...] = DEFAULT_BOUND_MULTIPLES,
     repetitions: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Sweep churn against the ES protocol."""
     if repetitions is None:
@@ -61,49 +108,30 @@ def run(
             "seed": seed,
         },
     )
+    specs = [
+        RunSpec.seeded(
+            "e08",
+            seed,
+            f"e08:{multiple}:{rep}",
+            n=n,
+            delta=delta,
+            c=multiple * bound,
+            gst=gst,
+            horizon=horizon,
+        )
+        for multiple in bound_multiples
+        for rep in range(repetitions)
+    ]
+    cells = run_specs(specs, workers=workers)
     majority = n // 2 + 1
     safe_within = True
-    for multiple in bound_multiples:
+    for multiple, group in zip(bound_multiples, grouped(cells, repetitions)):
         c = multiple * bound
-        reads_checked = 0
-        violations = 0
-        stuck = 0
-        min_active = n
-        majority_held = True
-        for rep in range(repetitions):
-            config = SystemConfig(
-                n=n,
-                delta=delta,
-                protocol="es",
-                seed=derive_seed(seed, f"e08:{multiple}:{rep}"),
-                delay=EventuallySynchronousDelay(
-                    gst=gst, delta=delta, pre_gst_max=8.0 * delta
-                ),
-                trace=False,
-            )
-            system = DynamicSystem(config)
-            if c > 0:
-                system.attach_churn(rate=c, min_stay=3.0 * delta)
-            driver = WorkloadDriver(system)
-            plan = read_heavy_plan(
-                start=5.0,
-                end=horizon - 8.0 * delta,
-                write_period=10.0 * delta,
-                read_rate=0.3,
-                rng=system.rng.stream("e08.plan"),
-            )
-            driver.install(plan)
-            system.run_until(horizon)
-            system.close()
-            safety = system.check_safety(check_joins=False)
-            reads_checked += safety.checked_count
-            violations += safety.violation_count
-            liveness = system.check_liveness(grace=10.0 * delta)
-            stuck += len(liveness.stuck)
-            run_min_active = system.tracker.min_active()
-            min_active = min(min_active, run_min_active)
-            if run_min_active <= n // 2:
-                majority_held = False
+        reads_checked = sum(g["reads_checked"] for g in group)
+        violations = sum(g["violations"] for g in group)
+        stuck = sum(g["stuck"] for g in group)
+        min_active = min((g["min_active"] for g in group), default=n)
+        majority_held = all(g["min_active"] > n // 2 for g in group)
         if multiple <= 1.0 and (violations or stuck):
             safe_within = False
         result.add_row(

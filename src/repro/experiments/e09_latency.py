@@ -12,14 +12,75 @@ latency distribution per operation kind.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..analysis.stats import percentile, summarize
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..net.delay import EventuallySynchronousDelay
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from ..workloads.generators import read_heavy_plan
 from ..workloads.schedule import WorkloadDriver
 from .harness import ExperimentResult
+
+
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    protocol: str,
+    churn_rate: float,
+    horizon: float,
+) -> list[dict[str, Any]]:
+    """One protocol under the shared workload; latency rows."""
+    if protocol == "sync":
+        delay = None  # defaults to SynchronousDelay(delta)
+    else:
+        # Post-GST from the start: isolates the quorum cost from
+        # the pre-GST chaos (E7 covers that separately).
+        delay = EventuallySynchronousDelay(gst=0.0, delta=delta)
+    config = SystemConfig(
+        n=n,
+        delta=delta,
+        protocol=protocol,
+        seed=seed,
+        delay=delay,
+        trace=False,
+    )
+    system = DynamicSystem(config)
+    system.attach_churn(rate=churn_rate, min_stay=3.0 * delta)
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 5.0 * delta,
+        write_period=6.0 * delta,
+        read_rate=0.5,
+        rng=system.rng.stream("e09.plan"),
+    )
+    driver.install(plan)
+    system.run_until(horizon)
+    system.close()
+    rows = []
+    for kind in ("read", "write", "join"):
+        latencies = [
+            op.latency for op in system.history.operations(kind) if op.done
+        ]
+        if not latencies:
+            continue
+        stats = summarize(latencies)
+        rows.append(
+            {
+                "protocol": protocol,
+                "op": kind,
+                "count": stats.count,
+                "mean": stats.mean,
+                "p95": percentile(latencies, 95.0),
+                "max": stats.maximum,
+                "in_delta_units": stats.mean / delta,
+            }
+        )
+    return rows
 
 
 def run(
@@ -28,6 +89,7 @@ def run(
     n: int = 20,
     delta: float = 4.0,
     churn_rate: float = 0.005,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Measure per-operation latency for both protocols."""
     horizon = 150.0 if quick else 500.0
@@ -46,50 +108,23 @@ def run(
             "seed": seed,
         },
     )
-    for protocol in ("sync", "es"):
-        if protocol == "sync":
-            delay = None  # defaults to SynchronousDelay(delta)
-        else:
-            # Post-GST from the start: isolates the quorum cost from
-            # the pre-GST chaos (E7 covers that separately).
-            delay = EventuallySynchronousDelay(gst=0.0, delta=delta)
-        config = SystemConfig(
+    protocols = ("sync", "es")
+    specs = [
+        RunSpec.seeded(
+            "e09",
+            seed,
+            f"e09:{protocol}",
             n=n,
             delta=delta,
             protocol=protocol,
-            seed=derive_seed(seed, f"e09:{protocol}"),
-            delay=delay,
-            trace=False,
+            churn_rate=churn_rate,
+            horizon=horizon,
         )
-        system = DynamicSystem(config)
-        system.attach_churn(rate=churn_rate, min_stay=3.0 * delta)
-        driver = WorkloadDriver(system)
-        plan = read_heavy_plan(
-            start=5.0,
-            end=horizon - 5.0 * delta,
-            write_period=6.0 * delta,
-            read_rate=0.5,
-            rng=system.rng.stream("e09.plan"),
-        )
-        driver.install(plan)
-        system.run_until(horizon)
-        system.close()
-        for kind in ("read", "write", "join"):
-            latencies = [
-                op.latency for op in system.history.operations(kind) if op.done
-            ]
-            if not latencies:
-                continue
-            stats = summarize(latencies)
-            result.add_row(
-                protocol=protocol,
-                op=kind,
-                count=stats.count,
-                mean=stats.mean,
-                p95=percentile(latencies, 95.0),
-                max=stats.maximum,
-                in_delta_units=stats.mean / delta,
-            )
+        for protocol in protocols
+    ]
+    for rows in run_specs(specs, workers=workers):
+        for row in rows:
+            result.add_row(**row)
     sync_read = next(
         (r for r in result.rows if r["protocol"] == "sync" and r["op"] == "read"),
         None,

@@ -16,9 +16,12 @@ keep serving.
 
 from __future__ import annotations
 
+from typing import Any
+
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from ..workloads.generators import read_heavy_plan
 from ..workloads.schedule import WorkloadDriver
 from .harness import ExperimentResult
@@ -34,12 +37,52 @@ def _staying_completion(handles: list) -> float:
     return sum(1 for h in staying if h.done) / len(staying)
 
 
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    protocol: str,
+    c: float,
+    horizon: float,
+) -> dict[str, Any]:
+    """One (protocol, churn rate): completion rates and safety."""
+    config = SystemConfig(
+        n=n, delta=delta, protocol=protocol, seed=seed, trace=False
+    )
+    system = DynamicSystem(config)
+    if c > 0:
+        system.attach_churn(rate=c, min_stay=3.0 * delta)
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 8.0 * delta,
+        write_period=8.0 * delta,
+        read_rate=0.3,
+        rng=system.rng.stream("e10.plan"),
+    )
+    driver.install(plan)
+    system.run_until(horizon)
+    system.close()
+    safety = system.check_safety(check_joins=False)
+    return {
+        "reads_issued": driver.stats.reads_issued,
+        "read_done_rate": _staying_completion(driver.stats.read_handles),
+        "write_done_rate": _staying_completion(driver.stats.write_handles),
+        "violations": safety.violation_count,
+        "safe": safety.is_safe,
+        "replicas_left": sum(
+            1 for pid in system.seed_pids if system.membership.is_present(pid)
+        ),
+    }
+
+
 def run(
     seed: int = 0,
     quick: bool = False,
     n: int = 20,
     delta: float = 4.0,
     churn_rates: tuple[float, ...] = DEFAULT_CHURN_RATES,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Completion and safety for sync / es / abd across churn rates."""
     horizon = 200.0 if quick else 600.0
@@ -52,54 +95,51 @@ def run(
         ),
         params={"n": n, "delta": delta, "horizon": horizon, "seed": seed},
     )
+    grid = [
+        (protocol, c)
+        for protocol in ("sync", "es", "abd")
+        for c in churn_rates
+    ]
+    specs = [
+        RunSpec.seeded(
+            "e10",
+            seed,
+            f"e10:{protocol}:{c}",
+            n=n,
+            delta=delta,
+            protocol=protocol,
+            c=c,
+            horizon=horizon,
+        )
+        for protocol, c in grid
+    ]
+    cells = run_specs(specs, workers=workers)
+    majority = n // 2 + 1
     cliff_seen = False
     dynamic_fine = True
-    for protocol in ("sync", "es", "abd"):
-        for c in churn_rates:
-            config = SystemConfig(
-                n=n,
-                delta=delta,
-                protocol=protocol,
-                seed=derive_seed(seed, f"e10:{protocol}:{c}"),
-                trace=False,
-            )
-            system = DynamicSystem(config)
-            if c > 0:
-                system.attach_churn(rate=c, min_stay=3.0 * delta)
-            driver = WorkloadDriver(system)
-            plan = read_heavy_plan(
-                start=5.0,
-                end=horizon - 8.0 * delta,
-                write_period=8.0 * delta,
-                read_rate=0.3,
-                rng=system.rng.stream("e10.plan"),
-            )
-            driver.install(plan)
-            system.run_until(horizon)
-            system.close()
-            safety = system.check_safety(check_joins=False)
-            reads_done = _staying_completion(driver.stats.read_handles)
-            writes_done = _staying_completion(driver.stats.write_handles)
-            replicas_left = sum(
-                1
-                for pid in system.seed_pids
-                if system.membership.is_present(pid)
-            )
-            majority = n // 2 + 1
-            row_ok = reads_done > 0.99 and writes_done > 0.99 and safety.is_safe
-            if protocol == "abd" and replicas_left < majority and not row_ok:
-                cliff_seen = True
-            if protocol != "abd" and not row_ok:
-                dynamic_fine = False
-            result.add_row(
-                protocol=protocol,
-                c=c,
-                replicas_left=replicas_left,
-                reads_issued=driver.stats.reads_issued,
-                read_done_rate=reads_done,
-                write_done_rate=writes_done,
-                violations=safety.violation_count,
-            )
+    for (protocol, c), measured in zip(grid, cells):
+        row_ok = (
+            measured["read_done_rate"] > 0.99
+            and measured["write_done_rate"] > 0.99
+            and measured["safe"]
+        )
+        if (
+            protocol == "abd"
+            and measured["replicas_left"] < majority
+            and not row_ok
+        ):
+            cliff_seen = True
+        if protocol != "abd" and not row_ok:
+            dynamic_fine = False
+        result.add_row(
+            protocol=protocol,
+            c=c,
+            replicas_left=measured["replicas_left"],
+            reads_issued=measured["reads_issued"],
+            read_done_rate=measured["read_done_rate"],
+            write_done_rate=measured["write_done_rate"],
+            violations=measured["violations"],
+        )
     result.notes.append(
         "replicas_left = initial members still present at the horizon; ABD "
         f"quorums need {n // 2 + 1} of them, the dynamic protocols none"

@@ -29,14 +29,40 @@ table's ``predicted_active`` column shows the match.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..churn.model import synchronous_churn_bound
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from .harness import ExperimentResult
 
 DEFAULT_DELTAS = (2.0, 4.0)
 DEFAULT_CAP_MULTIPLES = (0.5, 0.8, 0.95, 1.05, 1.3, 2.0)
+
+
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    c: float,
+    horizon: float,
+    policy: str,
+) -> dict[str, Any]:
+    """One (δ, policy, churn rate): join completion and population."""
+    config = SystemConfig(n=n, delta=delta, protocol="sync", seed=seed, trace=False)
+    system = DynamicSystem(config)
+    system.attach_churn(rate=c, victim_policy=policy)
+    system.run_until(horizon)
+    system.close()
+    joins = system.history.joins()
+    done = sum(1 for j in joins if j.done)
+    return {
+        "joins": len(joins),
+        "join_done_rate": done / len(joins) if joins else 1.0,
+        "active_end": system.membership.active_count_at(horizon),
+    }
 
 
 def run(
@@ -45,6 +71,7 @@ def run(
     n: int = 30,
     deltas: tuple[float, ...] = DEFAULT_DELTAS,
     cap_multiples: tuple[float, ...] = DEFAULT_CAP_MULTIPLES,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Locate the empirical churn breaking point per δ and policy."""
     result = ExperimentResult(
@@ -57,58 +84,62 @@ def run(
         ),
         params={"n": n, "seed": seed},
     )
-    tight_under_adversary = True
-    conservative_under_uniform = True
-    steady_state_matches = True
+    horizon = 120.0 if quick else 300.0
+    grid = []
     for delta in deltas:
         cap = synchronous_churn_bound(delta)
-        horizon = 120.0 if quick else 300.0
         for policy in ("oldest_first", "uniform"):
             for multiple in cap_multiples:
                 c = multiple * cap
                 if c >= 1.0:
                     continue
-                config = SystemConfig(
-                    n=n,
-                    delta=delta,
-                    protocol="sync",
-                    seed=derive_seed(seed, f"e11:{delta}:{policy}:{multiple}"),
-                    trace=False,
-                )
-                system = DynamicSystem(config)
-                system.attach_churn(rate=c, victim_policy=policy)
-                system.run_until(horizon)
-                system.close()
-                joins = system.history.joins()
-                done = sum(1 for j in joins if j.done)
-                join_rate = done / len(joins) if joins else 1.0
-                active_end = system.membership.active_count_at(horizon)
-                predicted = max(0.0, n * (1.0 - 3.0 * delta * c))
-                if policy == "oldest_first":
-                    # Tightness: joins complete below the cap, none above.
-                    if multiple < 1.0 and join_rate < 0.8:
-                        tight_under_adversary = False
-                    if multiple >= 1.3 and join_rate > 0.05:
-                        tight_under_adversary = False
-                    # Steady state matches Lemma 2's formula (writer is
-                    # protected, hence the +1 slack; churn granularity
-                    # adds a couple more).
-                    if abs(active_end - predicted) > max(3.0, 0.15 * n):
-                        steady_state_matches = False
-                if policy == "uniform" and 1.0 < multiple <= 1.5:
-                    # Conservative for benign churn: still some completions.
-                    if join_rate < 0.05:
-                        conservative_under_uniform = False
-                result.add_row(
-                    delta=delta,
-                    policy=policy,
-                    c_over_cap=multiple,
-                    c=c,
-                    joins=len(joins),
-                    join_done_rate=join_rate,
-                    active_end=active_end,
-                    predicted_active=predicted,
-                )
+                grid.append((delta, policy, multiple, c))
+    specs = [
+        RunSpec.seeded(
+            "e11",
+            seed,
+            f"e11:{delta}:{policy}:{multiple}",
+            n=n,
+            delta=delta,
+            c=c,
+            horizon=horizon,
+            policy=policy,
+        )
+        for delta, policy, multiple, c in grid
+    ]
+    cells = run_specs(specs, workers=workers)
+    tight_under_adversary = True
+    conservative_under_uniform = True
+    steady_state_matches = True
+    for (delta, policy, multiple, c), measured in zip(grid, cells):
+        join_rate = measured["join_done_rate"]
+        active_end = measured["active_end"]
+        predicted = max(0.0, n * (1.0 - 3.0 * delta * c))
+        if policy == "oldest_first":
+            # Tightness: joins complete below the cap, none above.
+            if multiple < 1.0 and join_rate < 0.8:
+                tight_under_adversary = False
+            if multiple >= 1.3 and join_rate > 0.05:
+                tight_under_adversary = False
+            # Steady state matches Lemma 2's formula (writer is
+            # protected, hence the +1 slack; churn granularity
+            # adds a couple more).
+            if abs(active_end - predicted) > max(3.0, 0.15 * n):
+                steady_state_matches = False
+        if policy == "uniform" and 1.0 < multiple <= 1.5:
+            # Conservative for benign churn: still some completions.
+            if join_rate < 0.05:
+                conservative_under_uniform = False
+        result.add_row(
+            delta=delta,
+            policy=policy,
+            c_over_cap=multiple,
+            c=c,
+            joins=measured["joins"],
+            join_done_rate=join_rate,
+            active_end=active_end,
+            predicted_active=predicted,
+        )
     result.notes.append(
         "oldest_first evicts each process after exactly 1/c time units; a "
         "join needs 3δ, so join_done_rate must collapse exactly at "

@@ -21,14 +21,63 @@ The instantaneous rate is the quantity Lemma 2 is really about.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..churn.model import synchronous_churn_bound
-from ..churn.profiles import BurstRate, ConstantRate, DiurnalRate
+from ..churn.profiles import BurstRate, ConstantRate, DiurnalRate, RateProfile
+from ..exec.runner import grouped, run_specs
+from ..exec.spec import RunSpec
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
-from ..sim.rng import derive_seed
 from ..workloads.generators import read_heavy_plan
 from ..workloads.schedule import WorkloadDriver
 from .harness import ExperimentResult
+
+
+def cell(
+    seed: int,
+    n: int,
+    delta: float,
+    profile: RateProfile,
+    horizon: float,
+) -> dict[str, Any]:
+    """One (regime, repetition) under worst-case departures.
+
+    ``profile`` is a :class:`RateProfile` value object — plain
+    attributes, so it pickles across the worker pool like any other
+    spec parameter.
+    """
+    config = SystemConfig(n=n, delta=delta, protocol="sync", seed=seed, trace=False)
+    system = DynamicSystem(config)
+    system.attach_churn(profile=profile, victim_policy="oldest_first")
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 3.0 * delta,
+        write_period=8.0 * delta,
+        read_rate=0.6,
+        rng=system.rng.stream("e12.plan"),
+    )
+    driver.install(plan)
+    system.run_until(horizon)
+    system.close()
+    safety = system.check_safety(check_joins=False)
+    joins_total = 0
+    joins_done = 0
+    bottom_joins = 0
+    for join in system.history.joins():
+        joins_total += 1
+        if join.done:
+            joins_done += 1
+            if join.result.sequence < 0:
+                bottom_joins += 1
+    return {
+        "joins_total": joins_total,
+        "joins_done": joins_done,
+        "bottom_joins": bottom_joins,
+        "reads_checked": safety.checked_count,
+        "violations": safety.violation_count,
+    }
 
 
 def run(
@@ -37,6 +86,7 @@ def run(
     n: int = 30,
     delta: float = 4.0,
     repetitions: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Same average churn, three shapes; damage differs."""
     if repetitions is None:
@@ -84,51 +134,36 @@ def run(
             "seed": seed,
         },
     )
-    for name, profile in profiles.items():
-        joins_total = 0
-        joins_done = 0
-        bottom_joins = 0
-        reads_checked = 0
-        violations = 0
+    regimes = list(profiles.items())
+    specs = [
+        RunSpec.seeded(
+            "e12",
+            seed,
+            f"e12:{name}:{rep}",
+            n=n,
+            delta=delta,
+            profile=profile,
+            horizon=horizon,
+        )
+        for name, profile in regimes
+        for rep in range(repetitions)
+    ]
+    cells = run_specs(specs, workers=workers)
+    for (name, profile), group in zip(regimes, grouped(cells, repetitions)):
+        joins_total = sum(g["joins_total"] for g in group)
         peak = max(profile.rate_at(t) for t in range(0, int(horizon)))
-        for rep in range(repetitions):
-            config = SystemConfig(
-                n=n,
-                delta=delta,
-                protocol="sync",
-                seed=derive_seed(seed, f"e12:{name}:{rep}"),
-                trace=False,
-            )
-            system = DynamicSystem(config)
-            system.attach_churn(profile=profile, victim_policy="oldest_first")
-            driver = WorkloadDriver(system)
-            plan = read_heavy_plan(
-                start=5.0,
-                end=horizon - 3.0 * delta,
-                write_period=8.0 * delta,
-                read_rate=0.6,
-                rng=system.rng.stream("e12.plan"),
-            )
-            driver.install(plan)
-            system.run_until(horizon)
-            system.close()
-            safety = system.check_safety(check_joins=False)
-            reads_checked += safety.checked_count
-            violations += safety.violation_count
-            for join in system.history.joins():
-                joins_total += 1
-                if join.done:
-                    joins_done += 1
-                    if join.result.sequence < 0:
-                        bottom_joins += 1
         result.add_row(
             regime=name,
             peak_over_cap=peak / cap,
             joins=joins_total,
-            join_done_rate=(joins_done / joins_total if joins_total else 1.0),
-            bottom_joins=bottom_joins,
-            reads=reads_checked,
-            violations=violations,
+            join_done_rate=(
+                sum(g["joins_done"] for g in group) / joins_total
+                if joins_total
+                else 1.0
+            ),
+            bottom_joins=sum(g["bottom_joins"] for g in group),
+            reads=sum(g["reads_checked"] for g in group),
+            violations=sum(g["violations"] for g in group),
         )
     by_name = {row["regime"]: row for row in result.rows}
     constant_clean = (

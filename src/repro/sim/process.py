@@ -127,18 +127,38 @@ class SimProcess:
         """
         if not self.present:
             return
-        handler = self._handler_for(message.payload)
-        handler(message.sender, message.payload)
+        payload = message.payload
+        handler = self._handler_for(type(payload))
+        handler(self, message.sender, payload)
         self._wake_watchers()
 
-    def _handler_for(self, payload: Any) -> Callable[[str, Any], None]:
-        name = f"on_{type(payload).__name__.lower()}"
-        handler = getattr(self, name, None)
+    def _handler_for(self, payload_type: type) -> Callable[..., None]:
+        """The (unbound) handler for a payload type, cached per class.
+
+        Dispatch used to build ``"on_" + name.lower()`` and getattr on
+        every delivery — measurable per-message overhead on fan-out
+        workloads.  The payload-type → handler mapping is immutable for
+        a given process class, so it is memoized in a dict stored on
+        that class (``cls.__dict__``, not inherited, so a subclass that
+        overrides a handler never sees a parent's cache entry).
+        """
+        cls = type(self)
+        cache: dict[type, Callable[..., None]] | None = cls.__dict__.get(
+            "_dispatch_cache"
+        )
+        if cache is None:
+            cache = {}
+            cls._dispatch_cache = cache
+        handler = cache.get(payload_type)
         if handler is None:
-            raise ProcessError(
-                f"{type(self).__name__} has no handler {name!r} for payload "
-                f"{type(payload).__name__}"
-            )
+            name = f"on_{payload_type.__name__.lower()}"
+            handler = getattr(cls, name, None)
+            if handler is None:
+                raise ProcessError(
+                    f"{cls.__name__} has no handler {name!r} for payload "
+                    f"{payload_type.__name__}"
+                )
+            cache[payload_type] = handler
         return handler
 
     # ------------------------------------------------------------------

@@ -40,6 +40,8 @@ from typing import Any, Iterator
 
 from ..core.checker import LivenessReport, SafetyReport
 from ..core.history import operation_digest
+from ..exec.runner import run_specs
+from ..exec.spec import RunSpec
 from ..faults.plan import (
     CrashFault,
     DelaySpikeFault,
@@ -368,6 +370,17 @@ def classify_scenario(
     return PlanClassification(in_model=not reasons, reasons=tuple(reasons))
 
 
+def scenario_cell(**params: Any) -> ScenarioOutcome:
+    """Execution-engine cell: a ``ScenarioSpec`` as plain parameters.
+
+    Registered as kind ``"scenario"`` in :mod:`repro.exec.registry`;
+    the params are exactly ``ScenarioSpec.to_dict()``, so a spec
+    round-trips through JSON artifacts, the seed corpus and the worker
+    pool without carrying code.
+    """
+    return run_scenario(ScenarioSpec.from_dict(params))
+
+
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     """Run one cell of the matrix and judge its history."""
     plan = spec.plan
@@ -628,12 +641,20 @@ def explore(
     horizon: Time = 120.0,
     shrink: bool = True,
     shrink_budget: int = 12,
+    workers: int | None = None,
 ) -> ExplorationReport:
     """Sweep the matrix, judge every run, shrink every counterexample.
 
     ``budget`` caps the number of sweep cells actually run (the matrix
     is truncated, deterministically, never sampled); shrinking spends
     at most ``shrink_budget`` extra runs per counterexample.
+
+    The sweep itself runs through the shared execution engine:
+    ``workers`` processes judge cells concurrently (default: all
+    cores), outcomes are collected in matrix order, and every cell's
+    randomness comes from its own spec, so the report is byte-identical
+    at any worker count.  Shrinking is adaptive (each re-run depends on
+    the previous verdict) and stays in-process, after the sweep.
     """
     if budget < 1:
         raise ExperimentError(f"budget must be at least 1, got {budget!r}")
@@ -650,8 +671,15 @@ def explore(
         )
     )
     report.skipped_cells = max(0, len(specs) - budget)
-    for spec in specs[:budget]:
-        outcome = run_scenario(spec)
+    swept = specs[:budget]
+    outcomes = run_specs(
+        [
+            RunSpec(kind="scenario", params=spec.to_dict(), label=spec.label())
+            for spec in swept
+        ],
+        workers=workers,
+    )
+    for spec, outcome in zip(swept, outcomes):
         if outcome.violated and shrink and len(spec.plan) > 0:
             shrunk, used = shrink_plan(spec, budget=shrink_budget)
             # Re-judge the cell under the minimized plan: its (possibly

@@ -1,0 +1,178 @@
+"""Unit tests for the Runner: ordering, worker counts, serial parity."""
+
+from repro.exec import Runner, RunSpec, execute, run_specs
+from repro.exec import runner as runner_module
+from repro.sim.rng import derive_seed
+
+#: A cheap, deterministic, picklable cell: derive_seed itself.
+_KIND = "repro.sim.rng:derive_seed"
+
+
+def _specs(count: int) -> list[RunSpec]:
+    return [
+        RunSpec(kind=_KIND, params={"root_seed": 9, "name": f"cell:{i}"})
+        for i in range(count)
+    ]
+
+
+class TestRunner:
+    def test_execute_runs_one_spec_in_process(self):
+        (spec,) = _specs(1)
+        assert execute(spec) == derive_seed(9, "cell:0")
+
+    def test_results_come_back_in_spec_order(self):
+        expected = [derive_seed(9, f"cell:{i}") for i in range(12)]
+        assert Runner(workers=1).map(_specs(12)) == expected
+        assert Runner(workers=4).map(_specs(12)) == expected
+
+    def test_parallel_equals_serial(self):
+        specs = _specs(9)
+        assert Runner(workers=3).map(specs) == Runner(workers=1).map(specs)
+
+    def test_single_spec_short_circuits_to_serial(self):
+        # min(workers, 1 spec) == 1: no pool is spun up for one cell.
+        assert Runner(workers=8).map(_specs(1)) == [derive_seed(9, "cell:0")]
+
+    def test_empty_spec_list(self):
+        assert Runner(workers=4).map([]) == []
+
+    def test_workers_floor_is_one(self):
+        assert Runner(workers=0).workers == 1
+        assert Runner(workers=-3).workers == 1
+
+    def test_default_workers_is_positive(self):
+        assert Runner().workers >= 1
+
+    def test_run_specs_convenience_matches_runner(self):
+        specs = _specs(5)
+        assert run_specs(specs, workers=2) == Runner(workers=2).map(specs)
+
+    def test_pool_is_reused_across_map_calls(self):
+        runner = Runner(workers=2)
+        runner.map(_specs(4))
+        pool = runner_module._POOLS.get(2)
+        assert pool is not None
+        runner.map(_specs(4))
+        assert runner_module._POOLS.get(2) is pool
+
+    def test_differently_sized_grids_share_one_pool(self):
+        # The cache is keyed by the configured worker count, not by
+        # min(workers, len(specs)): a battery of varied grids pays
+        # worker startup once.
+        runner = Runner(workers=2)
+        runner.map(_specs(2))
+        runner.map(_specs(7))
+        runner.map(_specs(3))
+        assert 2 in runner_module._POOLS
+
+    def test_cell_oserror_propagates_without_serial_fallback(self):
+        # A cell's own OSError must come back as that error, not be
+        # mistaken for a pool failure (which would discard the pool and
+        # silently re-run the whole sweep serially).
+        import pytest
+
+        specs = [
+            RunSpec(kind="os:stat", params={"path": "/no-such-path-anywhere"})
+            for _ in range(3)
+        ]
+        runner = Runner(workers=2)
+        with pytest.raises(FileNotFoundError):
+            runner.map(specs)
+        assert 2 in runner_module._POOLS  # healthy pool kept
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        """Environments without process support take the serial path."""
+
+        class NoFork:
+            def __init__(self, max_workers):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(runner_module, "_POOLS", {})
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", NoFork)
+        monkeypatch.setattr(runner_module, "_FALLBACKS", 1)  # already warned
+        expected = [derive_seed(9, f"cell:{i}") for i in range(6)]
+        assert Runner(workers=3).map(_specs(6)) == expected
+
+    def test_lazy_spawn_failure_falls_back_to_serial(self, monkeypatch):
+        """Pools that break only at first submit still fall back."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        class BreaksOnMap:
+            def __init__(self, max_workers):
+                pass
+
+            def map(self, fn, specs, chunksize=1):
+                raise BrokenProcessPool("workers never started")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(runner_module, "_POOLS", {})
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", BreaksOnMap)
+        monkeypatch.setattr(runner_module, "_FALLBACKS", 1)  # already warned
+        expected = [derive_seed(9, f"cell:{i}") for i in range(6)]
+        assert Runner(workers=3).map(_specs(6)) == expected
+        # The broken pool was discarded, not cached for the next call.
+        assert runner_module._POOLS == {}
+
+
+class TestGrouped:
+    def test_splits_row_major(self):
+        assert runner_module.grouped([1, 2, 3, 4, 5, 6], 2) == [
+            [1, 2],
+            [3, 4],
+            [5, 6],
+        ]
+
+    def test_size_one(self):
+        assert runner_module.grouped(["a", "b"], 1) == [["a"], ["b"]]
+
+    def test_empty_results(self):
+        assert runner_module.grouped([], 3) == []
+
+    def test_ragged_results_rejected(self):
+        import pytest
+
+        from repro.sim.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            runner_module.grouped([1, 2, 3], 2)
+
+    def test_nonpositive_size_rejected(self):
+        import pytest
+
+        from repro.sim.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            runner_module.grouped([1], 0)
+
+
+class TestFallbackAccounting:
+    def test_fallback_increments_counter_and_warns_once(self, monkeypatch):
+        import warnings as warnings_module
+
+        class NoFork:
+            def __init__(self, max_workers):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(runner_module, "_POOLS", {})
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", NoFork)
+        monkeypatch.setattr(runner_module, "_FALLBACKS", 0)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            Runner(workers=2).map(_specs(3))
+            Runner(workers=2).map(_specs(3))
+        assert runner_module.fallback_count() == 2
+        # Only the first fallback warns; later ones stay quiet.
+        assert len([w for w in caught if w.category is RuntimeWarning]) == 1
+
+
+class TestScenarioKind:
+    def test_scenario_cell_round_trips_a_spec(self):
+        from repro.workloads.explorer import ScenarioSpec, run_scenario
+
+        scenario = ScenarioSpec(protocol="sync", n=6, horizon=40.0, seed=2)
+        spec = RunSpec(kind="scenario", params=scenario.to_dict())
+        outcome = execute(spec)
+        assert outcome.spec == scenario
+        assert outcome.digest == run_scenario(scenario).digest

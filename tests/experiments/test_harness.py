@@ -43,6 +43,63 @@ class TestExperimentResult:
         assert "REPRODUCED" in text
 
 
+class TestEmptyAndErrorPaths:
+    """The harness edge cases every engine-built experiment leans on."""
+
+    def empty_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="E0", title="Empty", paper_claim="claim"
+        )
+
+    def test_unknown_column_error_names_the_known_columns(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            make_result().column("missing")
+        message = str(excinfo.value)
+        assert "missing" in message
+        assert "name" in message and "value" in message and "flag" in message
+
+    def test_column_on_a_rowless_result_is_unknown(self):
+        # No rows ever added -> no columns exist yet.
+        with pytest.raises(ExperimentError):
+            self.empty_result().column("anything")
+
+    def test_to_table_with_no_rows_renders_placeholder(self):
+        assert self.empty_result().to_table() == "(no rows)"
+
+    def test_describe_with_no_rows_no_params_no_notes_no_verdict(self):
+        text = self.empty_result().describe()
+        assert "E0: Empty" in text
+        assert "(no rows)" in text
+        assert "parameters:" not in text
+        assert "note:" not in text
+        assert "verdict:" not in text
+
+    def test_describe_orders_notes_before_verdict(self):
+        result = make_result()
+        result.notes.extend(["first note", "second note"])
+        result.verdict = "REPRODUCED: everything"
+        lines = result.describe().splitlines()
+        note_indices = [
+            i for i, line in enumerate(lines) if line.startswith("note: ")
+        ]
+        verdict_indices = [
+            i for i, line in enumerate(lines) if line.startswith("verdict: ")
+        ]
+        assert note_indices == sorted(note_indices)
+        assert len(verdict_indices) == 1
+        assert note_indices[-1] < verdict_indices[0]
+        assert "note: first note" in lines
+        assert "note: second note" in lines
+        assert "verdict: REPRODUCED: everything" in lines
+
+    def test_describe_with_verdict_but_no_notes(self):
+        result = make_result()
+        result.verdict = "PARTIAL: shrug"
+        text = result.describe()
+        assert "note:" not in text
+        assert text.rstrip().endswith("verdict: PARTIAL: shrug")
+
+
 class TestFormatTable:
     def test_alignment_and_header(self):
         text = format_table(("x", "longcol"), [{"x": 1, "longcol": "v"}])

@@ -17,16 +17,24 @@ corpus (and says so) with::
 
 The canonical scenario list lives in :data:`CORPUS_SCENARIOS` below;
 regeneration re-runs it and rewrites the expectations.
+
+Replay (and regeneration) goes through the shared execution engine —
+each entry is a ``RunSpec`` of kind ``"scenario"``, the same path
+``repro explore`` takes — so the corpus also guards the engine's
+serial/parallel equivalence: outcomes must match the recorded digests
+at whatever worker count this host runs.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 from pathlib import Path
 
 import pytest
 
-from repro.workloads.explorer import ScenarioSpec, build_plan, run_scenario
+from repro.exec import RunSpec, run_specs
+from repro.workloads.explorer import ScenarioOutcome, ScenarioSpec, build_plan
 
 CORPUS_PATH = Path(__file__).parent.parent / "corpus" / "seeds.json"
 
@@ -88,8 +96,7 @@ CORPUS_SCENARIOS: list[tuple[str, ScenarioSpec]] = [
 ]
 
 
-def _expectation(spec: ScenarioSpec) -> dict:
-    outcome = run_scenario(spec)
+def _observed(outcome: ScenarioOutcome) -> dict:
     return {
         "verdict": outcome.verdict,
         "safe": outcome.safe,
@@ -101,12 +108,44 @@ def _expectation(spec: ScenarioSpec) -> dict:
     }
 
 
+def _replay(named_specs: list[tuple[str, ScenarioSpec]]) -> dict[str, ScenarioOutcome]:
+    """Replay scenarios through the shared execution engine.
+
+    Each corpus entry becomes a ``RunSpec`` of kind ``"scenario"`` —
+    the exact path ``repro explore`` runs — judged across all cores;
+    outcomes come back in entry order and are keyed by entry name.
+    """
+    outcomes = run_specs(
+        [
+            RunSpec(kind="scenario", params=spec.to_dict(), label=name)
+            for name, spec in named_specs
+        ]
+    )
+    return dict(zip((name for name, _ in named_specs), outcomes))
+
+
+@functools.lru_cache(maxsize=1)
+def _replayed() -> dict[str, ScenarioOutcome]:
+    """The recorded corpus, replayed once per test session."""
+    return _replay(
+        [
+            (entry["name"], ScenarioSpec.from_dict(entry["spec"]))
+            for entry in load_corpus()
+        ]
+    )
+
+
 def regenerate() -> dict:
     """Re-run every canonical scenario and rebuild the corpus payload."""
+    outcomes = _replay(CORPUS_SCENARIOS)
     entries = []
     for name, spec in CORPUS_SCENARIOS:
         entries.append(
-            {"name": name, "spec": spec.to_dict(), "expect": _expectation(spec)}
+            {
+                "name": name,
+                "spec": spec.to_dict(),
+                "expect": _observed(outcomes[name]),
+            }
         )
     return {"schema_version": 1, "entries": entries}
 
@@ -133,18 +172,8 @@ def test_corpus_file_matches_the_canonical_scenario_list():
     "entry", load_corpus(), ids=lambda entry: entry["name"]
 )
 def test_corpus_seed_replays_to_the_recorded_verdict(entry):
-    spec = ScenarioSpec.from_dict(entry["spec"])
     expect = entry["expect"]
-    outcome = run_scenario(spec)
-    observed = {
-        "verdict": outcome.verdict,
-        "safe": outcome.safe,
-        "violations": outcome.violation_count,
-        "checked": outcome.checked_count,
-        "live": outcome.live,
-        "in_model": outcome.classification.in_model,
-        "digest": outcome.digest,
-    }
+    observed = _observed(_replayed()[entry["name"]])
     assert observed == expect, (
         f"corpus seed {entry['name']!r} no longer replays to its recorded "
         f"outcome; if this PR intentionally changed scheduling/RNG/churn "

@@ -87,6 +87,32 @@ class TestDispatch:
         with pytest.raises(ProcessError):
             process.deliver(FakeMessage("p2", Mystery()))
 
+    def test_handler_lookup_is_cached_per_class(self, engine):
+        process = EchoProcess("pa", engine)
+        process.deliver(FakeMessage("p2", Ping("one")))
+        cache = EchoProcess.__dict__["_dispatch_cache"]
+        assert cache[Ping] is EchoProcess.on_ping
+        # A second delivery (and a second instance) reuses the entry.
+        other = EchoProcess("pb", engine)
+        other.deliver(FakeMessage("p3", Ping("two")))
+        assert EchoProcess.__dict__["_dispatch_cache"] is cache
+        assert other.received == ["p3:two"]
+
+    def test_subclass_override_gets_its_own_cache_entry(self, engine):
+        class LoudEcho(EchoProcess):
+            def on_ping(self, sender: str, msg: Ping) -> None:
+                self.received.append(f"{sender}:{msg.payload.upper()}")
+
+        base = EchoProcess("p1", engine)
+        loud = LoudEcho("p2", engine)
+        base.deliver(FakeMessage("x", Ping("soft")))
+        loud.deliver(FakeMessage("x", Ping("soft")))
+        assert base.received == ["x:soft"]
+        assert loud.received == ["x:SOFT"]
+        # The caches live on each class, never shared through MRO.
+        assert LoudEcho.__dict__["_dispatch_cache"][Ping] is LoudEcho.on_ping
+        assert EchoProcess.__dict__["_dispatch_cache"][Ping] is EchoProcess.on_ping
+
 
 class TestOperationRunner:
     def test_wait_suspends_for_duration(self, engine):

@@ -97,6 +97,19 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "E2:" in out and "E3:" in out
 
+    def test_workers_flag_output_matches_serial(self, capsys):
+        args = ["experiments", "--ids", "E4", "--quick"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+        assert "all 1 experiments reproduced" in serial_out
+
+    def test_workers_flag_reaches_ablations_without_error(self, capsys):
+        # Ablations accept the engine's keyword for harness uniformity.
+        assert main(["experiments", "--ids", "A3", "--quick", "--workers", "2"]) == 0
+
 
 class TestParanoid:
     def test_simulate_paranoid_matches_fast(self, capsys):
@@ -127,11 +140,15 @@ class TestBench:
         names = {bench["name"] for bench in payload["benchmarks"]}
         assert "broadcast_fanout_trace_off" in names
         assert "checker_atomicity_paranoid" in names
+        assert "explore_sweep_serial" in names
+        assert "explore_sweep_parallel" in names
         assert payload["determinism"]["stable_within_process"] is True
         # Structural only: a single --repeats 1 sample is noise-dominated,
         # so speedup magnitude is asserted by the best-of-N guard in
         # benchmarks/test_bench_kernel.py, not here.
         assert payload["derived"]["checker_atomicity_speedup"] > 0.0
+        assert payload["derived"]["parallel_explore_speedup"] > 0.0
+        assert payload["parallel_workers"] >= 1
 
 
 class TestExplore:
@@ -191,6 +208,22 @@ class TestExplore:
     def test_unknown_plan_rejected(self, capsys):
         assert main(["explore", "--plans", "gremlins"]) == 2
         assert "unknown plan" in capsys.readouterr().err
+
+    def test_workers_flag_output_matches_serial(self, capsys):
+        args = [
+            "explore",
+            "--budget", "4",
+            "--protocols", "sync",
+            "--delays", "sync",
+            "--churn", "0.0", "0.02",
+            "--plans", "none", "heavy-loss",
+            "--verbose",
+        ]
+        assert main(args + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
 
     def test_verbose_prints_every_run(self, capsys):
         code = main(
