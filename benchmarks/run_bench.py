@@ -6,7 +6,8 @@ benchmarks so CI (or a bare checkout without the package installed) can
 produce the ``BENCH_kernel.json`` trajectory artifact with one command:
 
     python benchmarks/run_bench.py [--out BENCH_kernel.json] [--repeats N]
-                                   [--workers N]
+                                   [--workers N] [--compare OLD.json]
+                                   [--threshold F]
 """
 
 from __future__ import annotations
@@ -25,13 +26,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=ARTIFACT_NAME)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--compare", default=None, metavar="OLD.json")
+    parser.add_argument("--threshold", type=float, default=0.5)
     args = parser.parse_args(argv)
     try:
         return run_and_report(
-            out_path=args.out, repeats=args.repeats, workers=args.workers
+            out_path=args.out,
+            repeats=args.repeats,
+            workers=args.workers,
+            compare_to=args.compare,
+            threshold=args.threshold,
         )
     except OSError as error:
-        print(f"error: cannot write artifact: {error}", file=sys.stderr)
+        print(f"error: cannot read/write artifact: {error}", file=sys.stderr)
         return 2
 
 

@@ -1,0 +1,10 @@
+"""Benchmark E13 — regenerates the keyed RegisterSpace scaling experiment."""
+
+from repro.experiments import e13_keyed_store
+
+from .conftest import regenerate
+
+
+def test_bench_e13(benchmark):
+    """Regenerate E13 (keyed store: per-key regularity, batched joins)."""
+    regenerate(benchmark, e13_keyed_store.run, "E13")

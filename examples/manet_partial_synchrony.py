@@ -24,15 +24,21 @@ once the network stabilizes everything settles to a few δ.
 Run:  python examples/manet_partial_synchrony.py
 """
 
+import os
+
 from repro import DynamicSystem, EventuallySynchronousDelay, SystemConfig
 from repro.analysis.stats import summarize
 from repro.workloads.generators import poisson_reads
 from repro.workloads.schedule import WorkloadDriver, WriteOp
 
+#: The examples smoke suite sets REPRO_EXAMPLES_QUICK=1 to shrink the
+#: episode; the unstable→GST→stable arc is preserved.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+
 N = 21
 DELTA = 4.0
-GST = 150.0
-HORIZON = 400.0
+GST = 60.0 if QUICK else 150.0
+HORIZON = 160.0 if QUICK else 400.0
 
 print(f"convoy register: n={N}, δ={DELTA} (holds only after t={GST})")
 

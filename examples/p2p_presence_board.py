@@ -19,15 +19,21 @@ featured announcement — on an overlay with heavy peer turnover:
 Run:  python examples/p2p_presence_board.py
 """
 
+import os
+
 from repro import DynamicSystem, SystemConfig, synchronous_churn_bound
 from repro.analysis.stats import summarize
 from repro.workloads.generators import read_heavy_plan
 from repro.workloads.schedule import WorkloadDriver
 
+#: The examples smoke suite sets REPRO_EXAMPLES_QUICK=1 to shrink the
+#: simulated horizon; the story (and every printed section) is the same.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+
 N = 40
 DELTA = 4.0
 CHURN = 0.02
-HORIZON = 500.0
+HORIZON = 120.0 if QUICK else 500.0
 
 cap = synchronous_churn_bound(DELTA)
 print(f"presence board: n={N}, δ={DELTA}, churn c={CHURN} "

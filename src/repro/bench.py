@@ -2,15 +2,20 @@
 
 Runs the micro-benchmarks that track the cost of the simulation
 substrate (event throughput, broadcast fan-out with tracing on/off,
-churn bookkeeping, checker cost fast vs. paranoid, a judged explorer
-sweep serial vs. multi-worker through the execution engine) without
-pytest, and writes the results as a ``BENCH_kernel.json`` trajectory
-artifact so every PR leaves a perf baseline behind.
+churn bookkeeping, the keyed-store fan-out pair behind
+``derived.keyed_fanout_overhead``, checker cost fast vs. paranoid, a
+judged explorer sweep serial vs. multi-worker through the execution
+engine) without pytest, and writes the results as a
+``BENCH_kernel.json`` trajectory artifact so every PR leaves a perf
+baseline behind.
 
-The artifact also records a determinism digest — a SHA-256 over the
-operation history of a fixed-seed churn run — computed twice in the
-same process, so a scheduler or RNG regression that breaks
-reproducibility is caught by the same entry point that measures speed.
+The artifact also records determinism digests — SHA-256 over the
+operation histories of fixed-seed runs (plain, faulted, and keyed) —
+each computed twice in the same process, so a scheduler or RNG
+regression that breaks reproducibility is caught by the same entry
+point that measures speed.  :func:`compare_artifacts` (CLI:
+``repro bench --compare OLD.json``) diffs a fresh run against a
+committed artifact and flags regressions past a threshold.
 """
 
 from __future__ import annotations
@@ -93,6 +98,54 @@ def churn_ticks(ticks: float = 300.0, n: int = 100) -> int:
     system.attach_churn(rate=0.1)
     system.run_until(ticks)
     return system.churn.ticks_executed
+
+
+def keyed_store_fanout(
+    keys: int = 8, n: int = 40, horizon: float = 240.0
+) -> tuple[int, str]:
+    """A churning keyed store under a Zipf fan-out workload.
+
+    The RegisterSpace workload: ``keys`` registers served by one node
+    population, constant churn spawning joiners whose *batched* entry
+    round must install every key, reads/writes spread over the keys by
+    a Zipf picker, per-key regularity judged at close.  Returns the
+    delivered-message count and the history's per-key checker digest
+    (the keyed analogue of the determinism digest — covers each
+    operation's key).  Run with ``keys=1`` it is the same workload on
+    the classic single register, so the pair isolates what serving 8
+    registers instead of 1 costs end to end.
+    """
+    from .workloads.generators import assign_keys, make_key_picker, read_heavy_plan
+    from .workloads.schedule import WorkloadDriver
+
+    system = DynamicSystem(
+        SystemConfig(n=n, delta=5.0, protocol="sync", seed=11, trace=False, keys=keys)
+    )
+    system.attach_churn(rate=0.04, min_stay=15.0)
+    driver = WorkloadDriver(system)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 20.0,
+        write_period=12.0,
+        read_rate=2.0,
+        rng=system.rng.stream("bench.keyed.plan"),
+    )
+    if keys > 1:
+        plan = assign_keys(
+            plan,
+            make_key_picker("zipf", system.keys, system.rng.stream("bench.keyed.keys")),
+        )
+    driver.install(plan)
+    system.run_until(horizon)
+    history = system.close()
+    safety = system.check_safety()
+    if not safety.is_safe:
+        raise AssertionError(
+            f"the keyed fan-out workload violated per-key regularity "
+            f"({safety.violation_count} bad reads) — the RegisterSpace "
+            f"refactor broke the protocol"
+        )
+    return system.network.delivered_count, operation_digest(history)
 
 
 def checker_history(rounds: int = 20, readers: int = 20, per: int = 5) -> History:
@@ -208,6 +261,16 @@ def run_kernel_benchmarks(
     seconds, ticks = _time_best(churn_ticks, repeats)
     record("churn_tick_cost", seconds, "ticks", ticks)
 
+    keyed_single, (single_delivered, _) = _time_best(
+        lambda: keyed_store_fanout(keys=1), repeats
+    )
+    record("keyed_store_fanout_single", keyed_single, "delivered", single_delivered)
+    keyed_many, (keyed_delivered, keyed_digest_a) = _time_best(
+        lambda: keyed_store_fanout(keys=8), repeats
+    )
+    record("keyed_store_fanout", keyed_many, "delivered", keyed_delivered)
+    _, keyed_digest_b = keyed_store_fanout(keys=8)
+
     history = checker_history()
     ops = len(history)
 
@@ -287,6 +350,10 @@ def run_kernel_benchmarks(
             "fault_gate_overhead": round(seconds_gated / seconds_off, 3),
             "checker_regularity_speedup": round(naive_reg / fast_reg, 3),
             "checker_atomicity_speedup": round(naive_atom / fast_atom, 3),
+            # what serving 8 registers instead of 1 costs end to end on
+            # the same churning population — joins are batched over
+            # keys, so this should stay near 1, not near 8.
+            "keyed_fanout_overhead": round(keyed_many / keyed_single, 3),
             # serial wall time over multi-worker wall time for the same
             # judged sweep; ~1.0 (pool overhead only) on a single-core
             # host, >1 with real cores to fan out across.
@@ -297,6 +364,12 @@ def run_kernel_benchmarks(
             "stable_within_process": digest_a == digest_b,
             "faulted_digest": faulted_a,
             "faulted_stable_within_process": faulted_a == faulted_b,
+            # The per-key checker digest of the fixed-seed keyed store
+            # run: covers every operation's register key, so a keyed
+            # scheduling/RNG regression is caught even when the classic
+            # single-register digest is clean.
+            "keyed_digest": keyed_digest_a,
+            "keyed_stable_within_process": keyed_digest_a == keyed_digest_b,
         },
     }
 
@@ -307,10 +380,109 @@ def write_artifact(payload: dict[str, Any], out_path: str) -> None:
         handle.write("\n")
 
 
+# ----------------------------------------------------------------------
+# Artifact comparison (``repro bench --compare OLD.json``)
+# ----------------------------------------------------------------------
+
+
+def compare_artifacts(
+    old: dict[str, Any], new: dict[str, Any], threshold: float = 0.5
+) -> tuple[list[str], list[str]]:
+    """Diff two bench artifacts: per-workload wall times, derived ratios.
+
+    Returns ``(lines, regressions)``: human-readable delta lines for
+    every workload/ratio present in both artifacts, and the subset
+    flagged as regressions — a wall time more than ``threshold``
+    (fractionally) slower than the old artifact, or a derived speedup
+    ratio more than ``threshold`` below it.  Workloads only one side
+    knows are reported but never flagged (artifacts grow across PRs).
+    Determinism digests are compared informationally: a digest change
+    is only legal when a PR intentionally changes scheduling/RNG and
+    says so, but that judgement belongs to the reviewer, not to the
+    threshold.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold!r}")
+    lines: list[str] = []
+    regressions: list[str] = []
+    old_walls = {b["name"]: b["wall_seconds"] for b in old.get("benchmarks", [])}
+    new_walls = {b["name"]: b["wall_seconds"] for b in new.get("benchmarks", [])}
+    for name, new_wall in new_walls.items():
+        old_wall = old_walls.get(name)
+        if old_wall is None:
+            lines.append(f"{name}: new workload ({new_wall * 1e3:.2f} ms), no baseline")
+            continue
+        ratio = new_wall / old_wall if old_wall > 0 else float("inf")
+        line = (
+            f"{name}: {old_wall * 1e3:.2f} ms -> {new_wall * 1e3:.2f} ms "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > 1.0 + threshold:
+            line += f"  REGRESSION (> {1.0 + threshold:.2f}x)"
+            regressions.append(name)
+        lines.append(line)
+    for name in sorted(set(old_walls) - set(new_walls)):
+        lines.append(f"{name}: workload dropped (was {old_walls[name] * 1e3:.2f} ms)")
+    old_derived = old.get("derived", {})
+    new_derived = new.get("derived", {})
+    for name, new_value in new_derived.items():
+        old_value = old_derived.get(name)
+        if old_value is None:
+            lines.append(f"derived.{name}: new ratio ({new_value}), no baseline")
+            continue
+        line = f"derived.{name}: {old_value} -> {new_value}"
+        # Derived entries are speedups/overheads where *lower than the
+        # baseline by the threshold fraction* is the regression side
+        # for speedups, and higher is for overheads.
+        is_overhead = "overhead" in name
+        if old_value > 0:
+            drift = new_value / old_value
+            regressed = (
+                drift > 1.0 + threshold if is_overhead else drift < 1.0 / (1.0 + threshold)
+            )
+            if regressed:
+                line += "  REGRESSION"
+                regressions.append(f"derived.{name}")
+        lines.append(line)
+    old_det = old.get("determinism", {})
+    new_det = new.get("determinism", {})
+    for field in ("digest", "faulted_digest", "keyed_digest"):
+        if field in old_det and field in new_det:
+            same = old_det[field] == new_det[field]
+            lines.append(
+                f"determinism.{field}: "
+                + ("unchanged" if same else
+                   f"CHANGED {old_det[field][:16]}… -> {new_det[field][:16]}…")
+            )
+    return lines, regressions
+
+
 def run_and_report(
-    out_path: str = ARTIFACT_NAME, repeats: int = 3, workers: int | None = None
+    out_path: str = ARTIFACT_NAME,
+    repeats: int = 3,
+    workers: int | None = None,
+    compare_to: str | None = None,
+    threshold: float = 0.5,
 ) -> int:
-    """CLI body shared by ``python -m repro bench`` and run_bench.py."""
+    """CLI body shared by ``python -m repro bench`` and run_bench.py.
+
+    ``compare_to`` diffs the fresh run against a committed artifact
+    (e.g. the repository's ``BENCH_kernel.json``) and exits non-zero if
+    any workload regressed past ``threshold``.
+    """
+    baseline = None
+    if compare_to is not None:
+        # Load the baseline *before* writing the fresh artifact: with
+        # compare_to == out_path (comparing against the committed
+        # artifact in place) writing first would clobber the baseline
+        # and silently compare the run against itself.
+        with open(compare_to) as handle:
+            try:
+                baseline = json.load(handle)
+            except ValueError as error:
+                raise OSError(
+                    f"baseline {compare_to!r} is not valid JSON: {error}"
+                ) from error
     payload = run_kernel_benchmarks(repeats=repeats, workers=workers)
     write_artifact(payload, out_path)
     width = max(len(b["name"]) for b in payload["benchmarks"])
@@ -323,9 +495,23 @@ def run_and_report(
         print(f"{key:<{width}}  {value:9.2f} x")
     stable = payload["determinism"]["stable_within_process"]
     faulted_stable = payload["determinism"]["faulted_stable_within_process"]
+    keyed_stable = payload["determinism"]["keyed_stable_within_process"]
     print(f"determinism digest {payload['determinism']['digest'][:16]}… "
           f"{'STABLE' if stable else 'UNSTABLE'}")
     print(f"faulted digest     {payload['determinism']['faulted_digest'][:16]}… "
           f"{'STABLE' if faulted_stable else 'UNSTABLE'}")
+    print(f"keyed digest       {payload['determinism']['keyed_digest'][:16]}… "
+          f"{'STABLE' if keyed_stable else 'UNSTABLE'}")
     print(f"wrote {out_path}")
-    return 0 if (stable and faulted_stable) else 1
+    if not (stable and faulted_stable and keyed_stable):
+        return 1
+    if baseline is not None:
+        print(f"\ncomparison against {compare_to} (threshold {threshold:.0%}):")
+        lines, regressions = compare_artifacts(baseline, payload, threshold)
+        for line in lines:
+            print(f"  {line}")
+        if regressions:
+            print(f"REGRESSED: {', '.join(regressions)}")
+            return 1
+        print("no regressions past the threshold")
+    return 0

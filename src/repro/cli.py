@@ -26,17 +26,21 @@ Six subcommands, mirroring how the library is typically used:
 ``bench``
     Run the headless kernel benchmarks and write the
     ``BENCH_kernel.json`` trajectory artifact (event throughput,
-    broadcast fan-out with tracing on/off, churn bookkeeping, checker
-    cost fast vs. paranoid, determinism digest).
+    broadcast fan-out with tracing on/off, churn bookkeeping, the
+    keyed-store fan-out pair, checker cost fast vs. paranoid,
+    determinism digests).  ``--compare OLD.json`` diffs the fresh run
+    against a committed artifact — per-workload wall-time and derived
+    ratio deltas — and exits non-zero past ``--threshold``.
 
 ``explore``
     Sweep the adversarial scenario matrix (protocol × delay model ×
-    churn × fault plan × seed), judge every history with the checkers,
-    shrink violating fault schedules and optionally write the JSON
-    counterexample report.  The sweep fans out across ``--workers``
-    processes (cells are independent; the report is byte-identical at
-    any worker count).  In-model violations are bugs (exit 1);
-    out-of-model ones document the paper's hypotheses (exit 0).
+    churn × fault plan × key count × seed), judge every history with
+    the checkers, shrink violating fault schedules and optionally
+    write the JSON counterexample report.  The sweep fans out across
+    ``--workers`` processes (cells are independent; the report is
+    byte-identical at any worker count).  In-model violations are bugs
+    (exit 1); out-of-model ones document the paper's hypotheses
+    (exit 0).
 """
 
 from __future__ import annotations
@@ -117,6 +121,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--read-rate", type=float, default=0.5)
     simulate.add_argument("--write-period", type=float, default=30.0)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--keys",
+        type=int,
+        default=1,
+        help="register-space key count (default 1: the classic single register)",
+    )
+    simulate.add_argument(
+        "--key-dist",
+        default="uniform",
+        choices=["uniform", "zipf"],
+        help="how keyed operations spread over the keys",
+    )
     simulate.add_argument("--timeline", action="store_true")
     simulate.add_argument(
         "--paranoid",
@@ -147,6 +163,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="timing repeats per benchmark; the best wall time is kept",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.json",
+        help=(
+            "diff this run against a committed artifact: prints per-"
+            "workload wall-time and derived-ratio deltas, exits non-zero "
+            "past the regression threshold"
+        ),
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help=(
+            "fractional regression tolerance for --compare (default 0.5 "
+            "= flag anything >50%% slower than the baseline)"
+        ),
     )
     _add_workers_flag(bench, "run the parallel-sweep benchmark")
 
@@ -180,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--delta", type=float, default=5.0)
     explore.add_argument("--horizon", type=float, default=120.0)
     explore.add_argument("--seeds-per-combo", type=int, default=1)
+    explore.add_argument(
+        "--keys",
+        nargs="+",
+        type=int,
+        default=[1],
+        metavar="K",
+        help="register-space key counts to sweep (default: just 1)",
+    )
+    explore.add_argument(
+        "--key-dist",
+        default="uniform",
+        choices=["uniform", "zipf"],
+        help="key distribution for keyed cells",
+    )
     explore.add_argument(
         "--no-shrink",
         action="store_true",
@@ -231,10 +280,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             try:
                 return run_and_report(
-                    out_path=args.out, repeats=args.repeats, workers=args.workers
+                    out_path=args.out,
+                    repeats=args.repeats,
+                    workers=args.workers,
+                    compare_to=args.compare,
+                    threshold=args.threshold,
                 )
             except OSError as error:
-                print(f"error: cannot write artifact: {error}", file=sys.stderr)
+                print(f"error: cannot read/write artifact: {error}", file=sys.stderr)
                 return 2
         if args.command == "explore":
             return _cmd_explore(args)
@@ -299,6 +352,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         protocol=args.protocol,
         seed=args.seed,
         trace=args.timeline,
+        keys=args.keys,
     )
     system = DynamicSystem(config)
     if args.churn > 0:
@@ -311,14 +365,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         read_rate=args.read_rate,
         rng=system.rng.stream("cli.plan"),
     )
+    if args.keys > 1:
+        from .workloads.generators import assign_keys, make_key_picker
+
+        plan = assign_keys(
+            plan,
+            make_key_picker(args.key_dist, system.keys, system.rng.stream("cli.keys")),
+        )
     driver.install(plan)
     system.run_until(args.horizon)
     system.close()
     safety = system.check_safety(paranoid=args.paranoid)
     liveness = system.check_liveness(grace=10.0 * args.delta)
+    keyed = f" keys={args.keys}/{args.key_dist}" if args.keys > 1 else ""
     print(
         f"protocol={args.protocol} n={args.n} δ={args.delta} "
-        f"churn={args.churn} horizon={args.horizon} seed={args.seed}"
+        f"churn={args.churn} horizon={args.horizon} seed={args.seed}{keyed}"
     )
     print(f"reads issued   : {driver.stats.reads_issued} "
           f"(skipped {driver.stats.reads_skipped})")
@@ -363,6 +425,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         shrink=not args.no_shrink,
         workers=args.workers,
+        key_counts=tuple(args.keys),
+        key_dist=args.key_dist,
     )
     for outcome in report.outcomes:
         if args.verbose or outcome.violated:

@@ -190,7 +190,25 @@ class RegularityChecker:
         self.paranoid = paranoid
 
     def check(self) -> SafetyReport:
-        """Judge every completed read (and join, if enabled)."""
+        """Judge every completed read (and join, if enabled).
+
+        A multi-key history is partitioned: each key's sub-history is
+        judged independently by the unchanged single-register sweep
+        (regularity of a keyed store is per-key regularity — writes to
+        different keys are unordered by the specification), and the
+        judgements are concatenated in key order.
+        """
+        keys = self.history.keys()
+        if len(keys) > 1:
+            report = SafetyReport()
+            for key in keys:
+                sub = RegularityChecker(
+                    self.history.sub_history(key),
+                    check_joins=self.check_joins,
+                    paranoid=self.paranoid,
+                ).check()
+                report.judgements.extend(sub.judgements)
+            return report
         writes = self.history.write_records()
         index = None if self.paranoid else _WriteIntervalIndex(writes)
         report = SafetyReport()
@@ -356,7 +374,19 @@ def find_new_old_inversions(
     scan, which enumerates *every* inverted pair (worst-case O(R²)
     output); the two agree exactly on which reads are inverted, hence
     on every verdict.
+
+    A multi-key history is judged per key (atomicity of a keyed store
+    is per-key atomicity): each key's sub-history runs through the
+    unchanged single-register detector and the verdicts merge.
     """
+    keys = history.keys()
+    if len(keys) > 1:
+        merged = AtomicityReport(safety=SafetyReport())
+        for key in keys:
+            sub = find_new_old_inversions(history.sub_history(key), paranoid=paranoid)
+            merged.safety.judgements.extend(sub.safety.judgements)
+            merged.inversions.extend(sub.inversions)
+        return merged
     safety = RegularityChecker(history, check_joins=False, paranoid=paranoid).check()
     value_map = history.value_to_write()
     indexed_reads: list[tuple[OperationHandle, int]] = []

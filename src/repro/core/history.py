@@ -134,6 +134,52 @@ class History:
         return self._departures.get(pid)
 
     # ------------------------------------------------------------------
+    # Keyed views (the RegisterSpace dimension)
+    # ------------------------------------------------------------------
+
+    def keys(self) -> list[Any]:
+        """The register keys this history's reads/writes addressed.
+
+        A classic single-register history returns ``[None]``; a keyed
+        store returns its named keys in sorted order.  Joins are
+        key-less (one join installs every key) and do not contribute.
+        """
+        found = {
+            op.key
+            for kind in (OP_READ, OP_WRITE)
+            for op in self._by_kind.get(kind, ())
+        }
+        if not found:
+            return [None]
+        return sorted(found, key=lambda key: (key is not None, str(key)))
+
+    @property
+    def is_keyed(self) -> bool:
+        """True when more than one register key appears in the history."""
+        return len(self.keys()) > 1
+
+    def sub_history(self, key: Any) -> "History":
+        """The single-register history of one key.
+
+        Contains every read/write addressing ``key`` plus every join —
+        a join spans all keys, so each key's sub-history sees it
+        through a per-key view whose result is that key's adoption.
+        Each key starts from the same initial value (the seeds install
+        it on every key), and departures/horizon carry over, so the
+        single-register checkers judge the sub-history unchanged.
+        """
+        sub = History(self.initial_value)
+        for op in self._operations:
+            if op.kind == OP_JOIN:
+                sub.record_operation(_JoinKeyView(op, key))
+            elif op.key == key:
+                sub.record_operation(op)
+        sub._departures = dict(self._departures)
+        if self._horizon is not None:
+            sub.close(self._horizon)
+        return sub
+
+    # ------------------------------------------------------------------
     # Derived views for the checkers
     # ------------------------------------------------------------------
 
@@ -226,17 +272,59 @@ class History:
         )
 
 
+class _JoinKeyView:
+    """One key's view of a (possibly multi-key) join operation.
+
+    Quacks like the underlying :class:`OperationHandle` — the checkers
+    only touch timing/state attributes and ``result`` — but presents
+    the join result restricted to one key, so a key's sub-history can
+    be judged by the unchanged single-register checkers.
+    """
+
+    __slots__ = ("_op", "key")
+
+    def __init__(self, op: OperationHandle, key: Any) -> None:
+        self._op = op
+        self.key = key
+
+    @property
+    def result(self) -> Any:
+        result = self._op.result
+        if hasattr(result, "for_key"):
+            return result.for_key(self.key)
+        return result  # single-key JoinResult (or a protocol's plain "ok")
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._op, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_JoinKeyView({self._op!r}, key={self.key!r})"
+
+
 def operation_digest(history: History) -> str:
     """SHA-256 fingerprint of a history's operation sequence.
 
     Covers kind, process, invocation/response times and argument of
     every operation in invocation order — the determinism surface the
     benchmarks and the explorer compare across runs.  Two runs with
-    the same digest exhibited the same observable behaviour.
+    the same digest exhibited the same observable behaviour.  Keyed
+    operations additionally cover their register key; single-register
+    histories (``key=None`` throughout) hash exactly as they always
+    did, which is what keeps the trajectory digests comparable across
+    the RegisterSpace refactor.
     """
     blob = repr(
         [
             (op.kind, op.process_id, op.invoke_time, op.response_time, str(op.argument))
+            if op.key is None
+            else (
+                op.kind,
+                op.key,
+                op.process_id,
+                op.invoke_time,
+                op.response_time,
+                str(op.argument),
+            )
             for op in history
         ]
     ).encode()

@@ -1,4 +1,5 @@
-"""The register abstraction (Sections 1 and 2.2).
+"""The register abstraction (Sections 1 and 2.2) and its keyed
+generalization, the :class:`RegisterSpace`.
 
 A *regular register* in a dynamic system satisfies (Section 2.2):
 
@@ -12,6 +13,18 @@ A *regular register* in a dynamic system satisfies (Section 2.2):
 runtime and the workloads talk only to this interface, and the safety
 checker consumes only the operation handles it returns — protocols are
 never trusted to self-report correctness.
+
+The paper implements exactly one register; the production
+extrapolation is a *store* of many.  Each node therefore owns a
+:class:`RegisterSpace` — per-key ``⟨value, sequence⟩`` cells — and
+every operation addresses a key.  The single-register system is the
+``keys == 1`` special case whose key is the :data:`SINGLE_KEY`
+sentinel ``None``: its message payloads, histories and digests are
+byte-identical to the pre-RegisterSpace library, which is what keeps
+the trajectory artifacts and the seed corpus comparable across the
+refactor.  Safety of a keyed store is per-key safety: the checkers
+partition histories by key (see :meth:`History.sub_history
+<repro.core.history.History.sub_history>`).
 """
 
 from __future__ import annotations
@@ -39,6 +52,117 @@ OP_JOIN = "join"
 OP_READ = "read"
 OP_WRITE = "write"
 
+#: The key of the classic single-register system.  ``None`` (rather
+#: than a named key) keeps every single-register code path — message
+#: payloads, operation records, digests — literally unchanged from the
+#: pre-RegisterSpace library.
+SINGLE_KEY = None
+
+
+def key_names(count: int) -> tuple[Any, ...]:
+    """The key tuple for a ``count``-key register space.
+
+    ``count == 1`` is the paper's single register and keeps the
+    :data:`SINGLE_KEY` sentinel; larger spaces use named keys
+    ``k0 … k{count-1}``.
+    """
+    if count < 1:
+        raise ValueError(f"a register space needs at least 1 key, got {count!r}")
+    if count == 1:
+        return (SINGLE_KEY,)
+    return tuple(f"k{i}" for i in range(count))
+
+
+class RegisterSpace:
+    """Per-key local copies of the keyed register store.
+
+    Every protocol node owns one: the per-key ``⟨value, sequence⟩``
+    pairs that used to live as a node's single ``_register``/``_sn``
+    attribute pair.  The space is pure local state — adoption guards
+    (``sequence > current``) live here so the three protocols share
+    one implementation of the paper's "adopt if newer" rule.
+    """
+
+    __slots__ = ("_keys", "_values", "_sequences")
+
+    def __init__(self, keys: tuple[Any, ...] = (SINGLE_KEY,)) -> None:
+        if not keys:
+            raise ValueError("a register space needs at least one key")
+        self._keys = tuple(keys)
+        self._values: dict[Any, Any] = {key: BOTTOM for key in self._keys}
+        self._sequences: dict[Any, int] = {key: -1 for key in self._keys}
+
+    @property
+    def keys(self) -> tuple[Any, ...]:
+        return self._keys
+
+    @property
+    def is_single(self) -> bool:
+        return len(self._keys) == 1
+
+    def resolve(self, key: Any = None) -> Any:
+        """Map ``None`` to the default (first) key; validate named keys."""
+        if key is None:
+            return self._keys[0]
+        if key not in self._values:
+            raise KeyError(f"unknown register key {key!r}; have {self._keys}")
+        return key
+
+    def value(self, key: Any = None) -> Any:
+        return self._values[self.resolve(key)]
+
+    def sequence(self, key: Any = None) -> int:
+        return self._sequences[self.resolve(key)]
+
+    def snapshot(self, key: Any = None) -> tuple[Any, int]:
+        key = self.resolve(key)
+        return self._values[key], self._sequences[key]
+
+    def install(self, key: Any, value: Any, sequence: int) -> None:
+        """Unconditionally set ``key``'s local copy."""
+        key = self.resolve(key)
+        self._values[key] = value
+        self._sequences[key] = sequence
+
+    def install_all(self, value: Any, sequence: int) -> None:
+        """Seed every key with the initial value (footnote 3)."""
+        for key in self._keys:
+            self._values[key] = value
+            self._sequences[key] = sequence
+
+    def adopt(self, key: Any, value: Any, sequence: int) -> bool:
+        """The paper's adoption rule: install iff strictly newer."""
+        key = self.resolve(key)
+        if sequence > self._sequences[key]:
+            self._values[key] = value
+            self._sequences[key] = sequence
+            return True
+        return False
+
+    def bump(self, key: Any = None) -> int:
+        """Increment and return ``key``'s sequence number (a write)."""
+        key = self.resolve(key)
+        self._sequences[key] += 1
+        return self._sequences[key]
+
+    def entries(self) -> tuple[tuple[Any, Any, int], ...]:
+        """Every ``(key, value, sequence)`` triple, in key order.
+
+        The batched payload joiner replies carry: one reply serves
+        every key the joiner needs, keeping join traffic independent
+        of the key count.
+        """
+        return tuple(
+            (key, self._values[key], self._sequences[key]) for key in self._keys
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cells = ", ".join(
+            f"{key!r}=({self._values[key]!r}, {self._sequences[key]})"
+            for key in self._keys
+        )
+        return f"RegisterSpace({cells})"
+
 
 @dataclass
 class NodeContext:
@@ -58,6 +182,10 @@ class NodeContext:
     n: int
     delta: Time
     extra: dict[str, Any] = field(default_factory=dict)
+    #: The register space's key dimension.  The default single-key
+    #: tuple is the paper's one register; multi-key systems pass
+    #: :func:`key_names` of their key count.
+    keys: tuple[Any, ...] = (SINGLE_KEY,)
 
 
 class RegisterNode(SimProcess, abc.ABC):
@@ -75,19 +203,22 @@ class RegisterNode(SimProcess, abc.ABC):
     def __init__(self, pid: str, ctx: NodeContext) -> None:
         super().__init__(pid, ctx.engine)
         self.ctx = ctx
+        #: The node's local copies, one cell per key.
+        self.space = RegisterSpace(ctx.keys)
 
     # ------------------------------------------------------------------
     # Seeding
     # ------------------------------------------------------------------
 
-    @abc.abstractmethod
     def init_as_seed(self, value: Any, sequence: int = 0) -> None:
-        """Install the initial value and mark the node active.
+        """Install the initial value on every key and mark active.
 
         Used only for the ``n`` processes that compose the system at
         time 0 (footnote 3 of the paper: every initial process holds
         the register's initial value).
         """
+        self.space.install_all(value, sequence)
+        self.mark_active()
 
     # ------------------------------------------------------------------
     # The three operations
@@ -95,26 +226,33 @@ class RegisterNode(SimProcess, abc.ABC):
 
     @abc.abstractmethod
     def join(self) -> OperationHandle:
-        """Invoke the join operation (the entry protocol)."""
+        """Invoke the join operation (the entry protocol).
+
+        A join is key-less: one entry round installs every key of the
+        register space (the inquiry replies carry batched per-key
+        entries).
+        """
 
     @abc.abstractmethod
-    def read(self) -> OperationHandle:
-        """Invoke a read.  Only legal once the node is active."""
+    def read(self, key: Any = None) -> OperationHandle:
+        """Invoke a read of ``key``.  Only legal once the node is
+        active; ``None`` addresses the default key."""
 
     @abc.abstractmethod
-    def write(self, value: Any) -> OperationHandle:
-        """Invoke a write.  Only legal once the node is active."""
+    def write(self, value: Any, key: Any = None) -> OperationHandle:
+        """Invoke a write of ``key``.  Only legal once the node is
+        active; ``None`` addresses the default key."""
 
     # ------------------------------------------------------------------
     # Uniform introspection used by experiments and tests
     # ------------------------------------------------------------------
 
     @property
-    @abc.abstractmethod
     def register_value(self) -> Any:
-        """The node's current local copy (``BOTTOM`` if never set)."""
+        """The node's current local copy of the default key."""
+        return self.space.value()
 
     @property
-    @abc.abstractmethod
     def sequence_number(self) -> int:
-        """The sequence number paired with the local copy."""
+        """The sequence number paired with the default key's copy."""
+        return self.space.sequence()

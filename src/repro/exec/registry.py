@@ -35,6 +35,7 @@ ENTRY_POINTS: dict[str, str] = {
     "e10": "repro.experiments.e10_baseline_comparison:cell",
     "e11": "repro.experiments.e11_churn_cap:cell",
     "e12": "repro.experiments.e12_burst_churn:cell",
+    "e13": "repro.experiments.e13_keyed_store:cell",
 }
 
 #: Resolved callables, cached per process.

@@ -30,6 +30,7 @@ from . import (
     e10_baseline_comparison,
     e11_churn_cap,
     e12_burst_churn,
+    e13_keyed_store,
 )
 from .ablations import ABLATIONS
 from .harness import ExperimentResult, format_table
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E10": e10_baseline_comparison.run,
     "E11": e11_churn_cap.run,
     "E12": e12_burst_churn.run,
+    "E13": e13_keyed_store.run,
 }
 
 

@@ -13,7 +13,13 @@
 
 from ..core.register import RegisterNode
 from .abd import AbdRegisterNode
-from .common import OK, JoinResult
+from .common import (
+    OK,
+    JoinResult,
+    KeyedJoinResult,
+    PhaseTracker,
+    QuorumPhase,
+)
 from .es_reg import EventuallySyncRegisterNode
 from .sync_reg import NaiveSyncRegisterNode, SynchronousRegisterNode
 
@@ -28,6 +34,9 @@ __all__ = [
     "PROTOCOLS",
     "OK",
     "JoinResult",
+    "KeyedJoinResult",
+    "PhaseTracker",
+    "QuorumPhase",
     "AbdRegisterNode",
     "EventuallySyncRegisterNode",
     "NaiveSyncRegisterNode",

@@ -23,6 +23,12 @@ Only the original universe members act as replicas.  Processes that
 arrive later (spawned by churn) complete a trivial join and may invoke
 reads — their quorums are still drawn from the fixed universe, which is
 precisely the static protocol's limitation.
+
+Quorum bookkeeping (query replies, write-back acks, write acks, the
+per-key ``request`` counters) runs on the shared
+:class:`~repro.protocols.common.PhaseTracker` machinery; with a
+multi-key :class:`~repro.core.register.RegisterSpace` every operation
+addresses one key and the per-key phases multiplex over the node.
 """
 
 from __future__ import annotations
@@ -30,10 +36,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
+from ..core.register import NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
 from ..sim.errors import ConfigError, ProcessError
 from ..sim.operations import OperationBody, OperationHandle, WaitUntil
-from .common import OK, JoinResult
+from .common import OK, PhaseTracker, make_join_result
 
 #: Key in ``NodeContext.extra`` holding the static replica universe.
 UNIVERSE_KEY = "abd_universe"
@@ -45,6 +51,7 @@ class AbdWrite:
 
     value: Any
     sequence: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
@@ -52,6 +59,7 @@ class AbdAck:
     """Acknowledgement of a WRITE with the same sequence number."""
 
     sequence: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,7 @@ class AbdQuery:
     """Phase-1 read query, tagged with the reader's request number."""
 
     request: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
@@ -68,6 +77,7 @@ class AbdQueryReply:
     request: int
     value: Any
     sequence: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
@@ -77,6 +87,7 @@ class AbdWriteBack:
     request: int
     value: Any
     sequence: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
@@ -84,6 +95,7 @@ class AbdWriteBackAck:
     """A replica's acknowledgement of a write-back."""
 
     request: int
+    key: Any = None
 
 
 class AbdRegisterNode(RegisterNode):
@@ -93,12 +105,12 @@ class AbdRegisterNode(RegisterNode):
 
     def __init__(self, pid: str, ctx: NodeContext) -> None:
         super().__init__(pid, ctx)
-        self._register: Any = BOTTOM
-        self._sn: int = -1
-        self._request: int = 0
-        self._query_replies: dict[str, tuple[Any, int]] = {}
-        self._wb_acks: set[str] = set()
-        self._write_acks: set[str] = set()
+        # Phase thresholds depend on the replica universe, which the
+        # runtime installs only after every seed exists — they are
+        # stamped onto the trackers at operation time instead.
+        self._queries = PhaseTracker()
+        self._writebacks = PhaseTracker()
+        self._writes = PhaseTracker()
 
     # ------------------------------------------------------------------
     # Universe plumbing
@@ -124,25 +136,8 @@ class AbdRegisterNode(RegisterNode):
         return self.pid in self.universe
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Joining
     # ------------------------------------------------------------------
-
-    @property
-    def register_value(self) -> Any:
-        return self._register
-
-    @property
-    def sequence_number(self) -> int:
-        return self._sn
-
-    # ------------------------------------------------------------------
-    # Seeding / joining
-    # ------------------------------------------------------------------
-
-    def init_as_seed(self, value: Any, sequence: int = 0) -> None:
-        self._register = value
-        self._sn = sequence
-        self.mark_active()
 
     def join(self) -> OperationHandle:
         """A trivial join: ABD has no entry protocol.
@@ -157,66 +152,60 @@ class AbdRegisterNode(RegisterNode):
 
     def _join_body(self) -> OperationBody:
         self.mark_active()
-        return JoinResult(self._register, self._sn)
+        return make_join_result(self.space)
         yield  # pragma: no cover — makes the body a generator
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
-    def read(self) -> OperationHandle:
+    def read(self, key: Any = None) -> OperationHandle:
         self._require_active(OP_READ)
-        return self.run_operation(OP_READ, self._read_body())
+        key = self.space.resolve(key)
+        return self.run_operation(OP_READ, self._read_body(key), key=key)
 
-    def write(self, value: Any) -> OperationHandle:
+    def write(self, value: Any, key: Any = None) -> OperationHandle:
         self._require_active(OP_WRITE)
-        return self.run_operation(OP_WRITE, self._write_body(value), argument=value)
+        key = self.space.resolve(key)
+        return self.run_operation(
+            OP_WRITE, self._write_body(value, key), argument=value, key=key
+        )
 
     def _require_active(self, kind: str) -> None:
         if not self.is_active:
             raise ProcessError(f"{self.pid} invoked {kind} before joining")
 
-    def _read_body(self) -> OperationBody:
-        self._request += 1
-        request = self._request
-        self._query_replies = {}
+    def _read_body(self, key: Any) -> OperationBody:
+        request = self._queries.next_request(key)
+        self._queries.threshold = self.majority
+        phase = self._queries.open(key)
         for replica in self.universe:
-            self.ctx.network.send(self.pid, replica, AbdQuery(request))
-        yield WaitUntil(
-            lambda: len(self._query_replies) >= self.majority, label="abd phase 1"
-        )
-        value, sequence = self._best_query_reply()
-        if sequence > self._sn:
-            self._register = value
-            self._sn = sequence
+            self.ctx.network.send(self.pid, replica, AbdQuery(request, key))
+        yield WaitUntil(phase.satisfied, label="abd phase 1")
+        value, sequence = phase.best_for(key)  # type: ignore[misc]
+        self.space.adopt(key, value, sequence)
+        phase.settle()
         # Phase 2: write-back, so a later read cannot see an older value.
-        self._wb_acks = set()
+        self._writebacks.threshold = self.majority
+        wb_phase = self._writebacks.open(key)
         for replica in self.universe:
             self.ctx.network.send(
-                self.pid, replica, AbdWriteBack(request, value, sequence)
+                self.pid, replica, AbdWriteBack(request, value, sequence, key)
             )
-        yield WaitUntil(
-            lambda: len(self._wb_acks) >= self.majority, label="abd phase 2"
-        )
+        yield WaitUntil(wb_phase.satisfied, label="abd phase 2")
+        wb_phase.settle()
         return value
 
-    def _write_body(self, value: Any) -> OperationBody:
-        self._sn += 1
-        self._register = value
-        self._write_acks = set()
+    def _write_body(self, value: Any, key: Any) -> OperationBody:
+        sequence = self.space.bump(key)
+        self.space.install(key, value, sequence)
+        self._writes.threshold = self.majority
+        phase = self._writes.open(key)
         for replica in self.universe:
-            self.ctx.network.send(self.pid, replica, AbdWrite(value, self._sn))
-        yield WaitUntil(
-            lambda: len(self._write_acks) >= self.majority, label="abd write acks"
-        )
+            self.ctx.network.send(self.pid, replica, AbdWrite(value, sequence, key))
+        yield WaitUntil(phase.satisfied, label="abd write acks")
+        phase.settle()
         return OK
-
-    def _best_query_reply(self) -> tuple[Any, int]:
-        best_sender = max(
-            self._query_replies,
-            key=lambda who: (self._query_replies[who][1], who),
-        )
-        return self._query_replies[best_sender]
 
     # ------------------------------------------------------------------
     # Message handlers (replicas only)
@@ -225,34 +214,35 @@ class AbdRegisterNode(RegisterNode):
     def on_abdwrite(self, sender: str, msg: AbdWrite) -> None:
         if not self.is_replica:
             return
-        if msg.sequence > self._sn:
-            self._register = msg.value
-            self._sn = msg.sequence
-        self.ctx.network.send(self.pid, sender, AbdAck(msg.sequence))
+        self.space.adopt(msg.key, msg.value, msg.sequence)
+        self.ctx.network.send(self.pid, sender, AbdAck(msg.sequence, msg.key))
 
     def on_abdack(self, sender: str, msg: AbdAck) -> None:
-        if msg.sequence == self._sn:
-            self._write_acks.add(sender)
+        if msg.sequence == self.space.sequence(msg.key):
+            self._writes.phase(self.space.resolve(msg.key)).offer_ack(sender)
 
     def on_abdquery(self, sender: str, msg: AbdQuery) -> None:
         if not self.is_replica:
             return
+        value, sequence = self.space.snapshot(msg.key)
         self.ctx.network.send(
-            self.pid, sender, AbdQueryReply(msg.request, self._register, self._sn)
+            self.pid, sender, AbdQueryReply(msg.request, value, sequence, msg.key)
         )
 
     def on_abdqueryreply(self, sender: str, msg: AbdQueryReply) -> None:
-        if msg.request == self._request:
-            self._query_replies[sender] = (msg.value, msg.sequence)
+        key = self.space.resolve(msg.key)
+        if msg.request == self._queries.current_request(key):
+            self._queries.phase(key).offer(
+                sender, ((key, msg.value, msg.sequence),)
+            )
 
     def on_abdwriteback(self, sender: str, msg: AbdWriteBack) -> None:
         if not self.is_replica:
             return
-        if msg.sequence > self._sn:
-            self._register = msg.value
-            self._sn = msg.sequence
-        self.ctx.network.send(self.pid, sender, AbdWriteBackAck(msg.request))
+        self.space.adopt(msg.key, msg.value, msg.sequence)
+        self.ctx.network.send(self.pid, sender, AbdWriteBackAck(msg.request, msg.key))
 
     def on_abdwritebackack(self, sender: str, msg: AbdWriteBackAck) -> None:
-        if msg.request == self._request:
-            self._wb_acks.add(sender)
+        key = self.space.resolve(msg.key)
+        if msg.request == self._queries.current_request(key):
+            self._writebacks.phase(key).offer_ack(sender)

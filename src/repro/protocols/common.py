@@ -1,12 +1,176 @@
-"""Types shared by every protocol implementation."""
+"""Machinery shared by every protocol implementation.
+
+Historically each protocol hand-rolled the same bookkeeping: a reply
+set (or dict) collected until a timer fired or a majority threshold was
+met, a request/sequence counter tagging which round a reply answers,
+and a "pick the reply with the greatest sequence number" adoption step.
+That logic now lives here, once:
+
+* :class:`QuorumPhase` — one collection round: tagged per-sender
+  entries, an optional quorum threshold, and the deterministic
+  max-by-``(sequence, sender)`` selection every protocol's adoption
+  rule uses.  Entries are *keyed* — a single phase can collect batched
+  per-key payloads, which is how one join inquiry round serves every
+  key of a :class:`~repro.core.register.RegisterSpace`.
+* :class:`PhaseTracker` — a per-key multiplex of phases plus the
+  per-key request counters (the ES protocol's ``read_sn``, ABD's
+  ``request``), so per-key protocol state rides one ``SimProcess`` per
+  node instead of one process per register.
+
+The sync, ES and ABD nodes all instantiate these instead of keeping
+private reply sets; the timer- vs. quorum-gated difference is just
+whether a phase has a threshold.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable, Mapping
 
 #: The control value the paper's operations return on success.
 OK = "ok"
+
+#: One batched payload entry: ``(key, value, sequence)``.
+Entry = tuple[Any, Any, int]
+
+
+class QuorumPhase:
+    """One reply-collection round of a quorum (or timer) gated phase.
+
+    Each offering sender contributes a tuple of keyed entries
+    (``(key, value, sequence)``); for classic single-register payloads
+    that tuple has length one.  ``threshold`` is the quorum size the
+    phase waits for (``None`` for timer-gated phases like the
+    synchronous join, which close on a clock instead of a count).
+    ``open()`` resets the phase *in place*, so watcher predicates that
+    captured the phase keep observing the newest round — exactly the
+    attribute-rebinding semantics the protocols historically relied on
+    when concurrent operations at one node superseded each other.
+    """
+
+    __slots__ = ("threshold", "active", "_offers")
+
+    def __init__(self, threshold: int | None = None) -> None:
+        self.threshold = threshold
+        self.active = False
+        self._offers: dict[str, tuple[Entry, ...]] = {}
+
+    def open(self) -> "QuorumPhase":
+        """Start a fresh round: drop prior offers, mark in-progress."""
+        self.active = True
+        self._offers = {}
+        return self
+
+    def settle(self) -> None:
+        """Mark the round finished (offers are kept for inspection)."""
+        self.active = False
+
+    def offer(self, sender: str, entries: Iterable[Entry]) -> None:
+        """Record ``sender``'s reply; a re-offer supersedes the old one."""
+        self._offers[sender] = tuple(entries)
+
+    def offer_ack(self, sender: str) -> None:
+        """Record a bare acknowledgement (no payload, just the count)."""
+        self._offers[sender] = ()
+
+    @property
+    def count(self) -> int:
+        return len(self._offers)
+
+    def satisfied(self) -> bool:
+        """Has the quorum threshold been met?  (Timer phases: never.)"""
+        return self.threshold is not None and len(self._offers) >= self.threshold
+
+    def senders(self) -> tuple[str, ...]:
+        return tuple(self._offers)
+
+    def best_for(self, key: Any) -> tuple[Any, int] | None:
+        """The ``(value, sequence)`` to adopt for ``key``.
+
+        Deterministic max by ``(sequence, sender)`` over every offer
+        carrying the key — ties on the sequence number are broken by
+        sender id purely for determinism; entries with equal sequence
+        numbers carry equal values anyway.  ``None`` if no offer
+        mentions the key.
+        """
+        best: tuple[int, str, Any] | None = None
+        for sender, entries in self._offers.items():
+            for entry_key, value, sequence in entries:
+                if entry_key != key:
+                    continue
+                candidate = (sequence, sender, value)
+                if best is None or candidate[:2] > best[:2]:
+                    best = candidate
+        if best is None:
+            return None
+        return best[2], best[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        gate = f"threshold={self.threshold}" if self.threshold else "timer-gated"
+        return f"QuorumPhase({gate}, offers={len(self._offers)}, active={self.active})"
+
+
+class PhaseTracker:
+    """Per-key phases and request counters for one node.
+
+    Multiplexes a :class:`QuorumPhase` per register key over a single
+    ``SimProcess``, and owns the per-key request numbering the
+    protocols tag their rounds with (the ES ``read_sn``, ABD's
+    ``request``).  Counters start at 0 — request 0 is the join's own
+    batched inquiry — and ``next_request`` pre-increments, matching
+    the historical per-node counters exactly in the single-key case.
+    """
+
+    __slots__ = ("threshold", "_phases", "_requests")
+
+    def __init__(self, threshold: int | None = None) -> None:
+        self.threshold = threshold
+        self._phases: dict[Any, QuorumPhase] = {}
+        self._requests: dict[Any, int] = {}
+
+    def phase(self, key: Any) -> QuorumPhase:
+        """The key's phase, created (closed, empty) on first use."""
+        phase = self._phases.get(key)
+        if phase is None:
+            phase = QuorumPhase(self.threshold)
+            self._phases[key] = phase
+        return phase
+
+    def open(self, key: Any) -> QuorumPhase:
+        """Open a fresh round for ``key`` and return its phase.
+
+        Re-stamps the tracker's current threshold onto the phase, so
+        trackers whose quorum size is only known lazily (ABD's fixed
+        universe installs after the seeds exist) still gate correctly
+        even if the phase object was created earlier by a stray ack.
+        """
+        phase = self.phase(key)
+        phase.threshold = self.threshold
+        return phase.open()
+
+    def current_request(self, key: Any) -> int:
+        """The latest request number issued for ``key`` (0 initially)."""
+        return self._requests.get(key, 0)
+
+    def next_request(self, key: Any) -> int:
+        """Issue the next request number for ``key`` (1, 2, ...)."""
+        request = self._requests.get(key, 0) + 1
+        self._requests[key] = request
+        return request
+
+    def reading_keys(self) -> list[Any]:
+        """Keys whose phase is currently open, in deterministic order.
+
+        Sorted by string rendering so the ``None`` single-register key
+        and named keys coexist.
+        """
+        return sorted(
+            (key for key, phase in self._phases.items() if phase.active),
+            key=lambda key: (key is not None, str(key)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseTracker(threshold={self.threshold}, keys={len(self._phases)})"
 
 
 @dataclass(frozen=True)
@@ -27,3 +191,47 @@ class JoinResult:
     def ok(self) -> str:
         """The paper's return value."""
         return OK
+
+
+@dataclass(frozen=True)
+class KeyedJoinResult:
+    """A multi-key join's adoptions: one ``(value, sequence)`` per key.
+
+    ``value``/``sequence`` expose the default (first) key's adoption so
+    single-register tooling keeps working; the per-key checker views a
+    keyed history through :meth:`for_key`.
+    """
+
+    adoptions: Mapping[Any, tuple[Any, int]]
+
+    @property
+    def value(self) -> Any:
+        return next(iter(self.adoptions.values()))[0]
+
+    @property
+    def sequence(self) -> int:
+        return next(iter(self.adoptions.values()))[1]
+
+    @property
+    def ok(self) -> str:
+        """The paper's return value."""
+        return OK
+
+    def for_key(self, key: Any) -> JoinResult:
+        """This join's adoption restricted to one key."""
+        value, sequence = self.adoptions[key]
+        return JoinResult(value, sequence)
+
+
+def make_join_result(space: Any) -> JoinResult | KeyedJoinResult:
+    """The join return value for a node's register space.
+
+    Single-key spaces keep returning the classic :class:`JoinResult`
+    (byte-compatible with the pre-RegisterSpace library); multi-key
+    spaces report every key's adoption.
+    """
+    if space.is_single:
+        return JoinResult(space.value(), space.sequence())
+    return KeyedJoinResult(
+        {key: (value, sequence) for key, value, sequence in space.entries()}
+    )

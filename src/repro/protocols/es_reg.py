@@ -23,6 +23,15 @@ inquiry.  Every process finishing its join answers both its ``reply_to``
 and its ``dl_prev`` sets (Figure 4, lines 08-10), which is exactly what
 makes joins unblock each other across GST (Lemma 5).
 
+Quorum bookkeeping — reply dicts, ack sets, the ``read_sn`` request
+counters, the max-by-``(sn, sender)`` adoption — lives on the shared
+:class:`~repro.protocols.common.QuorumPhase` /
+:class:`~repro.protocols.common.PhaseTracker` machinery.  The join is
+*batched over keys*: one ``INQUIRY`` round returns every key of a
+multi-key :class:`~repro.core.register.RegisterSpace` (replies carry
+per-key entries), while reads and writes address one key each through
+per-key phases multiplexed over the same node.
+
 Transcription note: the source report's pseudo-code for lines 14/16 is
 typographically garbled in the archived PDF (the argument of
 ``DL_PREV``).  We transcribe it as *the sender's own pending request
@@ -37,10 +46,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
+from ..core.register import NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
 from ..sim.errors import ProcessError
 from ..sim.operations import OperationBody, OperationHandle, WaitUntil
-from .common import OK, JoinResult
+from .common import OK, PhaseTracker, QuorumPhase, make_join_result
 
 
 # ----------------------------------------------------------------------
@@ -50,7 +59,7 @@ from .common import OK, JoinResult
 
 @dataclass(frozen=True)
 class EsInquiry:
-    """INQUIRY(i, r_sn): a joiner asks for the register (r_sn is 0)."""
+    """INQUIRY(i, r_sn): a joiner asks for the register space (r_sn is 0)."""
 
     sender: str
     read_sn: int
@@ -58,46 +67,57 @@ class EsInquiry:
 
 @dataclass(frozen=True)
 class EsRead:
-    """READ(i, r_sn): a reader asks for the register."""
+    """READ(i, r_sn): a reader asks for key ``key`` of the register."""
 
     sender: str
     read_sn: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
 class EsReply:
-    """REPLY(i, ⟨register, sn⟩, r_sn): answer to request ``r_sn``."""
+    """REPLY(i, ⟨register, sn⟩, r_sn): answer to request ``r_sn``.
+
+    ``entries`` is ``None`` on the single register; a multi-key join
+    reply batches every key's ``(key, value, sequence)`` triple.
+    """
 
     sender: str
     value: Any
     sequence: int
     read_sn: int
+    key: Any = None
+    entries: tuple[tuple[Any, Any, int], ...] | None = None
 
 
 @dataclass(frozen=True)
 class EsWrite:
-    """WRITE(i, ⟨v, sn⟩): the writer disseminates a new value."""
+    """WRITE(i, ⟨v, sn⟩): the writer disseminates a new value for ``key``."""
 
     sender: str
     value: Any
     sequence: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
 class EsAck:
-    """ACK(i, sn): acknowledges value ``sn`` back to its writer."""
+    """ACK(i, sn): acknowledges value ``sn`` of ``key`` back to its writer."""
 
     sender: str
     sequence: int
+    key: Any = None
 
 
 @dataclass(frozen=True)
 class EsDlPrev:
-    """DL_PREV(i, r_sn): "reply to my pending request ``r_sn`` when you
-    become able to" — sent by joining or reading processes."""
+    """DL_PREV(i, r_sn): "reply to my pending request ``r_sn`` (for key
+    ``key``; ``None`` = my batched join inquiry) when you become able
+    to" — sent by joining or reading processes."""
 
     sender: str
     read_sn: int
+    key: Any = None
 
 
 class EventuallySyncRegisterNode(RegisterNode):
@@ -109,14 +129,6 @@ class EventuallySyncRegisterNode(RegisterNode):
         super().__init__(pid, ctx)
         # Figure 4, lines 01-02: the join's initializations happen at
         # process creation (join starts the instant the process enters).
-        self._register: Any = BOTTOM
-        self._sn: int = -1
-        self._reading: bool = False
-        self._read_sn: int = 0  # 0 identifies the join's own inquiry
-        self._replies: dict[str, tuple[Any, int]] = {}
-        self._reply_to: set[tuple[str, int]] = set()
-        self._write_acks: set[str] = set()
-        self._dl_prev: set[tuple[str, int]] = set()
         # The paper's quorum is the majority ⌊n/2⌋ + 1.  Ablation A6
         # overrides it (ctx.extra["quorum_size"]) to measure why nothing
         # smaller is sound: sub-majority quorums need not intersect.
@@ -129,32 +141,23 @@ class EventuallySyncRegisterNode(RegisterNode):
             self._majority = int(override)
         else:
             self._majority = ctx.n // 2 + 1
+        # Shared quorum machinery: one batched join phase, per-key read
+        # phases (owning the read_sn request counters) and per-key
+        # write-ack phases, all multiplexed over this one process.
+        self._join_phase = QuorumPhase(self._majority)
+        self._reads = PhaseTracker(self._majority)
+        self._acks = PhaseTracker(self._majority)
+        self._reply_to: set[tuple[str, int, Any]] = set()
+        self._dl_prev: set[tuple[str, int, Any]] = set()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     @property
-    def register_value(self) -> Any:
-        return self._register
-
-    @property
-    def sequence_number(self) -> int:
-        return self._sn
-
-    @property
     def majority(self) -> int:
         """The quorum size ``⌊n/2⌋ + 1`` every operation waits for."""
         return self._majority
-
-    # ------------------------------------------------------------------
-    # Seeding
-    # ------------------------------------------------------------------
-
-    def init_as_seed(self, value: Any, sequence: int = 0) -> None:
-        self._register = value
-        self._sn = sequence
-        self.mark_active()
 
     # ------------------------------------------------------------------
     # Operations
@@ -166,15 +169,19 @@ class EventuallySyncRegisterNode(RegisterNode):
             raise ProcessError(f"{self.pid} invoked join twice")
         return self.run_operation(OP_JOIN, self._join_body())
 
-    def read(self) -> OperationHandle:
+    def read(self, key: Any = None) -> OperationHandle:
         """Figure 5: the read operation."""
         self._require_active(OP_READ)
-        return self.run_operation(OP_READ, self._read_body())
+        key = self.space.resolve(key)
+        return self.run_operation(OP_READ, self._read_body(key), key=key)
 
-    def write(self, value: Any) -> OperationHandle:
-        """Figure 6: the write operation (single writer at a time)."""
+    def write(self, value: Any, key: Any = None) -> OperationHandle:
+        """Figure 6: the write operation (single writer per key)."""
         self._require_active(OP_WRITE)
-        return self.run_operation(OP_WRITE, self._write_body(value), argument=value)
+        key = self.space.resolve(key)
+        return self.run_operation(
+            OP_WRITE, self._write_body(value, key), argument=value, key=key
+        )
 
     def _require_active(self, kind: str) -> None:
         if not self.is_active:
@@ -189,70 +196,73 @@ class EventuallySyncRegisterNode(RegisterNode):
 
     def _join_body(self) -> OperationBody:
         # lines 01-02 were executed at construction time
+        self._join_phase.open()
         self.ctx.broadcast.broadcast(
-            self.pid, EsInquiry(self.pid, self._read_sn)  # line 03 (r_sn = 0)
+            self.pid, EsInquiry(self.pid, 0)  # line 03 (r_sn = 0)
         )
-        yield WaitUntil(self._has_majority_replies, label="join replies")  # line 04
-        self._adopt_best_reply()  # lines 05-06
+        yield WaitUntil(self._join_phase.satisfied, label="join replies")  # line 04
+        self._adopt_join_replies()  # lines 05-06
         self.mark_active()  # line 07
-        for dest, r_sn in sorted(self._reply_to | self._dl_prev):  # lines 08-10
+        for dest, r_sn, key in sorted(  # lines 08-10
+            self._reply_to | self._dl_prev, key=_pending_order
+        ):
             if dest != self.pid:
-                self._send_reply(dest, r_sn)
-        return JoinResult(self._register, self._sn)  # line 11
+                self._send_reply(dest, r_sn, key)
+        return make_join_result(self.space)  # line 11
 
-    def _read_body(self) -> OperationBody:
-        self._read_sn += 1  # line 01
-        self._replies = {}  # line 02
-        self._reading = True
-        self.ctx.broadcast.broadcast(self.pid, EsRead(self.pid, self._read_sn))  # 03
-        yield WaitUntil(self._has_majority_replies, label="read replies")  # line 04
-        self._adopt_best_reply()  # lines 05-06
-        self._reading = False  # line 07
-        return self._register
-
-    def _write_body(self, value: Any) -> OperationBody:
-        yield from self._read_body()  # line 01: refresh the sequence number
-        self._sn += 1  # line 02
-        self._register = value
-        self._write_acks = set()  # line 03
+    def _read_body(self, key: Any) -> OperationBody:
+        request = self._reads.next_request(key)  # line 01
+        phase = self._reads.open(key)  # line 02 (phase.active = "reading")
         self.ctx.broadcast.broadcast(
-            self.pid, EsWrite(self.pid, value, self._sn)  # line 04
+            self.pid, EsRead(self.pid, request, key)  # line 03
         )
-        yield WaitUntil(self._has_majority_acks, label="write acks")  # line 05
+        yield WaitUntil(phase.satisfied, label="read replies")  # line 04
+        best = phase.best_for(key)  # lines 05-06
+        if best is not None:
+            self.space.adopt(key, best[0], best[1])
+        phase.settle()  # line 07
+        return self.space.value(key)
+
+    def _write_body(self, value: Any, key: Any) -> OperationBody:
+        yield from self._read_body(key)  # line 01: refresh the sequence number
+        sequence = self.space.bump(key)  # line 02
+        self.space.install(key, value, sequence)
+        ack_phase = self._acks.open(key)  # line 03
+        self.ctx.broadcast.broadcast(
+            self.pid, EsWrite(self.pid, value, sequence, key)  # line 04
+        )
+        yield WaitUntil(ack_phase.satisfied, label="write acks")  # line 05
         return OK
 
-    # ------------------------------------------------------------------
-    # Wait predicates (the "enough" conditions)
-    # ------------------------------------------------------------------
+    def _adopt_join_replies(self) -> None:
+        """Lines 05-06, per key: adopt the greatest-sequence reply."""
+        for key in self.space.keys:
+            best = self._join_phase.best_for(key)
+            if best is not None:
+                self.space.adopt(key, best[0], best[1])
+        self._join_phase.settle()
 
-    def _has_majority_replies(self) -> bool:
-        return len(self._replies) >= self._majority
-
-    def _has_majority_acks(self) -> bool:
-        return len(self._write_acks) >= self._majority
-
-    def _adopt_best_reply(self) -> None:
-        """Lines 05-06: adopt the reply with the greatest sequence number."""
-        if not self._replies:
-            return
-        best_sender = max(
-            self._replies, key=lambda who: (self._replies[who][1], who)
-        )
-        best_value, best_sn = self._replies[best_sender]
-        if best_sn > self._sn:
-            self._sn = best_sn
-            self._register = best_value
-
-    def _send_reply(self, dest: str, r_sn: int) -> None:
+    def _send_reply(self, dest: str, r_sn: int, key: Any) -> None:
+        if key is None and not self.space.is_single:
+            # A batched (join-style) request: one reply carries every key.
+            value, sequence = self.space.snapshot()
+            entries: tuple | None = self.space.entries()
+        else:
+            value, sequence = self.space.snapshot(key)
+            entries = None
         self.ctx.network.send(
             self.pid,
             dest,
-            EsReply(self.pid, self._register, self._sn, r_sn),
+            EsReply(self.pid, value, sequence, r_sn, key, entries),
         )
 
-    def _send_dl_prev(self, dest: str) -> None:
-        """Promise ``dest`` a reply for *our* pending request."""
-        self.ctx.network.send(self.pid, dest, EsDlPrev(self.pid, self._read_sn))
+    def _send_dl_prev(self, dest: str, key: Any) -> None:
+        """Promise ``dest`` a reply for *our* pending request on ``key``
+        (``None`` = our batched join inquiry)."""
+        read_sn = 0 if key is None and not self.space.is_single else (
+            self._reads.current_request(key)
+        )
+        self.ctx.network.send(self.pid, dest, EsDlPrev(self.pid, read_sn, key))
 
     # ------------------------------------------------------------------
     # Message handlers
@@ -263,42 +273,69 @@ class EventuallySyncRegisterNode(RegisterNode):
         if msg.sender == self.pid:
             return  # own broadcast echo
         if self.is_active:
-            self._send_reply(msg.sender, msg.read_sn)  # line 13
-            if self._reading:
-                self._send_dl_prev(msg.sender)  # line 14
+            self._send_reply(msg.sender, msg.read_sn, None)  # line 13
+            for key in self._reads.reading_keys():
+                self._send_dl_prev(msg.sender, key)  # line 14
         else:
-            self._reply_to.add((msg.sender, msg.read_sn))  # line 15
-            self._send_dl_prev(msg.sender)  # line 16
+            self._reply_to.add((msg.sender, msg.read_sn, None))  # line 15
+            self._send_dl_prev(msg.sender, None)  # line 16
 
     def on_esreply(self, sender: str, msg: EsReply) -> None:
         """Figure 4, lines 18-21."""
-        if msg.read_sn == self._read_sn:  # line 19
-            self._replies[msg.sender] = (msg.value, msg.sequence)  # line 20
-            self.ctx.network.send(
-                self.pid, msg.sender, EsAck(self.pid, msg.sequence)
+        if msg.key is None and not self.space.is_single:
+            # A batched reply answers our join's inquiry (request 0).
+            if msg.read_sn != 0:
+                return
+            phase = self._join_phase
+            entries = msg.entries or ()
+        else:
+            if msg.read_sn != self._reads.current_request(msg.key):  # line 19
+                return
+            # Request 0 is always the join's inquiry (reads number from
+            # 1), so the matched read_sn alone determines the phase.
+            phase = (
+                self._join_phase
+                if msg.read_sn == 0
+                else self._reads.phase(msg.key)
             )
+            entries = ((msg.key, msg.value, msg.sequence),)
+        phase.offer(msg.sender, entries)  # line 20
+        self.ctx.network.send(
+            self.pid, msg.sender, EsAck(self.pid, msg.sequence, msg.key)
+        )
 
     def on_esdlprev(self, sender: str, msg: EsDlPrev) -> None:
         """Figure 4, line 22."""
-        self._dl_prev.add((msg.sender, msg.read_sn))
+        self._dl_prev.add((msg.sender, msg.read_sn, msg.key))
 
     def on_esread(self, sender: str, msg: EsRead) -> None:
         """Figure 5, lines 08-11."""
         if msg.sender == self.pid:
             return  # own broadcast echo
         if self.is_active:
-            self._send_reply(msg.sender, msg.read_sn)  # line 09
+            self._send_reply(msg.sender, msg.read_sn, msg.key)  # line 09
         else:
-            self._reply_to.add((msg.sender, msg.read_sn))  # line 10
+            self._reply_to.add((msg.sender, msg.read_sn, msg.key))  # line 10
 
     def on_eswrite(self, sender: str, msg: EsWrite) -> None:
         """Figure 6, lines 06-08."""
-        if msg.sequence > self._sn:  # line 07
-            self._register = msg.value
-            self._sn = msg.sequence
-        self.ctx.network.send(self.pid, msg.sender, EsAck(self.pid, msg.sequence))
+        self.space.adopt(msg.key, msg.value, msg.sequence)  # line 07
+        self.ctx.network.send(
+            self.pid, msg.sender, EsAck(self.pid, msg.sequence, msg.key)
+        )
 
     def on_esack(self, sender: str, msg: EsAck) -> None:
         """Figure 6, lines 09-10."""
-        if msg.sequence == self._sn:
-            self._write_acks.add(msg.sender)
+        if msg.sequence == self.space.sequence(msg.key):
+            self._acks.phase(self.space.resolve(msg.key)).offer_ack(msg.sender)
+
+
+def _pending_order(pending: tuple[str, int, Any]) -> tuple[str, int, bool, str]:
+    """Deterministic order for the lines 08-10 answering loop.
+
+    Sorts by ``(dest, r_sn)`` exactly as the single-register protocol
+    always did (keys are all ``None`` there), with the key's string
+    rendering as a tiebreaker so mixed ``None``/named keys compare.
+    """
+    dest, r_sn, key = pending
+    return (dest, r_sn, key is not None, str(key))

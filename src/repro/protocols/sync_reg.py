@@ -46,6 +46,13 @@ wait at line 06 shrinks from ``2δ`` to ``δ + δ'`` — the broadcast needs
 ``δ`` to reach every replier, but their one-to-one responses only need
 ``δ'``.  Ablation A3 measures the gain.
 
+Reply collection and the line 07-08 adoption run on the shared
+:class:`~repro.protocols.common.QuorumPhase` (timer-gated here: the
+phase closes on the line 06 wait, not on a count).  With a multi-key
+:class:`~repro.core.register.RegisterSpace` the *same single* inquiry
+round serves every key: a ``REPLY`` carries batched per-key entries,
+so join traffic is independent of the key count.
+
 :class:`NaiveSyncRegisterNode` is the same protocol with line 02
 removed — the broken variant of Figure 3(a) used by experiment E2.
 """
@@ -58,7 +65,7 @@ from typing import Any
 from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
 from ..sim.errors import ProcessError
 from ..sim.operations import OperationBody, OperationHandle, Wait
-from .common import OK, JoinResult
+from .common import OK, QuorumPhase, make_join_result
 
 
 # ----------------------------------------------------------------------
@@ -68,26 +75,33 @@ from .common import OK, JoinResult
 
 @dataclass(frozen=True)
 class Inquiry:
-    """INQUIRY(i): a joiner asks the system for the current value."""
+    """INQUIRY(i): a joiner asks the system for the current value(s)."""
 
     sender: str
 
 
 @dataclass(frozen=True)
 class Reply:
-    """REPLY(i, ⟨register, sn⟩): an active process answers an inquiry."""
+    """REPLY(i, ⟨register, sn⟩): an active process answers an inquiry.
+
+    ``entries`` is ``None`` on a single-register system (the classic
+    payload); a multi-key system batches every key's
+    ``(key, value, sequence)`` triple into the one reply.
+    """
 
     sender: str
     value: Any
     sequence: int
+    entries: tuple[tuple[Any, Any, int], ...] | None = None
 
 
 @dataclass(frozen=True)
 class WriteMsg:
-    """WRITE(val, sn): the writer disseminates a new value."""
+    """WRITE(val, sn): the writer disseminates a new value for ``key``."""
 
     value: Any
     sequence: int
+    key: Any = None
 
 
 class SynchronousRegisterNode(RegisterNode):
@@ -104,10 +118,10 @@ class SynchronousRegisterNode(RegisterNode):
         super().__init__(pid, ctx)
         # Figure 1, line 01 — the join's initializations happen at
         # process creation: in the model a process starts its join the
-        # instant it enters the system.
-        self._register: Any = BOTTOM
-        self._sn: int = -1
-        self._replies: set[tuple[str, Any, int]] = set()
+        # instant it enters the system.  The register cells live in
+        # ``self.space`` (⊥ / −1 per key); reply collection lives in a
+        # timer-gated quorum phase.
+        self._join_phase = QuorumPhase()
         self._reply_to: set[str] = set()
         self._delta = ctx.delta
         # Footnote 4: with a known one-to-one bound δ' the inquiry wait
@@ -123,27 +137,6 @@ class SynchronousRegisterNode(RegisterNode):
             self._inquiry_wait = 2.0 * self._delta
 
     # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-
-    @property
-    def register_value(self) -> Any:
-        return self._register
-
-    @property
-    def sequence_number(self) -> int:
-        return self._sn
-
-    # ------------------------------------------------------------------
-    # Seeding (the n initial processes)
-    # ------------------------------------------------------------------
-
-    def init_as_seed(self, value: Any, sequence: int = 0) -> None:
-        self._register = value
-        self._sn = sequence
-        self.mark_active()
-
-    # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
@@ -153,15 +146,19 @@ class SynchronousRegisterNode(RegisterNode):
             raise ProcessError(f"{self.pid} invoked join twice")
         return self.run_operation(OP_JOIN, self._join_body())
 
-    def read(self) -> OperationHandle:
+    def read(self, key: Any = None) -> OperationHandle:
         """Figure 2: the read — purely local, zero latency."""
         self._require_active(OP_READ)
-        return self.run_operation(OP_READ, self._read_body())
+        key = self.space.resolve(key)
+        return self.run_operation(OP_READ, self._read_body(key), key=key)
 
-    def write(self, value: Any) -> OperationHandle:
+    def write(self, value: Any, key: Any = None) -> OperationHandle:
         """Figure 2: the write — broadcast then wait δ."""
         self._require_active(OP_WRITE)
-        return self.run_operation(OP_WRITE, self._write_body(value), argument=value)
+        key = self.space.resolve(key)
+        return self.run_operation(
+            OP_WRITE, self._write_body(value, key), argument=value, key=key
+        )
 
     def _require_active(self, kind: str) -> None:
         if not self.is_active:
@@ -177,43 +174,44 @@ class SynchronousRegisterNode(RegisterNode):
     def _join_body(self) -> OperationBody:
         if self.join_wait:
             yield Wait(self._delta)  # line 02
-        if self._register is BOTTOM:  # line 03
-            self._replies.clear()  # line 04
+        if self._needs_inquiry():  # line 03
+            self._join_phase.open()  # line 04
             self.ctx.broadcast.broadcast(self.pid, Inquiry(self.pid))  # line 05
             yield Wait(self._inquiry_wait)  # line 06 (2δ, or δ+δ' per fn. 4)
-            self._adopt_best_reply()  # lines 07-08
+            self._adopt_best_replies()  # lines 07-08
         self.mark_active()  # line 10
         for j in sorted(self._reply_to):  # line 11
             self._send_reply(j)
-        return JoinResult(self._register, self._sn)  # line 12
+        return make_join_result(self.space)  # line 12
 
-    def _read_body(self) -> OperationBody:
-        return self._register
+    def _needs_inquiry(self) -> bool:
+        """Line 03: some key still holds ⊥ (nothing adopted in transit)."""
+        return any(value is BOTTOM for _, value, _ in self.space.entries())
+
+    def _read_body(self, key: Any) -> OperationBody:
+        return self.space.value(key)
         yield  # pragma: no cover — makes the body a generator
 
-    def _write_body(self, value: Any) -> OperationBody:
-        self._sn += 1  # line 01
-        self._register = value
-        self.ctx.broadcast.broadcast(self.pid, WriteMsg(value, self._sn))
+    def _write_body(self, value: Any, key: Any) -> OperationBody:
+        sequence = self.space.bump(key)  # line 01
+        self.space.install(key, value, sequence)
+        self.ctx.broadcast.broadcast(self.pid, WriteMsg(value, sequence, key))
         yield Wait(self._delta)  # line 02
         return OK
 
-    def _adopt_best_reply(self) -> None:
-        """Lines 07-08: adopt the reply with the greatest sequence number."""
-        if not self._replies:
-            return
-        # Ties on the sequence number are broken by sender id purely for
-        # determinism; replies with equal sn carry equal values anyway.
-        _, best_value, best_sn = max(
-            self._replies, key=lambda reply: (reply[2], reply[0])
-        )
-        if best_sn > self._sn:
-            self._sn = best_sn
-            self._register = best_value
+    def _adopt_best_replies(self) -> None:
+        """Lines 07-08, per key: adopt the greatest-sequence reply."""
+        for key in self.space.keys:
+            best = self._join_phase.best_for(key)
+            if best is not None:
+                self.space.adopt(key, best[0], best[1])
+        self._join_phase.settle()
 
     def _send_reply(self, dest: str) -> None:
+        value, sequence = self.space.snapshot()
+        entries = None if self.space.is_single else self.space.entries()
         self.ctx.network.send(
-            self.pid, dest, Reply(self.pid, self._register, self._sn)
+            self.pid, dest, Reply(self.pid, value, sequence, entries)
         )
 
     # ------------------------------------------------------------------
@@ -231,13 +229,14 @@ class SynchronousRegisterNode(RegisterNode):
 
     def on_reply(self, sender: str, msg: Reply) -> None:
         """Line 17 of Figure 1."""
-        self._replies.add((msg.sender, msg.value, msg.sequence))
+        entries = msg.entries
+        if entries is None:
+            entries = ((self.space.keys[0], msg.value, msg.sequence),)
+        self._join_phase.offer(msg.sender, entries)
 
     def on_writemsg(self, sender: str, msg: WriteMsg) -> None:
         """Lines 03-04 of Figure 2."""
-        if msg.sequence > self._sn:
-            self._register = msg.value
-            self._sn = msg.sequence
+        self.space.adopt(msg.key, msg.value, msg.sequence)
 
 
 class NaiveSyncRegisterNode(SynchronousRegisterNode):

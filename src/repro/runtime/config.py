@@ -49,6 +49,12 @@ class SystemConfig:
         Whether to retain the structured trace (disable for big runs).
     trace_capacity:
         Optional cap on retained trace records.
+    keys:
+        How many registers the system's
+        :class:`~repro.core.register.RegisterSpace` serves.  The
+        default 1 is the paper's single register and is byte-identical
+        to the pre-RegisterSpace library; larger counts create named
+        keys ``k0 … k{keys-1}`` that every operation may address.
     sample_period:
         Cadence of the active-set tracker probes.
     faults:
@@ -67,6 +73,7 @@ class SystemConfig:
     seed: int = 0
     trace: bool = True
     trace_capacity: int | None = None
+    keys: int = 1
     sample_period: Time = 1.0
     faults: FaultPlan | None = None
     extra: dict[str, Any] = field(default_factory=dict)
@@ -74,6 +81,8 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.n < 1:
             raise ConfigError(f"system size must be at least 1, got {self.n!r}")
+        if self.keys < 1:
+            raise ConfigError(f"key count must be at least 1, got {self.keys!r}")
         if self.delta <= 0:
             raise ConfigError(f"delta must be positive, got {self.delta!r}")
         if self.protocol not in PROTOCOLS:

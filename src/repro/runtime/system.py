@@ -37,7 +37,7 @@ from ..core.checker import (
     find_new_old_inversions,
 )
 from ..core.history import History
-from ..core.register import NodeContext, OP_READ, OP_WRITE, RegisterNode
+from ..core.register import NodeContext, OP_READ, OP_WRITE, RegisterNode, key_names
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..net.broadcast import BroadcastService
@@ -82,6 +82,9 @@ class DynamicSystem:
         )
         self.history = History(config.initial_value)
         self._node_class = PROTOCOLS[config.protocol]
+        #: The register space's keys: ``(None,)`` for the classic
+        #: single register, named keys for a multi-register store.
+        self.keys: tuple[Any, ...] = key_names(config.keys)
         self._ctx = NodeContext(
             engine=self.engine,
             network=self.network,
@@ -90,6 +93,7 @@ class DynamicSystem:
             n=config.n,
             delta=config.delta,
             extra=dict(config.extra),
+            keys=self.keys,
         )
         self._pid_counter = itertools.count(1)
         self._value_counter = itertools.count(1)
@@ -275,22 +279,29 @@ class DynamicSystem:
     # Register operations
     # ------------------------------------------------------------------
 
-    def read(self, pid: str) -> OperationHandle:
-        """Invoke a read at ``pid`` and record it in the history."""
-        handle = self.node(pid).read()
+    def read(self, pid: str, key: Any = None) -> OperationHandle:
+        """Invoke a read of ``key`` at ``pid`` and record it in the
+        history (``key=None`` addresses the default register)."""
+        handle = self.node(pid).read(key)
         self.history.record_operation(handle)
         return handle
 
-    def write(self, value: Any | None = None, pid: str | None = None) -> OperationHandle:
+    def write(
+        self,
+        value: Any | None = None,
+        pid: str | None = None,
+        key: Any = None,
+    ) -> OperationHandle:
         """Invoke a write (by the designated writer unless ``pid`` given).
 
         ``value=None`` draws the next unique value, keeping the history
-        checkable (the checkers require distinct written values).
+        checkable (the checkers require distinct written values);
+        ``key=None`` addresses the default register.
         """
         writer = pid if pid is not None else self.writer_pid
         if value is None:
             value = self.next_value()
-        handle = self.node(writer).write(value)
+        handle = self.node(writer).write(value, key)
         self.history.record_operation(handle)
         return handle
 

@@ -91,6 +91,7 @@ class OperationHandle:
         "kind",
         "process_id",
         "argument",
+        "key",
         "invoke_time",
         "response_time",
         "_result",
@@ -104,11 +105,15 @@ class OperationHandle:
         process_id: str,
         invoke_time: Time,
         argument: Any = None,
+        key: Any = None,
     ) -> None:
         self.op_id: int = next(_op_counter)
         self.kind = kind
         self.process_id = process_id
         self.argument = argument
+        # The register key this operation addressed; ``None`` for the
+        # classic single register (and for joins, which span all keys).
+        self.key = key
         self.invoke_time = invoke_time
         self.response_time: Time | None = None
         self._result: Any = None

@@ -170,17 +170,20 @@ class SimProcess:
         kind: str,
         body: OperationBody,
         argument: Any = None,
+        key: Any = None,
     ) -> OperationHandle:
         """Invoke an operation: drive ``body`` through its effects.
 
         The returned handle completes when the generator returns, or is
-        abandoned if this process departs first.
+        abandoned if this process departs first.  ``key`` stamps the
+        handle with the register key the operation addresses (``None``
+        for the single register and for joins).
         """
         if not self.present:
             raise ProcessDepartedError(
                 f"{self.pid} cannot invoke {kind} after departing"
             )
-        handle = OperationHandle(kind, self.pid, self.engine.now, argument)
+        handle = OperationHandle(kind, self.pid, self.engine.now, argument, key)
         runner = _OperationRunner(self, body, handle)
         self._runners.append(runner)
         runner.advance()

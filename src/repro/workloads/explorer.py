@@ -61,7 +61,7 @@ from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
 from ..sim.clock import Time
 from ..sim.errors import ExperimentError
-from .generators import read_heavy_plan
+from .generators import assign_keys, make_key_picker, read_heavy_plan
 from .schedule import WorkloadDriver
 
 REPORT_SCHEMA_VERSION = 1
@@ -211,12 +211,19 @@ class ScenarioSpec:
     horizon: Time = 120.0
     read_rate: float = 0.4
     write_period: Time = 20.0
+    #: Register-space key count; 1 is the classic single register
+    #: (byte-identical to pre-RegisterSpace cells, which is why the
+    #: recorded corpus replays unchanged).
+    keys: int = 1
+    #: How keyed workload operations pick their key.
+    key_dist: str = "uniform"
 
     def label(self) -> str:
         plan = self.plan.name or "anonymous"
+        keyed = f" keys={self.keys}/{self.key_dist}" if self.keys > 1 else ""
         return (
             f"{self.protocol}/{self.delay} c={self.churn_rate:g} "
-            f"plan={plan} seed={self.seed}"
+            f"plan={plan} seed={self.seed}{keyed}"
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -231,6 +238,8 @@ class ScenarioSpec:
             "horizon": self.horizon,
             "read_rate": self.read_rate,
             "write_period": self.write_period,
+            "keys": self.keys,
+            "key_dist": self.key_dist,
         }
 
     @classmethod
@@ -391,21 +400,30 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         delay=make_delay(spec.delay, spec.delta),
         seed=spec.seed,
         trace=False,
+        keys=spec.keys,
         faults=plan if not plan.is_empty else None,
     )
     system = DynamicSystem(config)
     if spec.churn_rate > 0:
         system.attach_churn(rate=spec.churn_rate, min_stay=3.0 * spec.delta)
     driver = WorkloadDriver(system)
-    driver.install(
-        read_heavy_plan(
-            start=5.0,
-            end=max(6.0, spec.horizon - 4.0 * spec.delta),
-            write_period=spec.write_period,
-            read_rate=spec.read_rate,
-            rng=system.rng.stream("explorer.plan"),
-        )
+    workload = read_heavy_plan(
+        start=5.0,
+        end=max(6.0, spec.horizon - 4.0 * spec.delta),
+        write_period=spec.write_period,
+        read_rate=spec.read_rate,
+        rng=system.rng.stream("explorer.plan"),
     )
+    if spec.keys > 1:
+        # Key assignment draws from its own stream, so a keys=1 cell
+        # stays byte-identical to the pre-RegisterSpace explorer.
+        workload = assign_keys(
+            workload,
+            make_key_picker(
+                spec.key_dist, system.keys, system.rng.stream("explorer.keys")
+            ),
+        )
+    driver.install(workload)
     system.run_until(spec.horizon)
     history = system.close()
     safety: SafetyReport = system.check_safety()
@@ -608,24 +626,34 @@ def scenario_matrix(
     n: int,
     delta: Time,
     horizon: Time,
+    key_counts: tuple[int, ...] = (1,),
+    key_dist: str = "uniform",
 ) -> Iterator[ScenarioSpec]:
-    """The sweep, in deterministic order (plans vary slowest)."""
+    """The sweep, in deterministic order (plans vary slowest).
+
+    ``key_counts`` is the RegisterSpace axis: each combination is run
+    once per key count, the default ``(1,)`` being the classic
+    single-register matrix.
+    """
     for name in plan_names:
         plan = build_plan(name, delta, horizon, n)
         for protocol in protocols:
             for delay in delays:
                 for churn_rate in churn_rates:
-                    for offset in range(seeds_per_combo):
-                        yield ScenarioSpec(
-                            protocol=protocol,
-                            n=n,
-                            delta=delta,
-                            delay=delay,
-                            churn_rate=churn_rate,
-                            plan=plan,
-                            seed=seed + offset,
-                            horizon=horizon,
-                        )
+                    for keys in key_counts:
+                        for offset in range(seeds_per_combo):
+                            yield ScenarioSpec(
+                                protocol=protocol,
+                                n=n,
+                                delta=delta,
+                                delay=delay,
+                                churn_rate=churn_rate,
+                                plan=plan,
+                                seed=seed + offset,
+                                horizon=horizon,
+                                keys=keys,
+                                key_dist=key_dist,
+                            )
 
 
 def explore(
@@ -642,12 +670,18 @@ def explore(
     shrink: bool = True,
     shrink_budget: int = 12,
     workers: int | None = None,
+    key_counts: tuple[int, ...] = (1,),
+    key_dist: str = "uniform",
 ) -> ExplorationReport:
     """Sweep the matrix, judge every run, shrink every counterexample.
 
     ``budget`` caps the number of sweep cells actually run (the matrix
     is truncated, deterministically, never sampled); shrinking spends
     at most ``shrink_budget`` extra runs per counterexample.
+    ``key_counts`` adds the RegisterSpace axis: every combination is
+    additionally run with that many keys (per-key regularity judged by
+    the partitioning checkers); ``key_dist`` picks how keyed workload
+    operations spread over the keys (``uniform`` or ``zipf``).
 
     The sweep itself runs through the shared execution engine:
     ``workers`` processes judge cells concurrently (default: all
@@ -668,6 +702,7 @@ def explore(
         scenario_matrix(
             seed, tuple(protocols), tuple(delays), tuple(churn_rates),
             tuple(plan_names), seeds_per_combo, n, delta, horizon,
+            tuple(key_counts), key_dist,
         )
     )
     report.skipped_cells = max(0, len(specs) - budget)

@@ -11,10 +11,17 @@ explicit RNG) to a plan — no hidden state, fully reproducible.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
+from dataclasses import replace
+from itertools import accumulate
+from typing import Any, Callable, Sequence
 
 from ..sim.clock import Time
 from ..sim.errors import ExperimentError
 from .schedule import ReadOp, WorkloadOp, WriteOp
+
+#: A key picker: draws the register key the next operation addresses.
+KeyPicker = Callable[[], Any]
 
 
 def periodic_times(start: Time, period: Time, count: int) -> list[Time]:
@@ -86,6 +93,80 @@ def read_heavy_plan(
     plan.extend(poisson_reads(start, end, read_rate, rng))
     plan.sort(key=lambda op: op.time)
     return plan
+
+
+# ----------------------------------------------------------------------
+# Key pickers (the RegisterSpace dimension)
+# ----------------------------------------------------------------------
+
+
+def uniform_key_picker(keys: Sequence[Any], rng: random.Random) -> KeyPicker:
+    """Each operation addresses a uniformly random key."""
+    if not keys:
+        raise ExperimentError("uniform_key_picker needs at least one key")
+    key_list = list(keys)
+    return lambda: rng.choice(key_list)
+
+
+def zipf_key_picker(
+    keys: Sequence[Any], rng: random.Random, exponent: float = 1.2
+) -> KeyPicker:
+    """A Zipf-skewed picker: key ``i`` has weight ``1/(i+1)^exponent``.
+
+    The realistic production shape — a few hot keys take most of the
+    traffic while the long tail stays cold — used by the keyed-store
+    experiment to show hot-key skew does not change per-key regularity.
+    """
+    if not keys:
+        raise ExperimentError("zipf_key_picker needs at least one key")
+    if exponent < 0:
+        raise ExperimentError(f"exponent must be non-negative, got {exponent!r}")
+    key_list = list(keys)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(key_list))]
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+
+    last = len(key_list) - 1
+
+    def pick() -> Any:
+        # The high clamp mirrors random.choices: a draw in the top
+        # half-ULP below 1.0 can round up to exactly ``total`` and
+        # bisect one past the end.
+        return key_list[min(bisect_right(cumulative, rng.random() * total), last)]
+
+    return pick
+
+
+KEY_DISTRIBUTIONS: dict[str, Callable[[Sequence[Any], random.Random], KeyPicker]] = {
+    "uniform": uniform_key_picker,
+    "zipf": zipf_key_picker,
+}
+
+
+def make_key_picker(
+    distribution: str, keys: Sequence[Any], rng: random.Random
+) -> KeyPicker:
+    """Instantiate a named key distribution (``uniform`` or ``zipf``)."""
+    try:
+        factory = KEY_DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown key distribution {distribution!r}; "
+            f"choose from {sorted(KEY_DISTRIBUTIONS)}"
+        ) from None
+    return factory(keys, rng)
+
+
+def assign_keys(plan: list[WorkloadOp], picker: KeyPicker) -> list[WorkloadOp]:
+    """Stamp every planned operation with a key drawn from ``picker``.
+
+    Draws in plan order (one draw per op), so a keyed plan is exactly
+    as reproducible as its unkeyed base plan plus the picker's RNG.
+    Single-register plans simply never call this — their ops keep
+    ``key=None`` and the system behaves byte-identically to the
+    pre-RegisterSpace library.
+    """
+    return [replace(op, key=picker()) for op in plan]
 
 
 def write_heavy_plan(

@@ -31,19 +31,23 @@ from ..sim.operations import OperationHandle
 
 @dataclass(frozen=True)
 class ReadOp:
-    """Plan: read at ``time``, by ``reader`` (``None`` = random active)."""
+    """Plan: read ``key`` at ``time``, by ``reader`` (``None`` = random
+    active process; ``key=None`` = the default register)."""
 
     time: Time
     reader: str | None = None
+    key: Any = None
 
 
 @dataclass(frozen=True)
 class WriteOp:
-    """Plan: write ``value`` at ``time`` (``None`` = auto-unique value)."""
+    """Plan: write ``value`` to ``key`` at ``time`` (``None`` value =
+    auto-unique; ``key=None`` = the default register)."""
 
     time: Time
     value: Any = None
     writer: str | None = None
+    key: Any = None
 
 
 WorkloadOp = ReadOp | WriteOp
@@ -88,7 +92,10 @@ class WorkloadDriver:
         self.avoid_writer_reads = avoid_writer_reads
         self.stats = WorkloadStats()
         self._rng = system.rng.stream("workload.readers")
-        self._pending_write: OperationHandle | None = None
+        # Writes are serialized *per key* (the checkers partition the
+        # history by key); the single register is key ``None``, whose
+        # serialization is exactly the historical global one.
+        self._pending_writes: dict[Any, OperationHandle] = {}
         self._installed = False
 
     def install(self, plan: list[WorkloadOp]) -> None:
@@ -126,15 +133,20 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
 
     def _fire_write(self, op: WriteOp) -> None:
-        if self._pending_write is not None and self._pending_write.pending:
+        # Serialize on the *resolved* key: in a multi-key system a
+        # WriteOp with key=None addresses the default key, and must
+        # share that key's serialization slot, not a separate None one.
+        key = op.key if op.key is not None else self.system.keys[0]
+        pending = self._pending_writes.get(key)
+        if pending is not None and pending.pending:
             self.stats.writes_skipped += 1
             return
         writer = op.writer if op.writer is not None else self.system.writer_pid
         if not self.system.membership.is_present(writer):
             self.stats.writes_skipped += 1
             return
-        handle = self.system.write(op.value, pid=writer)
-        self._pending_write = handle
+        handle = self.system.write(op.value, pid=writer, key=op.key)
+        self._pending_writes[key] = handle
         self.stats.writes_issued += 1
         self.stats.write_handles.append(handle)
 
@@ -147,7 +159,7 @@ class WorkloadDriver:
         if not node.is_active:
             self.stats.reads_skipped += 1
             return
-        handle = self.system.read(reader)
+        handle = self.system.read(reader, key=op.key)
         self.stats.reads_issued += 1
         self.stats.read_handles.append(handle)
 

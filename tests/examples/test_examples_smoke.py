@@ -1,0 +1,74 @@
+"""Smoke suite for ``examples/``: every script runs, in quick mode.
+
+The examples are the repository's front door and its most rot-prone
+code — nothing else imports them.  Each test runs one script in a
+subprocess (they are top-level scripts, so importing *is* running)
+with ``REPRO_EXAMPLES_QUICK=1``, which the longer simulations honour
+by shrinking their horizons, and asserts a zero exit plus a line of
+expected output — enough to catch an API drift or a silently broken
+verdict without pinning the exact numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name -> (extra argv, a fragment the output must contain).
+EXAMPLES: dict[str, tuple[list[str], str]] = {
+    "quickstart.py": ([], "regularity: SAFE"),
+    "figure3_walkthrough.py": ([], "regularity VIOLATED"),
+    "p2p_presence_board.py": ([], "presence board verdict"),
+    "manet_partial_synchrony.py": ([], "convoy verdict"),
+    # The one-shot reproduction driver: a single quick experiment is
+    # enough to prove the driver still drives (CI runs the full
+    # battery through the CLI separately).
+    "reproduce_paper.py": (["--quick", "--only", "E13"], "REPRODUCED"),
+}
+
+
+def _run_example(script: str, extra: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_EXAMPLES_QUICK"] = "1"
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *extra],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_every_example_is_covered():
+    """A new example must be added to the smoke table (or it can rot)."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        f"examples/ and the smoke table disagree: "
+        f"missing {sorted(on_disk - set(EXAMPLES))}, "
+        f"stale {sorted(set(EXAMPLES) - on_disk)}"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs_clean(script):
+    extra, fragment = EXAMPLES[script]
+    result = _run_example(script, extra)
+    assert result.returncode == 0, (
+        f"{script} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\nstderr:\n{result.stderr[-2000:]}"
+    )
+    assert fragment in result.stdout, (
+        f"{script} ran but its output lost {fragment!r}\n"
+        f"stdout:\n{result.stdout[-2000:]}"
+    )

@@ -116,6 +116,48 @@ class TestRunner:
         assert runner_module._POOLS == {}
 
 
+class TestFallbackCounters:
+    """Per-Runner fallbacks are fresh and resettable; the module-level
+    ``fallback_count`` stays a process-wide aggregate."""
+
+    @staticmethod
+    def _pool_less(monkeypatch):
+        class NoFork:
+            def __init__(self, max_workers):
+                raise OSError("fork denied")
+
+        monkeypatch.setattr(runner_module, "_POOLS", {})
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", NoFork)
+
+    def test_per_runner_counter_counts_own_fallbacks_only(self, monkeypatch):
+        self._pool_less(monkeypatch)
+        monkeypatch.setattr(runner_module, "_FALLBACKS", 5)  # earlier sweeps
+        runner = Runner(workers=3)
+        assert runner.fallbacks == 0  # fresh despite process history
+        runner.map(_specs(4))
+        assert runner.fallbacks == 1
+        runner.map(_specs(4))
+        assert runner.fallbacks == 2
+        assert runner_module.fallback_count() == 7  # aggregate kept counting
+
+    def test_reset_clears_runner_but_not_aggregate(self, monkeypatch):
+        self._pool_less(monkeypatch)
+        monkeypatch.setattr(runner_module, "_FALLBACKS", 1)  # already warned
+        runner = Runner(workers=3)
+        runner.map(_specs(3))
+        assert runner.fallbacks == 1
+        runner.reset_fallbacks()
+        assert runner.fallbacks == 0
+        assert runner_module.fallback_count() == 2  # aggregate untouched
+        runner.map(_specs(3))
+        assert runner.fallbacks == 1  # counts again after the reset
+
+    def test_serial_runs_never_count_as_fallbacks(self):
+        runner = Runner(workers=1)
+        runner.map(_specs(5))
+        assert runner.fallbacks == 0
+
+
 class TestGrouped:
     def test_splits_row_major(self):
         assert runner_module.grouped([1, 2, 3, 4, 5, 6], 2) == [

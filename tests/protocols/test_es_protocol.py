@@ -90,11 +90,13 @@ class TestRead:
         system = make_es()
         node = system.node(system.seed_pids[2])
         peer = system.seed_pids[3]
-        node._read_sn = 5
+        node._reads._requests[None] = 5  # pretend 5 read rounds happened
+        phase = node._reads.open(None)
         node.on_esreply(peer, EsReply(peer, "junk", 99, read_sn=3))
-        assert node._replies == {}
+        assert phase.count == 0
         node.on_esreply(peer, EsReply(peer, "fresh", 7, read_sn=5))
-        assert node._replies == {peer: ("fresh", 7)}
+        assert phase.senders() == (peer,)
+        assert phase.best_for(None) == ("fresh", 7)
 
 
 class TestWrite:
@@ -120,27 +122,26 @@ class TestWrite:
         """Figure 6 line 01: the write starts with a read."""
         system = make_es()
         node = system.node(system.writer_pid)
-        before = node._read_sn
+        before = node._reads.current_request(None)
         system.write("v1")
-        assert node._read_sn == before + 1
+        assert node._reads.current_request(None) == before + 1
 
     def test_ack_guard_matches_current_sn(self):
         """Figure 6 lines 09-10: only acks for the current sn count."""
         system = make_es()
         node = system.node(system.seed_pids[1])
-        node._sn = 4
+        node.space.install(None, node.space.value(), 4)
         node.on_esack("a", EsAck("a", 3))
-        assert node._write_acks == set()
+        assert node._acks.phase(None).count == 0
         node.on_esack("a", EsAck("a", 4))
-        assert node._write_acks == {"a"}
+        assert node._acks.phase(None).senders() == ("a",)
 
     def test_stale_write_does_not_downgrade_but_still_acks(self):
         """Figure 6 lines 06-08: ACK is sent in all cases."""
         system = make_es()
         node = system.node(system.seed_pids[1])
         peer = system.seed_pids[4]
-        node._sn = 9
-        node._register = "newest"
+        node.space.install(None, "newest", 9)
         before = system.network.sent_count
         node.on_eswrite(peer, EsWrite(peer, "old", 3))
         assert node.register_value == "newest"
@@ -156,7 +157,7 @@ class TestDlPrev:
         peer = system.seed_pids[1]
         before = system.network.sent_count
         joiner.on_esinquiry(peer, EsInquiry(peer, 0))
-        assert (peer, 0) in joiner._reply_to
+        assert (peer, 0, None) in joiner._reply_to
         assert system.network.sent_count == before + 1  # the DL_PREV
 
     def test_dl_prev_recorded_by_receiver(self):
@@ -165,14 +166,14 @@ class TestDlPrev:
         node = system.node(system.seed_pids[0])
         peer = system.seed_pids[5]
         node.on_esdlprev(peer, EsDlPrev(peer, 4))
-        assert (peer, 4) in node._dl_prev
+        assert (peer, 4, None) in node._dl_prev
 
     def test_active_reader_promises_too(self):
         """Figure 4 line 14: an active *reading* process sends DL_PREV."""
         system = make_es()
         node = system.node(system.seed_pids[2])
         peer = system.seed_pids[6]
-        node._reading = True
+        node._reads.open(None)  # a read round is in progress
         before = system.network.sent_count
         node.on_esinquiry(peer, EsInquiry(peer, 0))
         # One REPLY (line 13) + one DL_PREV (line 14).

@@ -1,0 +1,74 @@
+"""Unit tests for ``repro bench --compare`` (artifact diffing)."""
+
+import pytest
+
+from repro.bench import compare_artifacts
+
+
+def artifact(walls: dict[str, float], derived: dict[str, float] | None = None,
+             determinism: dict[str, str] | None = None) -> dict:
+    return {
+        "benchmarks": [
+            {"name": name, "wall_seconds": wall, "metric": "m", "value": 1}
+            for name, wall in walls.items()
+        ],
+        "derived": dict(derived or {}),
+        "determinism": dict(determinism or {}),
+    }
+
+
+class TestCompareArtifacts:
+    def test_clean_comparison_flags_nothing(self):
+        old = artifact({"a": 1.0, "b": 0.5}, {"speedup": 3.0})
+        new = artifact({"a": 1.1, "b": 0.45}, {"speedup": 3.2})
+        lines, regressions = compare_artifacts(old, new, threshold=0.5)
+        assert regressions == []
+        assert any("a: 1000.00 ms -> 1100.00 ms" in line for line in lines)
+
+    def test_wall_time_regression_past_threshold_is_flagged(self):
+        old = artifact({"hot_path": 1.0})
+        new = artifact({"hot_path": 1.8})
+        lines, regressions = compare_artifacts(old, new, threshold=0.5)
+        assert regressions == ["hot_path"]
+        assert any("REGRESSION" in line for line in lines)
+        # The same delta passes a looser threshold.
+        _, ok = compare_artifacts(old, new, threshold=1.0)
+        assert ok == []
+
+    def test_derived_speedup_drop_is_flagged(self):
+        old = artifact({}, {"checker_regularity_speedup": 4.0})
+        new = artifact({}, {"checker_regularity_speedup": 2.0})
+        _, regressions = compare_artifacts(old, new, threshold=0.5)
+        assert regressions == ["derived.checker_regularity_speedup"]
+
+    def test_derived_overhead_rise_is_flagged(self):
+        old = artifact({}, {"fault_gate_overhead": 1.1})
+        new = artifact({}, {"fault_gate_overhead": 2.0})
+        _, regressions = compare_artifacts(old, new, threshold=0.5)
+        assert regressions == ["derived.fault_gate_overhead"]
+        # An overhead *drop* is an improvement, never flagged.
+        _, ok = compare_artifacts(new, old, threshold=0.5)
+        assert ok == []
+
+    def test_new_and_dropped_workloads_reported_not_flagged(self):
+        old = artifact({"kept": 1.0, "dropped": 2.0})
+        new = artifact({"kept": 1.0, "added": 9.0}, {"fresh_ratio": 1.0})
+        lines, regressions = compare_artifacts(old, new, threshold=0.1)
+        assert regressions == []
+        assert any("added: new workload" in line for line in lines)
+        assert any("dropped: workload dropped" in line for line in lines)
+        assert any("derived.fresh_ratio: new ratio" in line for line in lines)
+
+    def test_digest_changes_reported_informationally(self):
+        old = artifact({}, determinism={"digest": "a" * 64, "faulted_digest": "b" * 64})
+        new = artifact({}, determinism={"digest": "a" * 64, "faulted_digest": "c" * 64})
+        lines, regressions = compare_artifacts(old, new, threshold=0.0)
+        assert regressions == []
+        assert any("determinism.digest: unchanged" in line for line in lines)
+        assert any(
+            line.startswith("determinism.faulted_digest: CHANGED") for line in lines
+        )
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_artifacts(artifact({}), artifact({}), threshold=-0.1)
