@@ -1,0 +1,10 @@
+"""Benchmark E14 — regenerates the sharded-cluster scaling experiment."""
+
+from repro.experiments import e14_sharded_cluster
+
+from .conftest import regenerate
+
+
+def test_bench_e14(benchmark):
+    """Regenerate E14 (sharded cluster: load and churn cost vs shards)."""
+    regenerate(benchmark, e14_sharded_cluster.run, "E14")

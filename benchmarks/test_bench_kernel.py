@@ -18,6 +18,7 @@ from repro.bench import (
     broadcast_fanout,
     checker_history,
     churn_ticks,
+    cluster_fanout,
     engine_throughput,
 )
 from repro.core.checker import RegularityChecker, find_new_old_inversions
@@ -147,6 +148,28 @@ def test_bench_point_to_point_send_trace_off(benchmark):
 
     assert benchmark(run) == 10_000
     assert system.network.dropped_count >= 10_000
+
+
+def test_bench_cluster_fanout_sharded(benchmark):
+    """The 4-shard cluster workload (same as repro.bench): churn, Zipf
+    hot-shard traffic, merged checking at close."""
+    delivered, digest = benchmark(lambda: cluster_fanout(shards=4))
+    assert delivered > 0
+    assert len(digest) == 64
+
+
+def test_cluster_shard_scaling_guard():
+    """Perf guard: partitioning the cluster workload over 4 shards must
+    cut total delivered messages by at least 2x at fixed population —
+    the deterministic message-count claim behind derived.shard_scaling
+    (expected near the shard count; 2x is the loose floor)."""
+    single_delivered, _ = cluster_fanout(shards=1)
+    sharded_delivered, _ = cluster_fanout(shards=4)
+    scaling = single_delivered / sharded_delivered
+    assert scaling >= 2.0, (
+        f"expected >=2x delivered-message reduction from 4 shards, "
+        f"got {scaling:.2f}x ({single_delivered} -> {sharded_delivered})"
+    )
 
 
 def test_checker_fast_beats_naive_by_3x(two_k_history):

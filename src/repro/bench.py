@@ -148,6 +148,58 @@ def keyed_store_fanout(
     return system.network.delivered_count, operation_digest(history)
 
 
+def cluster_fanout(
+    shards: int = 4, keys: int = 8, n: int = 40, horizon: float = 240.0
+) -> tuple[int, str]:
+    """A churning sharded cluster under Zipf hot-shard traffic.
+
+    The ShardedCluster workload: the same total population, key count
+    and operation plan served either by one quorum group
+    (``shards=1``) or partitioned over independent shards, with
+    traffic Zipf-skewed by shard.  Returns the cluster-wide delivered
+    message count and the merged history's cluster digest (covers
+    every operation's shard id).  The pair isolates what sharding
+    buys end to end: ``derived.shard_scaling`` is the delivered-message
+    ratio — deterministic, unlike wall time — and should sit near the
+    shard count, not near 1.
+    """
+    from .cluster.config import ClusterConfig
+    from .cluster.history import cluster_digest
+    from .cluster.system import ClusterSystem
+    from .workloads.cluster import ClusterWorkloadDriver, shard_skewed_key_picker
+    from .workloads.generators import assign_keys, read_heavy_plan
+
+    cluster = ClusterSystem(
+        ClusterConfig(
+            shards=shards, keys=keys, n=n, delta=5.0, protocol="sync", seed=17
+        )
+    )
+    cluster.attach_churn(rate=0.04, min_stay=15.0)
+    driver = ClusterWorkloadDriver(cluster)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 20.0,
+        write_period=12.0,
+        read_rate=2.0,
+        rng=cluster.rng.stream("bench.cluster.plan"),
+    )
+    plan = assign_keys(
+        plan,
+        shard_skewed_key_picker(cluster, cluster.rng.stream("bench.cluster.keys")),
+    )
+    driver.install(plan)
+    cluster.run_until(horizon)
+    history = cluster.close()
+    safety = cluster.check_safety()
+    if not safety.is_safe:
+        raise AssertionError(
+            f"the sharded cluster workload violated per-key regularity "
+            f"({safety.violation_count} bad reads) — the cluster routing "
+            f"or merge broke the protocol"
+        )
+    return cluster.delivered_count, cluster_digest(history)
+
+
 def checker_history(rounds: int = 20, readers: int = 20, per: int = 5) -> History:
     """The ~2k-operation history the checker benchmarks judge."""
     system = DynamicSystem(
@@ -271,6 +323,16 @@ def run_kernel_benchmarks(
     record("keyed_store_fanout", keyed_many, "delivered", keyed_delivered)
     _, keyed_digest_b = keyed_store_fanout(keys=8)
 
+    cluster_one, (cluster_one_delivered, _) = _time_best(
+        lambda: cluster_fanout(shards=1), repeats
+    )
+    record("cluster_single", cluster_one, "delivered", cluster_one_delivered)
+    cluster_many, (cluster_delivered, cluster_digest_a) = _time_best(
+        lambda: cluster_fanout(shards=4), repeats
+    )
+    record("cluster_sharded", cluster_many, "delivered", cluster_delivered)
+    _, cluster_digest_b = cluster_fanout(shards=4)
+
     history = checker_history()
     ops = len(history)
 
@@ -354,6 +416,11 @@ def run_kernel_benchmarks(
             # the same churning population — joins are batched over
             # keys, so this should stay near 1, not near 8.
             "keyed_fanout_overhead": round(keyed_many / keyed_single, 3),
+            # the delivered-message reduction from partitioning the same
+            # workload over 4 quorum shards at fixed total population —
+            # deterministic (a message count, not a wall time) and
+            # expected near the shard count, not near 1.
+            "shard_scaling": round(cluster_one_delivered / cluster_delivered, 3),
             # serial wall time over multi-worker wall time for the same
             # judged sweep; ~1.0 (pool overhead only) on a single-core
             # host, >1 with real cores to fan out across.
@@ -370,6 +437,12 @@ def run_kernel_benchmarks(
             # single-register digest is clean.
             "keyed_digest": keyed_digest_a,
             "keyed_stable_within_process": keyed_digest_a == keyed_digest_b,
+            # The merged-history digest of the fixed-seed 4-shard
+            # cluster run: covers every operation's shard id, so a
+            # routing or shard-interleaving regression is caught even
+            # when each single-system digest is clean.
+            "cluster_digest": cluster_digest_a,
+            "cluster_stable_within_process": cluster_digest_a == cluster_digest_b,
         },
     }
 
@@ -383,6 +456,47 @@ def write_artifact(payload: dict[str, Any], out_path: str) -> None:
 # ----------------------------------------------------------------------
 # Artifact comparison (``repro bench --compare OLD.json``)
 # ----------------------------------------------------------------------
+
+
+def _normalized_deltas(
+    old: dict[str, Any], new: dict[str, Any]
+) -> list[tuple[str, float]]:
+    """``(label, delta)`` per entry both artifacts know, regression-
+    normalized: values above 1.0 are the regression direction — wall
+    times growing, overhead ratios growing, speedup/scaling ratios
+    *shrinking* (inverted).  The single source of the direction rule,
+    consumed by both :func:`compare_artifacts` (flagging) and
+    :func:`worst_delta` (the one-line summary), so the two can never
+    name different culprits.
+    """
+    deltas: list[tuple[str, float]] = []
+    old_walls = {b["name"]: b["wall_seconds"] for b in old.get("benchmarks", [])}
+    for bench in new.get("benchmarks", []):
+        old_wall = old_walls.get(bench["name"])
+        if old_wall is None:
+            continue
+        ratio = bench["wall_seconds"] / old_wall if old_wall > 0 else float("inf")
+        deltas.append((bench["name"], ratio))
+    old_derived = old.get("derived", {})
+    for name, new_value in new.get("derived", {}).items():
+        old_value = old_derived.get(name)
+        if old_value is None or old_value <= 0:
+            continue
+        drift = new_value / old_value
+        if "overhead" in name:
+            # An overhead collapsing to (or below) zero is an
+            # improvement; growth is the regression direction.
+            deltas.append((f"derived.{name}", drift))
+        else:
+            # A speedup/scaling ratio collapsing to zero is a total
+            # regression, not a skippable entry.
+            deltas.append(
+                (
+                    f"derived.{name}",
+                    float("inf") if new_value <= 0 else 1.0 / drift,
+                )
+            )
+    return deltas
 
 
 def compare_artifacts(
@@ -405,6 +519,10 @@ def compare_artifacts(
         raise ValueError(f"threshold must be non-negative, got {threshold!r}")
     lines: list[str] = []
     regressions: list[str] = []
+    # Regression-normalized deltas (wall growth, overhead growth,
+    # speedup shrinkage — all mapped above 1.0): the shared direction
+    # rule, so flagging here always agrees with worst_delta's summary.
+    normalized = dict(_normalized_deltas(old, new))
     old_walls = {b["name"]: b["wall_seconds"] for b in old.get("benchmarks", [])}
     new_walls = {b["name"]: b["wall_seconds"] for b in new.get("benchmarks", [])}
     for name, new_wall in new_walls.items():
@@ -412,12 +530,11 @@ def compare_artifacts(
         if old_wall is None:
             lines.append(f"{name}: new workload ({new_wall * 1e3:.2f} ms), no baseline")
             continue
-        ratio = new_wall / old_wall if old_wall > 0 else float("inf")
         line = (
             f"{name}: {old_wall * 1e3:.2f} ms -> {new_wall * 1e3:.2f} ms "
-            f"({ratio:.2f}x)"
+            f"({normalized[name]:.2f}x)"
         )
-        if ratio > 1.0 + threshold:
+        if normalized[name] > 1.0 + threshold:
             line += f"  REGRESSION (> {1.0 + threshold:.2f}x)"
             regressions.append(name)
         lines.append(line)
@@ -431,22 +548,14 @@ def compare_artifacts(
             lines.append(f"derived.{name}: new ratio ({new_value}), no baseline")
             continue
         line = f"derived.{name}: {old_value} -> {new_value}"
-        # Derived entries are speedups/overheads where *lower than the
-        # baseline by the threshold fraction* is the regression side
-        # for speedups, and higher is for overheads.
-        is_overhead = "overhead" in name
-        if old_value > 0:
-            drift = new_value / old_value
-            regressed = (
-                drift > 1.0 + threshold if is_overhead else drift < 1.0 / (1.0 + threshold)
-            )
-            if regressed:
-                line += "  REGRESSION"
-                regressions.append(f"derived.{name}")
+        delta = normalized.get(f"derived.{name}")
+        if delta is not None and delta > 1.0 + threshold:
+            line += "  REGRESSION"
+            regressions.append(f"derived.{name}")
         lines.append(line)
     old_det = old.get("determinism", {})
     new_det = new.get("determinism", {})
-    for field in ("digest", "faulted_digest", "keyed_digest"):
+    for field in ("digest", "faulted_digest", "keyed_digest", "cluster_digest"):
         if field in old_det and field in new_det:
             same = old_det[field] == new_det[field]
             lines.append(
@@ -455,6 +564,28 @@ def compare_artifacts(
                    f"CHANGED {old_det[field][:16]}… -> {new_det[field][:16]}…")
             )
     return lines, regressions
+
+
+def worst_delta(
+    old: dict[str, Any], new: dict[str, Any]
+) -> tuple[str, float] | None:
+    """The single worst regression-direction delta between two artifacts.
+
+    Scans workload wall times (higher is worse) and derived ratios
+    (direction by kind: overheads up, speedups/scalings down) present
+    in both artifacts, and returns ``(label, delta)`` where ``delta``
+    is normalized so that values above 1.0 are regressions — e.g.
+    ``("churn_tick_cost", 1.42)`` means the worst offender is 42%
+    worse than the baseline.  ``None`` when nothing is comparable.
+    The one-line PASS/FAIL summary of ``repro bench --compare`` prints
+    exactly this; it shares :func:`_normalized_deltas` with
+    :func:`compare_artifacts`, so the summary's culprit always agrees
+    with the REGRESSED list printed beside it.
+    """
+    deltas = _normalized_deltas(old, new)
+    if not deltas:
+        return None
+    return max(deltas, key=lambda pair: pair[1])
 
 
 def run_and_report(
@@ -496,22 +627,33 @@ def run_and_report(
     stable = payload["determinism"]["stable_within_process"]
     faulted_stable = payload["determinism"]["faulted_stable_within_process"]
     keyed_stable = payload["determinism"]["keyed_stable_within_process"]
+    cluster_stable = payload["determinism"]["cluster_stable_within_process"]
     print(f"determinism digest {payload['determinism']['digest'][:16]}… "
           f"{'STABLE' if stable else 'UNSTABLE'}")
     print(f"faulted digest     {payload['determinism']['faulted_digest'][:16]}… "
           f"{'STABLE' if faulted_stable else 'UNSTABLE'}")
     print(f"keyed digest       {payload['determinism']['keyed_digest'][:16]}… "
           f"{'STABLE' if keyed_stable else 'UNSTABLE'}")
+    print(f"cluster digest     {payload['determinism']['cluster_digest'][:16]}… "
+          f"{'STABLE' if cluster_stable else 'UNSTABLE'}")
     print(f"wrote {out_path}")
-    if not (stable and faulted_stable and keyed_stable):
+    if not (stable and faulted_stable and keyed_stable and cluster_stable):
         return 1
     if baseline is not None:
         print(f"\ncomparison against {compare_to} (threshold {threshold:.0%}):")
         lines, regressions = compare_artifacts(baseline, payload, threshold)
         for line in lines:
             print(f"  {line}")
+        worst = worst_delta(baseline, payload)
+        verdict = "FAIL" if regressions else "PASS"
+        if worst is not None:
+            print(
+                f"COMPARE {verdict}: worst delta {worst[0]} {worst[1]:.2f}x "
+                f"(threshold {1.0 + threshold:.2f}x)"
+            )
+        else:
+            print(f"COMPARE {verdict}: no comparable workloads")
         if regressions:
             print(f"REGRESSED: {', '.join(regressions)}")
             return 1
-        print("no regressions past the threshold")
     return 0

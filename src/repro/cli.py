@@ -34,8 +34,10 @@ Six subcommands, mirroring how the library is typically used:
 
 ``explore``
     Sweep the adversarial scenario matrix (protocol × delay model ×
-    churn × fault plan × key count × seed), judge every history with
-    the checkers, shrink violating fault schedules and optionally
+    churn × fault plan × key count × shard count × seed), judge every
+    history with the checkers (sharded cells run as clusters with the
+    plan scoped into every shard and the merged history judged),
+    shrink violating fault schedules and optionally
     write the JSON counterexample report.  The sweep fans out across
     ``--workers`` processes (cells are independent; the report is
     byte-identical at any worker count).  In-model violations are bugs
@@ -227,7 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--key-dist",
         default="uniform",
         choices=["uniform", "zipf"],
-        help="key distribution for keyed cells",
+        help=(
+            "key distribution for keyed cells (sharded cells apply it "
+            "at the shard level: zipf = a hot shard)"
+        ),
+    )
+    explore.add_argument(
+        "--shards",
+        nargs="+",
+        type=int,
+        default=[1],
+        metavar="S",
+        help=(
+            "cluster shard counts to sweep (default: just 1, the classic "
+            "single population; larger counts run sharded clusters with "
+            "the fault plan scoped into every shard)"
+        ),
     )
     explore.add_argument(
         "--no-shrink",
@@ -427,6 +444,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         workers=args.workers,
         key_counts=tuple(args.keys),
         key_dist=args.key_dist,
+        shard_counts=tuple(args.shards),
     )
     for outcome in report.outcomes:
         if args.verbose or outcome.violated:

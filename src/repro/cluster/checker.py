@@ -1,0 +1,81 @@
+"""Cluster-level correctness: judge the merge, delegate per shard.
+
+Keys never span shards, so regularity / atomicity / liveness of a
+sharded store decompose exactly: the cluster satisfies a property iff
+every shard's history does.  These checkers make that operational —
+they partition the merged :class:`~repro.cluster.history.ClusterHistory`
+back into per-shard views (:meth:`~ClusterHistory.shard_view`) and
+hand each view to the *unchanged* single-system checkers, which in
+turn partition per key.  Reports are the ordinary
+:class:`~repro.core.checker.SafetyReport` /
+:class:`~repro.core.checker.AtomicityReport` /
+:class:`~repro.core.checker.LivenessReport` types with judgements
+concatenated in shard order, so everything downstream (explorer
+verdicts, experiment tables, summaries) consumes them unchanged.
+"""
+
+from __future__ import annotations
+
+from ..core.checker import (
+    AtomicityReport,
+    LivenessChecker,
+    LivenessReport,
+    RegularityChecker,
+    SafetyReport,
+    find_new_old_inversions,
+)
+from ..sim.clock import Time
+from .history import ClusterHistory
+
+
+def check_cluster_safety(
+    history: ClusterHistory, check_joins: bool = True, paranoid: bool = False
+) -> SafetyReport:
+    """Regularity of the merged cluster history (per-shard, per-key).
+
+    Judgements are concatenated in shard order (then the single-system
+    checker's own key order), so a violation's position names its
+    shard as well as its key.
+    """
+    report = SafetyReport()
+    for shard in history.shard_ids():
+        sub = RegularityChecker(
+            history.shard_view(shard), check_joins=check_joins, paranoid=paranoid
+        ).check()
+        report.judgements.extend(sub.judgements)
+    return report
+
+
+def find_cluster_inversions(
+    history: ClusterHistory, paranoid: bool = False
+) -> AtomicityReport:
+    """New/old inversions of the merged cluster history, per shard.
+
+    Atomicity of the store is per-key atomicity; reads of different
+    shards (hence different keys) are never comparable, so the merge
+    is judged shard by shard and the verdicts concatenated.
+    """
+    merged = AtomicityReport(safety=SafetyReport())
+    for shard in history.shard_ids():
+        sub = find_new_old_inversions(history.shard_view(shard), paranoid=paranoid)
+        merged.safety.judgements.extend(sub.safety.judgements)
+        merged.inversions.extend(sub.inversions)
+    return merged
+
+
+def check_cluster_liveness(history: ClusterHistory, grace: Time) -> LivenessReport:
+    """Liveness of the merged (closed) cluster history.
+
+    Counters are summed, stuck operations and latency samples
+    concatenated in shard order.
+    """
+    merged = LivenessReport()
+    for shard in history.shard_ids():
+        sub = LivenessChecker(history.shard_view(shard), grace=grace).check()
+        merged.completed += sub.completed
+        merged.excused += sub.excused
+        merged.in_grace += sub.in_grace
+        merged.stuck.extend(sub.stuck)
+        for kind, samples in sub.latencies.items():
+            merged.latencies.setdefault(kind, []).extend(samples)
+    return merged

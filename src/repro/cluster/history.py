@@ -1,0 +1,170 @@
+"""Merged cluster histories: one observable behaviour, many shards.
+
+Each shard of a :class:`~repro.cluster.system.ClusterSystem` records
+its own :class:`~repro.core.history.History` (operations stamped with
+the shard id, pids namespaced ``s{i}.p…``).  A :class:`ClusterHistory`
+is the merged view on the common clock: iteration yields every shard's
+operations in global invocation order, :func:`cluster_digest`
+fingerprints the merge (covering each operation's shard), and
+:meth:`shard_view` partitions the merge *back* into per-shard
+histories — the inverse the cluster checkers are built on.
+
+Correctness of a sharded store is per-shard correctness: keys never
+span shards, so the merge is judged by handing each shard's view to
+the unchanged single-system checkers (which in turn partition per
+key).  ``tests/properties/test_cluster_checker_properties.py`` proves
+the round trip: checking the merged view is *exactly* checking each
+shard's own history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterator, Sequence
+
+from ..core.history import History
+from ..sim.clock import Time
+from ..sim.errors import HistoryError
+from ..sim.operations import OperationHandle
+
+
+class ClusterHistory:
+    """The merged operation record of one cluster run."""
+
+    def __init__(self, shard_histories: Sequence[History]) -> None:
+        if not shard_histories:
+            raise HistoryError("a cluster history needs at least one shard")
+        self._shards = tuple(shard_histories)
+        self.initial_value = self._shards[0].initial_value
+        self._merged_cache: list[OperationHandle] | None = None
+        self._view_cache: dict[int, History] = {}
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_ids(self) -> range:
+        return range(len(self._shards))
+
+    def shard_history(self, shard: int) -> History:
+        """Shard ``shard``'s own (recorded, not reconstructed) history."""
+        return self._shards[shard]
+
+    @property
+    def horizon(self) -> Time | None:
+        """The common close instant (``None`` while the run is open,
+        or if any shard is still open)."""
+        horizons = {h.horizon for h in self._shards}
+        if None in horizons:
+            return None
+        return max(horizons)
+
+    # ------------------------------------------------------------------
+    # The merge (global invocation order on the common clock)
+    # ------------------------------------------------------------------
+
+    def merged_operations(self) -> list[OperationHandle]:
+        """Every shard's operations in global invocation order.
+
+        All shards ride one scheduler, so operation ids are assigned in
+        global event order; sorting by ``(invoke_time, op_id)`` is the
+        chronological merge, deterministic for a fixed seed.
+
+        Memoized once every shard history is closed (the checkers call
+        this once per shard view); open histories recompute, since
+        shards can still append.  Treat the result as read-only.
+        """
+        if self._merged_cache is not None:
+            return self._merged_cache
+        merged = [op for shard in self._shards for op in shard]
+        merged.sort(key=lambda op: (op.invoke_time, op.op_id))
+        if self.horizon is not None:
+            self._merged_cache = merged
+        return merged
+
+    def __iter__(self) -> Iterator[OperationHandle]:
+        return iter(self.merged_operations())
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def operations(self, kind: str | None = None) -> list[OperationHandle]:
+        """Merged operations, optionally filtered by kind."""
+        if kind is None:
+            return self.merged_operations()
+        return [op for op in self.merged_operations() if op.kind == kind]
+
+    def keys(self) -> list[Any]:
+        """Every register key addressed anywhere in the cluster."""
+        found: set[Any] = set()
+        for shard in self._shards:
+            found.update(shard.keys())
+        return sorted(found, key=lambda key: (key is not None, str(key)))
+
+    # ------------------------------------------------------------------
+    # Partitioning the merge back (what the checkers consume)
+    # ------------------------------------------------------------------
+
+    def shard_view(self, shard: int) -> History:
+        """Shard ``shard``'s history *reconstructed from the merge*.
+
+        Filters the merged operation list by shard stamp and re-records
+        it into a fresh :class:`History` (departures and horizon carried
+        over).  The checkers judge these views, not the recorded
+        per-shard histories, so the merge-and-partition round trip is
+        itself under test — the property suite asserts the views judge
+        identically to the originals.
+
+        Memoized per shard once the run is closed — safety, atomicity
+        and liveness checking all consume the same views, and a closed
+        history never changes.
+        """
+        cached = self._view_cache.get(shard)
+        if cached is not None:
+            return cached
+        source = self._shards[shard]
+        view = History(source.initial_value)
+        for op in self.merged_operations():
+            if op.shard == shard or (op.shard is None and self.shard_count == 1):
+                view.record_operation(op)
+        view._departures = dict(source._departures)
+        if source.horizon is not None:
+            view.close(source.horizon)
+            if self.horizon is not None:
+                self._view_cache[shard] = view
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        per_shard = ", ".join(f"s{i}={len(h)}" for i, h in enumerate(self._shards))
+        return f"ClusterHistory(shards={self.shard_count}, ops={len(self)}: {per_shard})"
+
+
+def cluster_digest(history: ClusterHistory) -> str:
+    """SHA-256 fingerprint of a cluster run's merged operation sequence.
+
+    The cluster analogue of
+    :func:`~repro.core.history.operation_digest`: covers every
+    operation's shard id on top of kind, key, process, timing and
+    argument, in merged (global invocation) order — so a routing or
+    shard-interleaving regression changes the digest even when each
+    shard's own history still looks plausible.
+    """
+    blob = repr(
+        [
+            (
+                op.shard,
+                op.kind,
+                op.key,
+                op.process_id,
+                op.invoke_time,
+                op.response_time,
+                str(op.argument),
+            )
+            for op in history
+        ]
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()

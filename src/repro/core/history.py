@@ -67,8 +67,13 @@ class WriteRecord:
 class History:
     """Append-only record of a run's operations."""
 
-    def __init__(self, initial_value: Any) -> None:
+    def __init__(self, initial_value: Any, shard: int | None = None) -> None:
         self.initial_value = initial_value
+        #: The cluster shard this history belongs to (``None`` for a
+        #: standalone system).  When set, every recorded operation is
+        #: stamped with it, so a merged cluster view can be partitioned
+        #: back into per-shard histories.
+        self.shard = shard
         self._operations: list[OperationHandle] = []
         self._by_kind: dict[str, list[OperationHandle]] = {}
         self._departures: dict[str, Time] = {}
@@ -82,6 +87,8 @@ class History:
 
     def record_operation(self, handle: OperationHandle) -> None:
         """Register an invoked operation (its completion fills in later)."""
+        if self.shard is not None:
+            handle.shard = self.shard
         self._operations.append(handle)
         self._by_kind.setdefault(handle.kind, []).append(handle)
         self._write_records_cache = None

@@ -36,6 +36,7 @@ ENTRY_POINTS: dict[str, str] = {
     "e11": "repro.experiments.e11_churn_cap:cell",
     "e12": "repro.experiments.e12_burst_churn:cell",
     "e13": "repro.experiments.e13_keyed_store:cell",
+    "e14": "repro.experiments.e14_sharded_cluster:cell",
 }
 
 #: Resolved callables, cached per process.

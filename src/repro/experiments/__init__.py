@@ -31,6 +31,7 @@ from . import (
     e11_churn_cap,
     e12_burst_churn,
     e13_keyed_store,
+    e14_sharded_cluster,
 )
 from .ablations import ABLATIONS
 from .harness import ExperimentResult, format_table
@@ -50,6 +51,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E11": e11_churn_cap.run,
     "E12": e12_burst_churn.run,
     "E13": e13_keyed_store.run,
+    "E14": e14_sharded_cluster.run,
 }
 
 

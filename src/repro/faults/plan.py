@@ -33,7 +33,7 @@ uses it to split violations into ``bug`` and ``expected-breakage``.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..sim.clock import Time
 from ..sim.errors import ConfigError
@@ -408,6 +408,41 @@ class FaultPlan:
 
     def renamed(self, name: str) -> "FaultPlan":
         return replace(self, name=name)
+
+    def map_pids(self, fn: Callable[[str], str]) -> "FaultPlan":
+        """Rewrite every process identity the plan references.
+
+        Applies ``fn`` to partition groups, loss/spike sender and
+        destination filters, and crash pins — *not* to the symbolic
+        crash ``victim`` roles (``"sender"``/``"dest"``).  A sharded
+        cluster uses this to scope a plan written against bare
+        ``p0001``-style names into one shard's pid namespace
+        (``s2.p0001`` …), so the same library plan can target any
+        shard, or every shard, without rewriting it by hand.
+        """
+
+        def group(pids: frozenset[str] | None) -> frozenset[str] | None:
+            return None if pids is None else frozenset(fn(pid) for pid in pids)
+
+        def single(pid: str | None) -> str | None:
+            return None if pid is None else fn(pid)
+
+        return replace(
+            self,
+            losses=tuple(
+                replace(f, sender=single(f.sender), dest=single(f.dest))
+                for f in self.losses
+            ),
+            partitions=tuple(
+                replace(f, group_a=group(f.group_a), group_b=group(f.group_b))
+                for f in self.partitions
+            ),
+            spikes=tuple(
+                replace(f, sender=single(f.sender), dest=single(f.dest))
+                for f in self.spikes
+            ),
+            crashes=tuple(replace(f, pid=single(f.pid)) for f in self.crashes),
+        )
 
     def describe(self) -> str:
         if self.is_empty:

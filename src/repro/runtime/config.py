@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..core.register import key_names
 from ..faults.plan import FaultPlan
 from ..net.broadcast import EntrantPolicy
 from ..net.delay import DelayModel
@@ -55,6 +56,16 @@ class SystemConfig:
         default 1 is the paper's single register and is byte-identical
         to the pre-RegisterSpace library; larger counts create named
         keys ``k0 … k{keys-1}`` that every operation may address.
+    key_set:
+        Explicit register key names, overriding the ``k0 …`` naming.
+        A sharded cluster uses this to hand each shard exactly the
+        (globally named) keys it owns; must have ``keys`` entries.
+        ``None`` (the default) keeps the historical naming.
+    pid_prefix:
+        Prefix of generated process identities (``p`` -> ``p0001`` …).
+        A cluster gives each shard its own namespace (``s0.p`` …) so
+        merged histories never collide.  The default is byte-identical
+        to the historical naming.
     sample_period:
         Cadence of the active-set tracker probes.
     faults:
@@ -74,6 +85,8 @@ class SystemConfig:
     trace: bool = True
     trace_capacity: int | None = None
     keys: int = 1
+    key_set: tuple[Any, ...] | None = None
+    pid_prefix: str = "p"
     sample_period: Time = 1.0
     faults: FaultPlan | None = None
     extra: dict[str, Any] = field(default_factory=dict)
@@ -83,6 +96,17 @@ class SystemConfig:
             raise ConfigError(f"system size must be at least 1, got {self.n!r}")
         if self.keys < 1:
             raise ConfigError(f"key count must be at least 1, got {self.keys!r}")
+        if self.key_set is not None:
+            self.key_set = tuple(self.key_set)
+            if len(self.key_set) != self.keys:
+                raise ConfigError(
+                    f"key_set has {len(self.key_set)} entries but keys={self.keys}; "
+                    f"the explicit key names must match the key count"
+                )
+            if len(set(self.key_set)) != len(self.key_set):
+                raise ConfigError(f"key_set contains duplicates: {self.key_set!r}")
+        if not self.pid_prefix:
+            raise ConfigError("pid_prefix must be non-empty")
         if self.delta <= 0:
             raise ConfigError(f"delta must be positive, got {self.delta!r}")
         if self.protocol not in PROTOCOLS:
@@ -94,3 +118,14 @@ class SystemConfig:
             raise ConfigError(
                 f"sample_period must be positive, got {self.sample_period!r}"
             )
+
+    def key_tuple(self) -> tuple[Any, ...]:
+        """The register-space key names this config serves.
+
+        ``key_set`` wins when given (a cluster shard's owned keys);
+        otherwise the historical naming — the ``None`` sentinel for a
+        single register, ``k0 … k{keys-1}`` for a multi-register store.
+        """
+        if self.key_set is not None:
+            return self.key_set
+        return key_names(self.keys)

@@ -37,54 +37,54 @@ from ..core.checker import (
     find_new_old_inversions,
 )
 from ..core.history import History
-from ..core.register import NodeContext, OP_READ, OP_WRITE, RegisterNode, key_names
+from ..core.register import NodeContext, OP_READ, OP_WRITE, RegisterNode
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
-from ..net.broadcast import BroadcastService
-from ..net.delay import SynchronousDelay
-from ..net.network import Network
 from ..protocols import PROTOCOLS
 from ..protocols.abd import UNIVERSE_KEY
 from ..sim.clock import Time
 from ..sim.engine import EventScheduler
 from ..sim.errors import ConfigError, ProcessError
-from ..sim.membership import Membership
 from ..sim.operations import OperationHandle
-from ..sim.rng import RngRegistry
-from ..sim.trace import TraceKind, TraceLog
+from ..sim.trace import TraceKind
+from .assembly import build_substrate
 from .config import SystemConfig
 
 
 class DynamicSystem:
-    """A fully wired simulated dynamic distributed system."""
+    """A fully wired simulated dynamic distributed system.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``engine`` injects a shared scheduler (the sharded-cluster case:
+    every shard of a :class:`~repro.cluster.system.ClusterSystem` rides
+    one clock); ``None`` keeps the historical private engine.
+    ``shard_id`` marks this system as one shard — its history stamps
+    every operation with the shard id so merged cluster views can be
+    partitioned back.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        engine: EventScheduler | None = None,
+        shard_id: int | None = None,
+    ) -> None:
         self.config = config
-        self.engine = EventScheduler()
-        self.rng = RngRegistry(config.seed)
-        self.trace = TraceLog(enabled=config.trace, capacity=config.trace_capacity)
-        self.membership = Membership()
-        self.delay_model = (
-            config.delay if config.delay is not None else SynchronousDelay(config.delta)
-        )
-        self.network = Network(
-            self.engine, self.membership, self.delay_model, self.trace, self.rng
-        )
-        self.broadcast = BroadcastService(
-            self.engine,
-            self.membership,
-            self.network,
-            self.delay_model,
-            self.trace,
-            self.rng,
-            window=config.delta,
-            entrant_policy=config.entrant_policy,
-        )
-        self.history = History(config.initial_value)
+        self.shard_id = shard_id
+        substrate = build_substrate(config, engine=engine)
+        self.engine = substrate.engine
+        self.owns_engine = substrate.owns_engine
+        self.rng = substrate.rng
+        self.trace = substrate.trace
+        self.membership = substrate.membership
+        self.delay_model = substrate.delay_model
+        self.network = substrate.network
+        self.broadcast = substrate.broadcast
+        self.history = History(config.initial_value, shard=shard_id)
         self._node_class = PROTOCOLS[config.protocol]
         #: The register space's keys: ``(None,)`` for the classic
-        #: single register, named keys for a multi-register store.
-        self.keys: tuple[Any, ...] = key_names(config.keys)
+        #: single register, named keys for a multi-register store (a
+        #: cluster shard's ``key_set`` names exactly the keys it owns).
+        self.keys: tuple[Any, ...] = config.key_tuple()
         self._ctx = NodeContext(
             engine=self.engine,
             network=self.network,
@@ -130,7 +130,7 @@ class DynamicSystem:
         return tuple(pids)
 
     def _next_pid(self) -> str:
-        return f"p{next(self._pid_counter):04d}"
+        return f"{self.config.pid_prefix}{next(self._pid_counter):04d}"
 
     # ------------------------------------------------------------------
     # Access
@@ -310,12 +310,29 @@ class DynamicSystem:
     # ------------------------------------------------------------------
 
     def run_until(self, horizon: Time) -> None:
-        """Advance simulated time to ``horizon``."""
+        """Advance simulated time to ``horizon``.
+
+        Only the engine's owner may drive the clock: a shard of a
+        cluster shares its scheduler with every sibling, so advancing
+        it here would silently run the whole cluster — drive the
+        :class:`~repro.cluster.system.ClusterSystem` instead.
+        """
+        self._require_engine_ownership()
         self.engine.run_until(horizon)
 
     def run_for(self, duration: Time) -> None:
-        """Advance simulated time by ``duration``."""
+        """Advance simulated time by ``duration`` (owner only, as
+        :meth:`run_until`)."""
+        self._require_engine_ownership()
         self.engine.run_until(self.engine.now + duration)
+
+    def _require_engine_ownership(self) -> None:
+        if not self.owns_engine:
+            raise ConfigError(
+                f"{self!r} shares its scheduler (shard {self.shard_id} of a "
+                f"cluster); advancing it here would run every sibling shard "
+                f"— drive the owning ClusterSystem instead"
+            )
 
     def close(self) -> History:
         """Freeze the history at the current instant and return it."""

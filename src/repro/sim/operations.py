@@ -92,6 +92,7 @@ class OperationHandle:
         "process_id",
         "argument",
         "key",
+        "shard",
         "invoke_time",
         "response_time",
         "_result",
@@ -114,6 +115,10 @@ class OperationHandle:
         # The register key this operation addressed; ``None`` for the
         # classic single register (and for joins, which span all keys).
         self.key = key
+        # The cluster shard that served this operation; ``None`` outside
+        # a sharded cluster (stamped by the shard's history when the
+        # owning system runs as one shard of a ClusterSystem).
+        self.shard: int | None = None
         self.invoke_time = invoke_time
         self.response_time: Time | None = None
         self._result: Any = None

@@ -1,0 +1,123 @@
+"""Cluster workloads: one plan, routed to the owning shards.
+
+The :class:`ClusterWorkloadDriver` takes the same
+:class:`~repro.workloads.schedule.ReadOp` / ``WriteOp`` plans the
+single-system :class:`~repro.workloads.schedule.WorkloadDriver`
+consumes, splits them by each operation's owning shard (static key
+routing) and delegates to one per-shard ``WorkloadDriver`` — so the
+per-key write serialization, reader selection and skip accounting are
+the proven single-system machinery, shard by shard.
+
+:func:`shard_skewed_key_picker` is the hot-shard generator: it draws a
+*shard* first (uniform, or Zipf so one shard takes most of the
+traffic — the production failure shape sharding has to survive) and
+then a key uniformly within that shard.  Combined with the driver this
+makes hot-shard scenarios first-class: the hot shard saturates while
+the cold shards idle, and per-shard checking shows whether skew ever
+threatens per-key regularity (it must not — shards are independent).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..sim.errors import ExperimentError
+from .generators import KeyPicker, uniform_key_picker, zipf_key_picker
+from .schedule import WorkloadDriver, WorkloadOp, WorkloadStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.system import ClusterSystem
+
+
+class ClusterWorkloadDriver:
+    """Installs one workload plan across a cluster's shards."""
+
+    def __init__(
+        self, cluster: "ClusterSystem", avoid_writer_reads: bool = False
+    ) -> None:
+        self.cluster = cluster
+        #: One single-system driver per shard; their stats are the
+        #: ground truth, :attr:`stats` just aggregates them.
+        self.drivers: tuple[WorkloadDriver, ...] = tuple(
+            WorkloadDriver(shard, avoid_writer_reads=avoid_writer_reads)
+            for shard in cluster.shards
+        )
+        self._installed = False
+
+    def install(self, plan: list[WorkloadOp]) -> None:
+        """Route every planned operation to its key's owning shard.
+
+        Keys are materialized first (``key=None`` becomes the cluster's
+        default key), so a shard owning several keys serializes writes
+        on the *cluster* key, never on its private default slot.
+        """
+        if self._installed:
+            raise ExperimentError("cluster workload installed twice")
+        self._installed = True
+        per_shard: list[list[WorkloadOp]] = [[] for _ in self.cluster.shards]
+        for op in plan:
+            key = self.cluster.resolve_key(op.key)
+            per_shard[self.cluster.shard_of(key)].append(replace(op, key=key))
+        for driver, sub_plan in zip(self.drivers, per_shard):
+            if sub_plan:
+                driver.install(sub_plan)
+
+    def shard_op_counts(self) -> tuple[int, ...]:
+        """Issued operations per shard — the skew made visible."""
+        return tuple(
+            d.stats.reads_issued + d.stats.writes_issued for d in self.drivers
+        )
+
+    @property
+    def stats(self) -> WorkloadStats:
+        """Cluster-wide aggregate of the per-shard driver stats."""
+        total = WorkloadStats()
+        for driver in self.drivers:
+            total.reads_issued += driver.stats.reads_issued
+            total.reads_skipped += driver.stats.reads_skipped
+            total.writes_issued += driver.stats.writes_issued
+            total.writes_skipped += driver.stats.writes_skipped
+            total.read_handles.extend(driver.stats.read_handles)
+            total.write_handles.extend(driver.stats.write_handles)
+        return total
+
+
+def shard_skewed_key_picker(
+    cluster: "ClusterSystem",
+    rng: random.Random,
+    distribution: str = "zipf",
+    exponent: float = 1.2,
+) -> KeyPicker:
+    """A key picker that skews traffic by *shard*, not by key.
+
+    Draws the shard from ``distribution`` over the shards that own at
+    least one key (``"zipf"`` makes shard rank 0 the hot shard;
+    ``"uniform"`` spreads evenly), then a key uniformly within the
+    drawn shard.  Two draws per operation, both from ``rng``, so a
+    skewed plan is exactly as reproducible as its base plan.
+    """
+    owned = {
+        shard: keys
+        for shard in range(len(cluster.shards))
+        if (keys := cluster.keys_of_shard(shard))
+    }
+    populated = list(owned)
+    if not populated:
+        raise ExperimentError("no shard owns any key; nothing to pick")
+    if distribution == "zipf":
+        pick_shard = zipf_key_picker(populated, rng, exponent)
+    elif distribution == "uniform":
+        pick_shard = uniform_key_picker(populated, rng)
+    else:
+        raise ExperimentError(
+            f"unknown shard distribution {distribution!r}; "
+            f"choose from ['uniform', 'zipf']"
+        )
+
+    def pick() -> object:
+        keys = owned[pick_shard()]
+        return keys[rng.randrange(len(keys))]
+
+    return pick

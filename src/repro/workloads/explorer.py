@@ -35,6 +35,7 @@ appear anywhere in the artifact).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterator
 
@@ -57,6 +58,7 @@ from ..net.delay import (
     DUAL_P2P_FRACTION,
     make_delay,
 )
+from ..runtime.assembly import scope_pid
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
 from ..sim.clock import Time
@@ -215,15 +217,24 @@ class ScenarioSpec:
     #: (byte-identical to pre-RegisterSpace cells, which is why the
     #: recorded corpus replays unchanged).
     keys: int = 1
-    #: How keyed workload operations pick their key.
+    #: How keyed workload operations pick their key.  Cluster cells
+    #: (``shards > 1``) apply it at the *shard* level (``zipf`` = a hot
+    #: shard), then pick uniformly within the drawn shard.
     key_dist: str = "uniform"
+    #: Shard count; 1 runs the classic single-population cell
+    #: (byte-identical to the pre-cluster explorer, which is why the
+    #: recorded corpus replays unchanged), larger counts run a
+    #: :class:`~repro.cluster.system.ClusterSystem` with the plan
+    #: installed cluster-wide and the merged history judged.
+    shards: int = 1
 
     def label(self) -> str:
         plan = self.plan.name or "anonymous"
         keyed = f" keys={self.keys}/{self.key_dist}" if self.keys > 1 else ""
+        sharded = f" shards={self.shards}" if self.shards > 1 else ""
         return (
             f"{self.protocol}/{self.delay} c={self.churn_rate:g} "
-            f"plan={plan} seed={self.seed}{keyed}"
+            f"plan={plan} seed={self.seed}{keyed}{sharded}"
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -240,6 +251,7 @@ class ScenarioSpec:
             "write_period": self.write_period,
             "keys": self.keys,
             "key_dist": self.key_dist,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -379,6 +391,68 @@ def classify_scenario(
     return PlanClassification(in_model=not reasons, reasons=tuple(reasons))
 
 
+#: Injector counters that mean "a fault actually fired in this run" —
+#: the near-miss bit shared by single-population and cluster cells.
+FAULT_FIRED_COUNTERS = (
+    "lost",
+    "partition_dropped",
+    "deferred",
+    "spiked",
+    "crashes_fired",
+)
+
+
+def _build_outcome(
+    spec: ScenarioSpec,
+    safety: SafetyReport,
+    atomicity: Any,
+    liveness: LivenessReport,
+    classification: PlanClassification,
+    digest: str,
+    fault_counters: dict[str, int],
+    network_counters: dict[str, int],
+    reads_issued: int,
+    writes_issued: int,
+    quiesced: bool,
+) -> ScenarioOutcome:
+    """The one verdict rule, shared by every cell flavour.
+
+    A regularity violation is a bug in-model and expected breakage
+    out-of-model; a safe run where any fault actually fired is a
+    near-miss; otherwise ok.  Keeping this in one place means sharded
+    cells can never judge with stale rules.
+    """
+    faults_fired = any(
+        fault_counters.get(key, 0) for key in FAULT_FIRED_COUNTERS
+    )
+    if not safety.is_safe:
+        verdict = VERDICT_BUG if classification.in_model else VERDICT_BREAKAGE
+    elif faults_fired:
+        verdict = VERDICT_NEAR_MISS
+    else:
+        verdict = VERDICT_OK
+    violations = safety.violations
+    return ScenarioOutcome(
+        spec=spec,
+        verdict=verdict,
+        safe=safety.is_safe,
+        violation_count=safety.violation_count,
+        checked_count=safety.checked_count,
+        atomic=atomicity.is_atomic,
+        inversion_count=len(atomicity.inversions),
+        live=liveness.is_live,
+        stuck_count=len(liveness.stuck),
+        classification=classification,
+        digest=digest,
+        fault_counters=fault_counters,
+        network_counters=network_counters,
+        reads_issued=reads_issued,
+        writes_issued=writes_issued,
+        quiesced=quiesced,
+        first_violation=(violations[0].explanation if violations else None),
+    )
+
+
 def scenario_cell(**params: Any) -> ScenarioOutcome:
     """Execution-engine cell: a ``ScenarioSpec`` as plain parameters.
 
@@ -391,7 +465,20 @@ def scenario_cell(**params: Any) -> ScenarioOutcome:
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Run one cell of the matrix and judge its history."""
+    """Run one cell of the matrix and judge its history.
+
+    ``shards > 1`` runs the cell as a sharded cluster (the plan
+    installed cluster-wide, shard-scoped into every shard's pid
+    namespace; the merged history judged by the cluster checkers);
+    ``shards == 1`` is the historical single-population path,
+    byte-identical to the pre-cluster explorer.
+    """
+    if spec.shards < 1:
+        raise ExperimentError(
+            f"shard count must be at least 1, got {spec.shards!r}"
+        )
+    if spec.shards > 1:
+        return _run_cluster_scenario(spec)
     plan = spec.plan
     config = SystemConfig(
         n=spec.n,
@@ -429,31 +516,16 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     safety: SafetyReport = system.check_safety()
     atomicity = system.check_atomicity()
     liveness: LivenessReport = system.check_liveness(grace=10.0 * spec.delta)
-    classification = classify_scenario(spec, system.delay_model.known_bound)
-    counters = system.faults.counters() if system.faults is not None else {}
-    faults_bit = any(
-        counters.get(key, 0) for key in ("lost", "partition_dropped", "deferred", "spiked", "crashes_fired")
-    )
-    if not safety.is_safe:
-        verdict = VERDICT_BUG if classification.in_model else VERDICT_BREAKAGE
-    elif faults_bit:
-        verdict = VERDICT_NEAR_MISS
-    else:
-        verdict = VERDICT_OK
-    violations = safety.violations
-    return ScenarioOutcome(
-        spec=spec,
-        verdict=verdict,
-        safe=safety.is_safe,
-        violation_count=safety.violation_count,
-        checked_count=safety.checked_count,
-        atomic=atomicity.is_atomic,
-        inversion_count=len(atomicity.inversions),
-        live=liveness.is_live,
-        stuck_count=len(liveness.stuck),
-        classification=classification,
+    return _build_outcome(
+        spec,
+        safety,
+        atomicity,
+        liveness,
+        classify_scenario(spec, system.delay_model.known_bound),
         digest=operation_digest(history),
-        fault_counters=counters,
+        fault_counters=(
+            system.faults.counters() if system.faults is not None else {}
+        ),
         network_counters={
             "sent": system.network.sent_count,
             "delivered": system.network.delivered_count,
@@ -463,7 +535,163 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         reads_issued=driver.stats.reads_issued,
         writes_issued=driver.stats.writes_issued,
         quiesced=system.engine.next_event_time() is None,
-        first_violation=(violations[0].explanation if violations else None),
+    )
+
+
+#: A bare (un-namespaced) generated process identity, ``p0001`` style.
+_BARE_SEED_PID = re.compile(r"p\d{4}")
+
+
+def _shard_scoped_plan(
+    plan: FaultPlan, index: int, shard_n: int, total_n: int
+) -> FaultPlan:
+    """Scope a library plan into shard ``index``, preserving geometry.
+
+    The library's partition groups name a *fraction* of the total seed
+    population (``_seed_group``); inside an ``n/S``-sized shard the
+    same literal pids would cover the whole shard and the "partition"
+    would degenerate to seeds-versus-joiners.  Groups made entirely of
+    bare seed pids are therefore rebuilt as the same fraction of the
+    shard's (smaller) seed population — never all of it — so a
+    partition-drop cell still splits the shard's quorum.  Two-group
+    partitions rescale to *disjoint* leading pid ranges (falling back
+    to the plain mapping when the shard is too small to hold both).
+    Everything else (loss/spike filters, crash pins, mixed groups)
+    gets the plain namespace mapping.
+    """
+    def pid_range(start: int, count: int) -> frozenset[str]:
+        return frozenset(
+            scope_pid(f"p{i:04d}", index) for i in range(start, start + count)
+        )
+
+    def scaled(group: frozenset[str]) -> int:
+        return max(1, round(len(group) * shard_n / total_n))
+
+    def prefixed(group: frozenset[str] | None) -> frozenset[str] | None:
+        if group is None:
+            return None
+        return frozenset(scope_pid(pid, index) for pid in group)
+
+    def rescale(fault: PartitionFault) -> PartitionFault:
+        bare_a = all(_BARE_SEED_PID.fullmatch(pid) for pid in fault.group_a)
+        bare_b = fault.group_b is None or all(
+            _BARE_SEED_PID.fullmatch(pid) for pid in fault.group_b
+        )
+        if not (bare_a and bare_b):
+            return replace(
+                fault,
+                group_a=prefixed(fault.group_a),
+                group_b=prefixed(fault.group_b),
+            )
+        count_a = scaled(fault.group_a)
+        if fault.group_b is None:
+            count_a = min(count_a, max(1, shard_n - 1))
+            return replace(fault, group_a=pid_range(1, count_a), group_b=None)
+        # Two explicit groups: allocate *disjoint* leading pid ranges.
+        count_b = scaled(fault.group_b)
+        if count_a + count_b > shard_n:
+            if shard_n < 2:
+                # Too small to hold two disjoint non-empty groups at
+                # any scale; the originals were disjoint, so plain
+                # mapping keeps the plan valid (if degenerate, like
+                # the shard itself).
+                return replace(
+                    fault,
+                    group_a=prefixed(fault.group_a),
+                    group_b=prefixed(fault.group_b),
+                )
+            count_a = max(1, min(count_a, shard_n - 1))
+            count_b = shard_n - count_a
+        return replace(
+            fault,
+            group_a=pid_range(1, count_a),
+            group_b=pid_range(1 + count_a, count_b),
+        )
+
+    mapped = plan.map_pids(lambda pid: scope_pid(pid, index))
+    return replace(
+        mapped, partitions=tuple(rescale(fault) for fault in plan.partitions)
+    )
+
+
+def _run_cluster_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """The sharded flavour of one explorer cell.
+
+    Same workload shape and verdict logic as the single-population
+    path, but the population is split over ``spec.shards`` independent
+    quorum groups, traffic is spread by *shard* skew (``key_dist``
+    picks the shard distribution — ``zipf`` makes a hot shard), the
+    fault plan lands on every shard (scoped into its pid namespace)
+    and the merged history is judged by the cluster checkers.
+    """
+    from ..cluster.checker import (
+        check_cluster_liveness,
+        check_cluster_safety,
+        find_cluster_inversions,
+    )
+    from ..cluster.config import ClusterConfig
+    from ..cluster.history import cluster_digest
+    from ..cluster.system import ClusterSystem
+    from .cluster import ClusterWorkloadDriver, shard_skewed_key_picker
+
+    plan = spec.plan
+    cluster = ClusterSystem(
+        ClusterConfig(
+            shards=spec.shards,
+            keys=spec.keys,
+            n=spec.n,
+            delta=spec.delta,
+            protocol=spec.protocol,
+            delay=spec.delay,
+            seed=spec.seed,
+            trace=False,
+        )
+    )
+    if not plan.is_empty:
+        sizes = cluster.config.shard_sizes()
+        for index in range(spec.shards):
+            cluster.install_faults(
+                _shard_scoped_plan(plan, index, sizes[index], spec.n),
+                shards=[index],
+                scope_pids=False,
+            )
+    if spec.churn_rate > 0:
+        cluster.attach_churn(rate=spec.churn_rate, min_stay=3.0 * spec.delta)
+    driver = ClusterWorkloadDriver(cluster)
+    workload = read_heavy_plan(
+        start=5.0,
+        end=max(6.0, spec.horizon - 4.0 * spec.delta),
+        write_period=spec.write_period,
+        read_rate=spec.read_rate,
+        rng=cluster.rng.stream("explorer.plan"),
+    )
+    workload = assign_keys(
+        workload,
+        shard_skewed_key_picker(
+            cluster, cluster.rng.stream("explorer.shards"), distribution=spec.key_dist
+        ),
+    )
+    driver.install(workload)
+    cluster.run_until(spec.horizon)
+    history = cluster.close()
+    stats = driver.stats
+    return _build_outcome(
+        spec,
+        check_cluster_safety(history),
+        find_cluster_inversions(history),
+        check_cluster_liveness(history, grace=10.0 * spec.delta),
+        classify_scenario(spec, make_delay(spec.delay, spec.delta).known_bound),
+        digest=cluster_digest(history),
+        fault_counters=cluster.fault_counters(),
+        network_counters={
+            "sent": cluster.sent_count,
+            "delivered": cluster.delivered_count,
+            "dropped": cluster.dropped_count,
+            "faulted": cluster.faulted_count,
+        },
+        reads_issued=stats.reads_issued,
+        writes_issued=stats.writes_issued,
+        quiesced=cluster.engine.next_event_time() is None,
     )
 
 
@@ -628,12 +856,15 @@ def scenario_matrix(
     horizon: Time,
     key_counts: tuple[int, ...] = (1,),
     key_dist: str = "uniform",
+    shard_counts: tuple[int, ...] = (1,),
 ) -> Iterator[ScenarioSpec]:
     """The sweep, in deterministic order (plans vary slowest).
 
     ``key_counts`` is the RegisterSpace axis: each combination is run
     once per key count, the default ``(1,)`` being the classic
-    single-register matrix.
+    single-register matrix.  ``shard_counts`` is the cluster axis:
+    each (plan, protocol, delay, churn, keys) combination additionally
+    runs at every shard count (1 = the classic single population).
     """
     for name in plan_names:
         plan = build_plan(name, delta, horizon, n)
@@ -641,19 +872,21 @@ def scenario_matrix(
             for delay in delays:
                 for churn_rate in churn_rates:
                     for keys in key_counts:
-                        for offset in range(seeds_per_combo):
-                            yield ScenarioSpec(
-                                protocol=protocol,
-                                n=n,
-                                delta=delta,
-                                delay=delay,
-                                churn_rate=churn_rate,
-                                plan=plan,
-                                seed=seed + offset,
-                                horizon=horizon,
-                                keys=keys,
-                                key_dist=key_dist,
-                            )
+                        for shards in shard_counts:
+                            for offset in range(seeds_per_combo):
+                                yield ScenarioSpec(
+                                    protocol=protocol,
+                                    n=n,
+                                    delta=delta,
+                                    delay=delay,
+                                    churn_rate=churn_rate,
+                                    plan=plan,
+                                    seed=seed + offset,
+                                    horizon=horizon,
+                                    keys=keys,
+                                    key_dist=key_dist,
+                                    shards=shards,
+                                )
 
 
 def explore(
@@ -672,6 +905,7 @@ def explore(
     workers: int | None = None,
     key_counts: tuple[int, ...] = (1,),
     key_dist: str = "uniform",
+    shard_counts: tuple[int, ...] = (1,),
 ) -> ExplorationReport:
     """Sweep the matrix, judge every run, shrink every counterexample.
 
@@ -682,6 +916,11 @@ def explore(
     additionally run with that many keys (per-key regularity judged by
     the partitioning checkers); ``key_dist`` picks how keyed workload
     operations spread over the keys (``uniform`` or ``zipf``).
+    ``shard_counts`` adds the cluster axis: combinations additionally
+    run as sharded clusters (``key_dist`` then skews traffic by shard
+    — ``zipf`` is the hot-shard scenario), the plan lands on every
+    shard and the merged history is judged; classification is
+    untouched, so in-model violations of sharded cells are bugs too.
 
     The sweep itself runs through the shared execution engine:
     ``workers`` processes judge cells concurrently (default: all
@@ -692,6 +931,11 @@ def explore(
     """
     if budget < 1:
         raise ExperimentError(f"budget must be at least 1, got {budget!r}")
+    for shards in shard_counts:
+        if shards < 1:
+            raise ExperimentError(
+                f"shard counts must be at least 1, got {shards!r}"
+            )
     for delay in delays:
         if delay not in DELAY_MODEL_NAMES:
             raise ExperimentError(
@@ -702,7 +946,7 @@ def explore(
         scenario_matrix(
             seed, tuple(protocols), tuple(delays), tuple(churn_rates),
             tuple(plan_names), seeds_per_combo, n, delta, horizon,
-            tuple(key_counts), key_dist,
+            tuple(key_counts), key_dist, tuple(shard_counts),
         )
     )
     report.skipped_cells = max(0, len(specs) - budget)

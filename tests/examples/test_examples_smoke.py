@@ -26,6 +26,7 @@ EXAMPLES: dict[str, tuple[list[str], str]] = {
     "quickstart.py": ([], "regularity: SAFE"),
     "figure3_walkthrough.py": ([], "regularity VIOLATED"),
     "p2p_presence_board.py": ([], "presence board verdict"),
+    "sharded_kv_cluster.py": ([], "cluster verdict"),
     "manet_partial_synchrony.py": ([], "convoy verdict"),
     # The one-shot reproduction driver: a single quick experiment is
     # enough to prove the driver still drives (CI runs the full

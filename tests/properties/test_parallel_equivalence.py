@@ -16,7 +16,7 @@ import json
 
 import pytest
 
-from repro.experiments import e04_lemma2, e09_latency
+from repro.experiments import e04_lemma2, e09_latency, e14_sharded_cluster
 from repro.workloads.explorer import explore
 
 #: Enough workers to genuinely exercise the pool on any host.
@@ -58,3 +58,35 @@ def test_multi_row_cells_keep_row_order():
     serial = e09_latency.run(seed=0, quick=True, workers=1)
     parallel = e09_latency.run(seed=0, quick=True, workers=WORKERS)
     assert serial.describe() == parallel.describe()
+
+
+def test_e14_sharded_cluster_is_byte_identical_across_worker_counts():
+    # The E14 acceptance criterion: cluster cells (multi-system runs on
+    # one shared scheduler, shard-derived seeds) must be exactly as
+    # worker-count-independent as single-system cells.
+    serial = e14_sharded_cluster.run(seed=0, quick=True, workers=1)
+    parallel = e14_sharded_cluster.run(seed=0, quick=True, workers=WORKERS)
+    assert serial.describe() == parallel.describe()
+
+
+def test_explore_sharded_cells_byte_identical_across_worker_counts():
+    kwargs = dict(
+        budget=6,
+        protocols=("sync",),
+        delays=("sync",),
+        churn_rates=(0.02,),
+        plan_names=("none", "heavy-loss"),
+        seeds_per_combo=1,
+        n=12,
+        delta=5.0,
+        horizon=80.0,
+        shrink=True,
+        key_counts=(4,),
+        key_dist="zipf",
+        shard_counts=(1, 3),
+    )
+    serial = explore(seed=3, workers=1, **kwargs)
+    parallel = explore(seed=3, workers=WORKERS, **kwargs)
+    assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+        parallel.to_dict(), sort_keys=True
+    )

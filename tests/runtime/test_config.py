@@ -42,3 +42,35 @@ class TestValidation:
 
     def test_extra_dict_defaults_empty(self):
         assert SystemConfig().extra == {}
+
+
+class TestClusterFacingFields:
+    """The fields the sharded cluster derives per shard (PR 5)."""
+
+    def test_key_tuple_default_is_historical_naming(self):
+        assert SystemConfig(keys=1).key_tuple() == (None,)
+        assert SystemConfig(keys=3).key_tuple() == ("k0", "k1", "k2")
+
+    def test_key_set_overrides_naming(self):
+        config = SystemConfig(keys=2, key_set=("k3", "k7"))
+        assert config.key_tuple() == ("k3", "k7")
+
+    def test_key_set_must_match_key_count(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(keys=3, key_set=("k0",))
+
+    def test_key_set_rejects_duplicates(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(keys=2, key_set=("k0", "k0"))
+
+    def test_key_set_coerced_to_tuple(self):
+        config = SystemConfig(keys=2, key_set=["a", "b"])
+        assert config.key_set == ("a", "b")
+
+    def test_pid_prefix_default_and_custom(self):
+        assert SystemConfig().pid_prefix == "p"
+        assert SystemConfig(pid_prefix="s3.p").pid_prefix == "s3.p"
+
+    def test_empty_pid_prefix_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(pid_prefix="")

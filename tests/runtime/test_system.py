@@ -141,3 +141,80 @@ class TestDeterminism:
             return system.network.sent_count
 
         assert fingerprint(1) != fingerprint(2)
+
+
+class TestSharedEngineAndNamespace:
+    """The cluster-facing constructor surface (PR 5)."""
+
+    def test_private_engine_is_owned(self):
+        system = make_system(n=3)
+        assert system.owns_engine
+        assert system.shard_id is None
+
+    def test_injected_engine_is_shared_not_owned(self):
+        from repro.runtime.config import SystemConfig
+        from repro.runtime.system import DynamicSystem
+        from repro.sim.engine import EventScheduler
+
+        engine = EventScheduler()
+        a = DynamicSystem(SystemConfig(n=3, seed=1), engine=engine, shard_id=0)
+        b = DynamicSystem(SystemConfig(n=3, seed=2), engine=engine, shard_id=1)
+        assert a.engine is engine and b.engine is engine
+        assert not a.owns_engine and not b.owns_engine
+        # Advancing the shared clock advances both populations' timers.
+        a.write("x")
+        b.write("y")
+        engine.run_until(4 * DELTA)
+        assert a.history.writes()[0].done
+        assert b.history.writes()[0].done
+
+    def test_non_owner_cannot_drive_the_shared_clock(self):
+        from repro.runtime.config import SystemConfig
+        from repro.runtime.system import DynamicSystem
+        from repro.sim.engine import EventScheduler
+        from repro.sim.errors import ConfigError
+
+        shard = DynamicSystem(
+            SystemConfig(n=3, seed=1), engine=EventScheduler(), shard_id=0
+        )
+        with pytest.raises(ConfigError):
+            shard.run_for(10.0)
+        with pytest.raises(ConfigError):
+            shard.run_until(10.0)
+
+    def test_shard_id_stamps_recorded_operations(self):
+        from repro.runtime.config import SystemConfig
+        from repro.runtime.system import DynamicSystem
+
+        system = DynamicSystem(SystemConfig(n=3, seed=0), shard_id=7)
+        handle = system.write("v")
+        system.run_for(4 * DELTA)
+        assert handle.shard == 7
+        assert all(op.shard == 7 for op in system.history)
+
+    def test_default_system_leaves_shard_unset(self):
+        system = make_system(n=3)
+        handle = system.write("v")
+        system.run_for(4 * DELTA)
+        assert handle.shard is None
+
+    def test_pid_prefix_namespaces_every_process(self):
+        from repro.runtime.config import SystemConfig
+        from repro.runtime.system import DynamicSystem
+
+        system = DynamicSystem(SystemConfig(n=3, seed=0, pid_prefix="s2.p"))
+        assert system.seed_pids == ("s2.p0001", "s2.p0002", "s2.p0003")
+        joiner = system.spawn_joiner()
+        assert joiner == "s2.p0004"
+
+    def test_key_set_names_the_register_space(self):
+        from repro.runtime.config import SystemConfig
+        from repro.runtime.system import DynamicSystem
+
+        system = DynamicSystem(
+            SystemConfig(n=3, seed=0, keys=2, key_set=("k3", "k9"))
+        )
+        assert system.keys == ("k3", "k9")
+        handle = system.write("v", key="k9")
+        system.run_for(4 * DELTA)
+        assert handle.done and handle.key == "k9"

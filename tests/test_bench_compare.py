@@ -1,8 +1,11 @@
 """Unit tests for ``repro bench --compare`` (artifact diffing)."""
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.bench import compare_artifacts
+from repro.bench import compare_artifacts, worst_delta
 
 
 def artifact(walls: dict[str, float], derived: dict[str, float] | None = None,
@@ -72,3 +75,66 @@ class TestCompareArtifacts:
     def test_negative_threshold_rejected(self):
         with pytest.raises(ValueError):
             compare_artifacts(artifact({}), artifact({}), threshold=-0.1)
+
+
+class TestCommittedArtifactGuards:
+    """The committed baseline must keep tracking the known bottlenecks.
+
+    ``repro bench --compare BENCH_kernel.json`` only guards what the
+    committed artifact records; this pins the entries that must never
+    silently drop out of it.
+    """
+
+    def test_committed_artifact_tracks_the_known_bottlenecks(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+        payload = json.loads(path.read_text())
+        names = {b["name"] for b in payload["benchmarks"]}
+        # The PR 1 bottleneck (churn-tick join traffic) rides --compare,
+        # not just the ROADMAP prose.
+        assert "churn_tick_cost" in names
+        # The sharded-cluster pair and its derived scaling ratio.
+        assert {"cluster_single", "cluster_sharded"} <= names
+        assert "shard_scaling" in payload["derived"]
+        for digest in ("digest", "faulted_digest", "keyed_digest", "cluster_digest"):
+            assert digest in payload["determinism"]
+
+
+class TestWorstDelta:
+    """The one-line PASS/FAIL summary's culprit finder."""
+
+    def test_picks_the_worst_wall_ratio(self):
+        old = artifact({"a": 1.0, "churn_tick_cost": 2.0})
+        new = artifact({"a": 1.1, "churn_tick_cost": 3.0})
+        assert worst_delta(old, new) == ("churn_tick_cost", 1.5)
+
+    def test_derived_speedup_drop_normalized_above_one(self):
+        # A speedup halving is a 2.0x delta — worse than a 1.3x wall rise.
+        old = artifact({"a": 1.0}, {"checker_regularity_speedup": 4.0})
+        new = artifact({"a": 1.3}, {"checker_regularity_speedup": 2.0})
+        assert worst_delta(old, new) == ("derived.checker_regularity_speedup", 2.0)
+
+    def test_derived_overhead_rise_normalized_above_one(self):
+        old = artifact({}, {"fault_gate_overhead": 1.0})
+        new = artifact({}, {"fault_gate_overhead": 1.4})
+        name, delta = worst_delta(old, new)
+        assert name == "derived.fault_gate_overhead"
+        assert delta == pytest.approx(1.4)
+
+    def test_speedup_collapse_to_zero_is_flagged_not_skipped(self):
+        old = artifact({}, {"parallel_explore_speedup": 3.0})
+        new = artifact({}, {"parallel_explore_speedup": 0.0})
+        assert worst_delta(old, new) == (
+            "derived.parallel_explore_speedup",
+            float("inf"),
+        )
+        _, regressions = compare_artifacts(old, new, threshold=0.5)
+        assert regressions == ["derived.parallel_explore_speedup"]
+
+    def test_improvements_stay_below_one(self):
+        old = artifact({"a": 2.0}, {"shard_scaling": 4.0})
+        new = artifact({"a": 1.0}, {"shard_scaling": 5.0})
+        name, delta = worst_delta(old, new)
+        assert delta < 1.0
+
+    def test_disjoint_artifacts_have_no_delta(self):
+        assert worst_delta(artifact({"a": 1.0}), artifact({"b": 1.0})) is None

@@ -1,0 +1,138 @@
+"""Tests for the cluster workload driver and the shard-skew picker."""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSystem
+from repro.sim.errors import ExperimentError
+from repro.workloads.cluster import ClusterWorkloadDriver, shard_skewed_key_picker
+from repro.workloads.generators import assign_keys, read_heavy_plan
+from repro.workloads.schedule import ReadOp, WriteOp
+
+
+def make_cluster(**overrides) -> ClusterSystem:
+    params = dict(shards=4, keys=8, n=16, seed=2)
+    params.update(overrides)
+    return ClusterSystem(ClusterConfig(**params))
+
+
+class TestDriverRouting:
+    def test_ops_route_to_owning_shards(self):
+        cluster = make_cluster()
+        driver = ClusterWorkloadDriver(cluster)
+        plan = [WriteOp(time=5.0, key=key) for key in cluster.keys]
+        plan += [ReadOp(time=30.0, key=key) for key in cluster.keys]
+        driver.install(plan)
+        cluster.run_until(60.0)
+        per_shard = driver.shard_op_counts()
+        for shard in range(4):
+            assert per_shard[shard] == 2 * len(cluster.keys_of_shard(shard))
+        assert driver.stats.writes_issued == 8
+        assert driver.stats.reads_issued == 8
+
+    def test_none_key_goes_to_the_default_keys_shard(self):
+        cluster = make_cluster()
+        driver = ClusterWorkloadDriver(cluster)
+        driver.install([WriteOp(time=1.0), ReadOp(time=20.0)])
+        cluster.run_until(40.0)
+        owner = cluster.shard_of(cluster.keys[0])
+        history = cluster.close().shard_history(owner)
+        assert len(history.writes()) == 1
+        assert len(history.reads()) == 1
+        # The key was materialized: it is the cluster default, not None.
+        assert history.writes()[0].key == cluster.keys[0]
+
+    def test_write_serialization_is_per_cluster_key(self):
+        """Two writes to the same key, second while the first is still
+        pending, must be skipped — even routed through the cluster."""
+        cluster = make_cluster()
+        key = cluster.keys[0]
+        driver = ClusterWorkloadDriver(cluster)
+        driver.install([WriteOp(time=1.0, key=key), WriteOp(time=1.5, key=key)])
+        cluster.run_until(40.0)
+        assert driver.stats.writes_issued == 1
+        assert driver.stats.writes_skipped == 1
+
+    def test_double_install_rejected(self):
+        cluster = make_cluster()
+        driver = ClusterWorkloadDriver(cluster)
+        driver.install([])
+        with pytest.raises(ExperimentError):
+            driver.install([])
+
+    def test_stats_aggregate_handles(self):
+        cluster = make_cluster()
+        driver = ClusterWorkloadDriver(cluster)
+        plan = [WriteOp(time=2.0, key=key) for key in cluster.keys[:4]]
+        driver.install(plan)
+        cluster.run_until(40.0)
+        stats = driver.stats
+        assert len(stats.write_handles) == stats.writes_issued == 4
+        assert stats.write_completion_rate == 1.0
+
+
+class TestShardSkewPicker:
+    def test_zipf_skew_concentrates_on_the_hot_shard(self):
+        cluster = make_cluster()
+        rng = random.Random(0)
+        pick = shard_skewed_key_picker(cluster, rng, distribution="zipf")
+        counts = {shard: 0 for shard in range(4)}
+        for _ in range(2000):
+            counts[cluster.shard_of(pick())] += 1
+        populated = [s for s in range(4) if cluster.keys_of_shard(s)]
+        hot = populated[0]
+        # Rank 0 of the populated ordering is the designated hot shard.
+        assert counts[hot] == max(counts.values())
+        assert counts[hot] > 2000 / len(populated) * 1.5
+
+    def test_uniform_skew_spreads_over_populated_shards(self):
+        cluster = make_cluster()
+        rng = random.Random(0)
+        pick = shard_skewed_key_picker(cluster, rng, distribution="uniform")
+        counts = {shard: 0 for shard in range(4)}
+        for _ in range(2000):
+            counts[cluster.shard_of(pick())] += 1
+        populated = [s for s in range(4) if cluster.keys_of_shard(s)]
+        for shard in populated:
+            assert counts[shard] > 0
+
+    def test_picker_only_returns_known_keys(self):
+        cluster = make_cluster(shards=6, keys=3, n=12)
+        rng = random.Random(1)
+        pick = shard_skewed_key_picker(cluster, rng)
+        for _ in range(200):
+            assert pick() in cluster.keys
+
+    def test_picker_is_deterministic(self):
+        cluster = make_cluster()
+        a = shard_skewed_key_picker(cluster, random.Random(7))
+        b = shard_skewed_key_picker(cluster, random.Random(7))
+        assert [a() for _ in range(100)] == [b() for _ in range(100)]
+
+    def test_unknown_distribution_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ExperimentError):
+            shard_skewed_key_picker(cluster, random.Random(0), distribution="pareto")
+
+
+class TestEndToEnd:
+    def test_skewed_read_heavy_workload_stays_regular(self):
+        cluster = make_cluster()
+        cluster.attach_churn(rate=0.03, min_stay=15.0)
+        driver = ClusterWorkloadDriver(cluster)
+        plan = read_heavy_plan(
+            start=5.0,
+            end=100.0,
+            write_period=10.0,
+            read_rate=1.0,
+            rng=cluster.rng.stream("t.plan"),
+        )
+        plan = assign_keys(
+            plan, shard_skewed_key_picker(cluster, cluster.rng.stream("t.skew"))
+        )
+        driver.install(plan)
+        cluster.run_until(130.0)
+        assert cluster.check_safety().is_safe
+        assert driver.stats.reads_issued > 0
+        assert driver.stats.writes_issued > 0

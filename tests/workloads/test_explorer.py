@@ -54,6 +54,106 @@ class TestSpecSerialization:
             json.loads(json.dumps(spec.to_dict()))
         ) == spec
 
+    def test_sharded_spec_round_trips(self):
+        spec = ScenarioSpec(shards=4, keys=8, key_dist="zipf", n=16)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert "shards=4" in spec.label()
+
+    def test_legacy_spec_dict_defaults_to_one_shard(self):
+        payload = ScenarioSpec().to_dict()
+        payload.pop("shards")
+        assert ScenarioSpec.from_dict(payload).shards == 1
+
+
+class TestShardedScenarios:
+    def test_clean_sharded_cell_is_ok_and_reproducible(self):
+        spec = ScenarioSpec(
+            protocol="sync", n=16, churn_rate=0.02, seed=3,
+            horizon=100.0, keys=6, key_dist="zipf", shards=3,
+        )
+        a = run_scenario(spec)
+        b = run_scenario(spec)
+        assert a.verdict == "ok"
+        assert a.safe
+        assert a.digest == b.digest
+        assert a.network_counters == b.network_counters
+
+    def test_sharded_heavy_loss_is_expected_breakage(self):
+        spec = ScenarioSpec(
+            protocol="sync", n=16, churn_rate=0.0, seed=1,
+            horizon=100.0, keys=6, shards=2, read_rate=1.0,
+            plan=build_plan("heavy-loss", 5.0, 100.0, 16),
+        )
+        outcome = run_scenario(spec)
+        assert not outcome.classification.in_model
+        assert outcome.fault_counters.get("lost", 0) > 0
+        if outcome.violated:
+            assert outcome.verdict == "expected-breakage"
+        else:
+            assert outcome.verdict == "near-miss"
+
+    def test_shard_scoped_partition_preserves_group_fraction(self):
+        """A library partition naming 1/3 of the total population must
+        split a shard's quorum 1/3-vs-2/3, not isolate every seed of
+        the (smaller) shard from its joiners."""
+        from repro.workloads.explorer import _shard_scoped_plan
+
+        plan = build_plan("partition-drop", 5.0, 120.0, 18)
+        assert len(plan.partitions[0].group_a) == 6  # 1/3 of 18
+        scoped = _shard_scoped_plan(plan, index=1, shard_n=6, total_n=18)
+        group = scoped.partitions[0].group_a
+        assert group == frozenset({"s1.p0001", "s1.p0002"})  # 1/3 of 6
+        # Never the whole shard, even for a full-population group.
+        full = build_plan("partition-drop", 5.0, 120.0, 3)
+        wide = _shard_scoped_plan(
+            full.renamed("x"), index=0, shard_n=1, total_n=3
+        )
+        assert len(wide.partitions[0].group_a) == 1
+
+    def test_shard_scoped_two_group_partition_stays_disjoint(self):
+        """Explicit two-group partitions rescale to disjoint ranges."""
+        from repro.workloads.explorer import _shard_scoped_plan
+
+        plan = FaultPlan.of(
+            PartitionFault(
+                start=0.0,
+                end=10.0,
+                group_a=frozenset(f"p{i:04d}" for i in range(1, 7)),
+                group_b=frozenset(f"p{i:04d}" for i in range(7, 13)),
+            ),
+            name="two-sided",
+        )
+        scoped = _shard_scoped_plan(plan, index=1, shard_n=6, total_n=18)
+        fault = scoped.partitions[0]
+        assert fault.group_a == frozenset({"s1.p0001", "s1.p0002"})
+        assert fault.group_b == frozenset({"s1.p0003", "s1.p0004"})
+        # A 1-process shard cannot hold two disjoint groups: plain
+        # mapping keeps the (disjoint) originals and the plan valid.
+        tiny = _shard_scoped_plan(plan, index=0, shard_n=1, total_n=18)
+        assert tiny.partitions[0].group_a == frozenset(
+            f"s0.p{i:04d}" for i in range(1, 7)
+        )
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_scenario(ScenarioSpec(shards=0))
+        with pytest.raises(ExperimentError):
+            explore(budget=1, shard_counts=(0,))
+
+    def test_shard_axis_multiplies_the_matrix(self):
+        specs = list(
+            scenario_matrix(
+                seed=0, protocols=("sync",), delays=("sync",),
+                churn_rates=(0.0,), plan_names=("none",),
+                seeds_per_combo=1, n=8, delta=5.0, horizon=50.0,
+                key_counts=(1, 4), key_dist="uniform", shard_counts=(1, 2),
+            )
+        )
+        assert len(specs) == 4
+        assert [(s.keys, s.shards) for s in specs] == [
+            (1, 1), (1, 2), (4, 1), (4, 2)
+        ]
+
 
 class TestClassifyScenario:
     def test_baseline_sync_scenario_is_in_model(self):
