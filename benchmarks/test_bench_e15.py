@@ -1,0 +1,10 @@
+"""Benchmark E15 — regenerates the live-migration handoff experiment."""
+
+from repro.experiments import e15_migration
+
+from .conftest import regenerate
+
+
+def test_bench_e15(benchmark):
+    """Regenerate E15 (live resharding: handoff outcomes under storms)."""
+    regenerate(benchmark, e15_migration.run, "E15")

@@ -200,6 +200,71 @@ def cluster_fanout(
     return cluster.delivered_count, cluster_digest(history)
 
 
+def migration_handoff(
+    shards: int = 4, keys: int = 8, n: int = 40, horizon: float = 240.0
+) -> tuple[int, str]:
+    """The cluster fan-out workload with live key migrations riding it.
+
+    Same population, plan shape and churn as :func:`cluster_fanout`,
+    but three keys hand off to neighbouring shards mid-run and the
+    workload routes dynamically (fire-time owner resolution, the
+    resharding requirement).  Returns the delivered count and the
+    merged cluster digest — which covers the migration records, so a
+    handoff that commits at a different instant, retries differently
+    or flips to a different owner changes the fingerprint even when
+    the operation stream happens to match.
+    """
+    from .cluster.config import ClusterConfig
+    from .cluster.history import cluster_digest
+    from .cluster.system import ClusterSystem
+    from .workloads.cluster import ClusterWorkloadDriver, shard_skewed_key_picker
+    from .workloads.generators import assign_keys, read_heavy_plan
+
+    cluster = ClusterSystem(
+        ClusterConfig(
+            shards=shards, keys=keys, n=n, delta=5.0, protocol="sync", seed=23
+        )
+    )
+    cluster.attach_churn(rate=0.04, min_stay=15.0)
+    records = []
+    for j in range(3):
+        key = cluster.keys[j % len(cluster.keys)]
+        dest = (cluster.shard_of(key) + 1) % shards
+        records.append(
+            cluster.schedule_migration(
+                key, dest, at=horizon * (0.15 + 0.4 * j / 3), max_retries=1
+            )
+        )
+    driver = ClusterWorkloadDriver(cluster, dynamic=True)
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 20.0,
+        write_period=12.0,
+        read_rate=2.0,
+        rng=cluster.rng.stream("bench.migration.plan"),
+    )
+    plan = assign_keys(
+        plan,
+        shard_skewed_key_picker(cluster, cluster.rng.stream("bench.migration.keys")),
+    )
+    driver.install(plan)
+    cluster.run_until(horizon)
+    history = cluster.close()
+    safety = cluster.check_safety()
+    if not safety.is_safe:
+        raise AssertionError(
+            f"the migration handoff workload violated per-key regularity "
+            f"({safety.violation_count} bad reads) — the handoff protocol "
+            f"or the seam checking broke"
+        )
+    if any(not r.finished for r in records):
+        raise AssertionError(
+            "a benchmark migration was still mid-phase at the horizon — "
+            "the handoff protocol lost its timeout ladder"
+        )
+    return cluster.delivered_count, cluster_digest(history)
+
+
 def checker_history(rounds: int = 20, readers: int = 20, per: int = 5) -> History:
     """The ~2k-operation history the checker benchmarks judge."""
     system = DynamicSystem(
@@ -333,6 +398,12 @@ def run_kernel_benchmarks(
     record("cluster_sharded", cluster_many, "delivered", cluster_delivered)
     _, cluster_digest_b = cluster_fanout(shards=4)
 
+    migration_wall, (migration_delivered, migration_digest_a) = _time_best(
+        migration_handoff, repeats
+    )
+    record("migration_handoff", migration_wall, "delivered", migration_delivered)
+    _, migration_digest_b = migration_handoff()
+
     history = checker_history()
     ops = len(history)
 
@@ -443,6 +514,15 @@ def run_kernel_benchmarks(
             # when each single-system digest is clean.
             "cluster_digest": cluster_digest_a,
             "cluster_stable_within_process": cluster_digest_a == cluster_digest_b,
+            # The merged-history digest of the fixed-seed migrating
+            # cluster run: additionally covers every migration record
+            # (phase, flip instant, retries), so a handoff-scheduling
+            # regression is caught even when the non-migrating cluster
+            # digest is clean.
+            "migration_digest": migration_digest_a,
+            "migration_stable_within_process": (
+                migration_digest_a == migration_digest_b
+            ),
         },
     }
 
@@ -555,7 +635,13 @@ def compare_artifacts(
         lines.append(line)
     old_det = old.get("determinism", {})
     new_det = new.get("determinism", {})
-    for field in ("digest", "faulted_digest", "keyed_digest", "cluster_digest"):
+    for field in (
+        "digest",
+        "faulted_digest",
+        "keyed_digest",
+        "cluster_digest",
+        "migration_digest",
+    ):
         if field in old_det and field in new_det:
             same = old_det[field] == new_det[field]
             lines.append(
@@ -628,6 +714,7 @@ def run_and_report(
     faulted_stable = payload["determinism"]["faulted_stable_within_process"]
     keyed_stable = payload["determinism"]["keyed_stable_within_process"]
     cluster_stable = payload["determinism"]["cluster_stable_within_process"]
+    migration_stable = payload["determinism"]["migration_stable_within_process"]
     print(f"determinism digest {payload['determinism']['digest'][:16]}… "
           f"{'STABLE' if stable else 'UNSTABLE'}")
     print(f"faulted digest     {payload['determinism']['faulted_digest'][:16]}… "
@@ -636,8 +723,16 @@ def run_and_report(
           f"{'STABLE' if keyed_stable else 'UNSTABLE'}")
     print(f"cluster digest     {payload['determinism']['cluster_digest'][:16]}… "
           f"{'STABLE' if cluster_stable else 'UNSTABLE'}")
+    print(f"migration digest   {payload['determinism']['migration_digest'][:16]}… "
+          f"{'STABLE' if migration_stable else 'UNSTABLE'}")
     print(f"wrote {out_path}")
-    if not (stable and faulted_stable and keyed_stable and cluster_stable):
+    if not (
+        stable
+        and faulted_stable
+        and keyed_stable
+        and cluster_stable
+        and migration_stable
+    ):
         return 1
     if baseline is not None:
         print(f"\ncomparison against {compare_to} (threshold {threshold:.0%}):")

@@ -110,6 +110,31 @@ def eventually_synchronous_churn_bound(delta: Time, n: int) -> float:
     return 1.0 / (3.0 * delta * n)
 
 
+def sharded_synchronous_churn_bound(delta: Time, shard_n: int) -> float:
+    """The per-shard churn cap ``(1 − 1/n_s) / (3δ)`` for a population
+    of ``n_s`` processes.
+
+    The classic cap ``1/(3δ)`` is the ``n → ∞`` limit of the real
+    requirement: Lemma 2's survivor count ``n_s(1 − 3δc)`` must leave at
+    least one active process to answer a join inquiry, i.e.
+    ``n_s(1 − 3δc) > 1``, which solves to ``c < (1 − 1/n_s)/(3δ)``.
+    For a single large population the correction ``1/n_s`` vanishes,
+    but a sharded cluster runs the adversary against each shard's *own*
+    slice ``n_s = n/S``, where the correction bites: at ``n_s = 6``,
+    ``δ = 5`` the honest cap is ≈ 0.0556, not the 0.0667 the
+    single-population formula promises — a rate between the two starves
+    small shards while classifying as in-model.  Used by the explorer's
+    shard-aware scenario classification.
+    """
+    if delta <= 0:
+        raise ChurnError(f"delta must be positive, got {delta!r}")
+    if shard_n <= 0:
+        raise ChurnError(f"shard population must be positive, got {shard_n!r}")
+    if shard_n == 1:
+        return 0.0
+    return (1.0 - 1.0 / shard_n) / (3.0 * delta)
+
+
 def lemma2_window_lower_bound(n: int, c: float, delta: Time) -> float:
     """Lemma 2's lower bound on ``|A(τ, τ + 3δ)|``: ``n · (1 − 3δc)``.
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands, mirroring how the library is typically used:
+Seven subcommands, mirroring how the library is typically used:
 
 ``experiments``
     Run the reproduction battery (E1–E12, optionally the ablations)
@@ -32,11 +32,20 @@ Six subcommands, mirroring how the library is typically used:
     against a committed artifact — per-workload wall-time and derived
     ratio deltas — and exits non-zero past ``--threshold``.
 
+``migrate``
+    Live-reshard a cluster: schedule key migrations between quorum
+    shards mid-run (optionally under a fault plan such as ``mig-loss``
+    or ``mig-storm``), print each handoff's record (phase, latency,
+    deferred writes) and the merged-history checker verdicts.  Exits
+    non-zero if safety broke or a handoff never resolved.
+
 ``explore``
     Sweep the adversarial scenario matrix (protocol × delay model ×
-    churn × fault plan × key count × shard count × seed), judge every
+    churn × fault plan × key count × shard count × migration count ×
+    seed), judge every
     history with the checkers (sharded cells run as clusters with the
-    plan scoped into every shard and the merged history judged),
+    plan scoped into every shard and the merged history judged;
+    ``--migrations`` adds live key handoffs — the resharding storms),
     shrink violating fault schedules and optionally
     write the JSON counterexample report.  The sweep fans out across
     ``--workers`` processes (cells are independent; the report is
@@ -187,6 +196,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_flag(bench, "run the parallel-sweep benchmark")
 
+    migrate = sub.add_parser(
+        "migrate",
+        help="live-reshard a cluster: migrate keys between shards mid-run",
+    )
+    migrate.add_argument("--shards", type=int, default=3)
+    migrate.add_argument("--keys", type=int, default=6)
+    migrate.add_argument("--n", type=int, default=18)
+    migrate.add_argument("--delta", type=float, default=5.0)
+    migrate.add_argument("--churn", type=float, default=0.02)
+    migrate.add_argument("--horizon", type=float, default=120.0)
+    migrate.add_argument(
+        "--migrations",
+        type=int,
+        default=3,
+        help="key handoffs to schedule (keys round-robin to the next shard)",
+    )
+    migrate.add_argument("--seed", type=int, default=0)
+    migrate.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "fault plan from the explorer library to run the handoffs "
+            "under (e.g. mig-loss, mig-crash-install, mig-storm)"
+        ),
+    )
+    migrate.add_argument("--read-rate", type=float, default=0.6)
+    migrate.add_argument("--write-period", type=float, default=10.0)
+    migrate.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="judge the merged history with the brute-force reference checkers",
+    )
+
     explore = sub.add_parser(
         "explore", help="sweep adversarial fault scenarios and shrink violations"
     )
@@ -244,6 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
             "cluster shard counts to sweep (default: just 1, the classic "
             "single population; larger counts run sharded clusters with "
             "the fault plan scoped into every shard)"
+        ),
+    )
+    explore.add_argument(
+        "--migrations",
+        nargs="+",
+        type=int,
+        default=[0],
+        metavar="M",
+        help=(
+            "live key-migration counts to sweep (default: just 0; counts "
+            "> 0 run only in cells with shards >= 2 and keys >= 2 — "
+            "combine with the mig-* plans for resharding storms)"
         ),
     )
     explore.add_argument(
@@ -306,6 +361,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             except OSError as error:
                 print(f"error: cannot read/write artifact: {error}", file=sys.stderr)
                 return 2
+        if args.command == "migrate":
+            return _cmd_migrate(args)
         if args.command == "explore":
             return _cmd_explore(args)
     except ReproError as error:
@@ -415,6 +472,105 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if (safety.is_safe and liveness.is_live) else 1
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from .cluster.config import ClusterConfig
+    from .cluster.system import ClusterSystem
+    from .workloads.cluster import ClusterWorkloadDriver, shard_skewed_key_picker
+    from .workloads.explorer import PLAN_BUILDERS, _shard_scoped_plan, build_plan
+    from .workloads.generators import assign_keys, read_heavy_plan
+
+    if args.plan is not None and args.plan not in PLAN_BUILDERS:
+        print(
+            f"error: unknown plan {args.plan!r}; "
+            f"known: {', '.join(PLAN_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    cluster = ClusterSystem(
+        ClusterConfig(
+            shards=args.shards,
+            keys=args.keys,
+            n=args.n,
+            delta=args.delta,
+            protocol="sync",
+            seed=args.seed,
+        )
+    )
+    if args.plan is not None:
+        plan = build_plan(args.plan, args.delta, args.horizon, args.n)
+        sizes = cluster.config.shard_sizes()
+        for index in range(args.shards):
+            cluster.install_faults(
+                _shard_scoped_plan(plan, index, sizes[index], args.n),
+                shards=[index],
+                scope_pids=False,
+            )
+    if args.churn > 0:
+        cluster.attach_churn(rate=args.churn, min_stay=3.0 * args.delta)
+    records = []
+    for j in range(args.migrations):
+        key = cluster.keys[j % len(cluster.keys)]
+        hop = 1 + j // len(cluster.keys)
+        dest = (cluster.shard_of(key) + hop) % args.shards
+        if dest == cluster.shard_of(key):
+            dest = (dest + 1) % args.shards
+        start = args.horizon * (0.15 + 0.4 * j / args.migrations)
+        records.append(
+            cluster.schedule_migration(key, dest, at=start, max_retries=1)
+        )
+    driver = ClusterWorkloadDriver(cluster, dynamic=True)
+    plan_ops = read_heavy_plan(
+        start=5.0,
+        end=max(6.0, args.horizon - 4.0 * args.delta),
+        write_period=args.write_period,
+        read_rate=args.read_rate,
+        rng=cluster.rng.stream("cli.migrate.plan"),
+    )
+    plan_ops = assign_keys(
+        plan_ops,
+        shard_skewed_key_picker(
+            cluster, cluster.rng.stream("cli.migrate.keys"), distribution="uniform"
+        ),
+    )
+    driver.install(plan_ops)
+    cluster.run_until(args.horizon)
+    cluster.close()
+    safety = cluster.check_safety(paranoid=args.paranoid)
+    liveness = cluster.check_liveness(grace=10.0 * args.delta)
+    plan_label = f" plan={args.plan}" if args.plan else ""
+    print(
+        f"shards={args.shards} keys={args.keys} n={args.n} δ={args.delta} "
+        f"churn={args.churn} horizon={args.horizon} seed={args.seed}{plan_label}"
+    )
+    for record in records:
+        if record.committed:
+            outcome = f"committed in {record.latency:.1f} (v{record.map_version})"
+        elif record.aborted:
+            outcome = f"aborted ({record.reason})"
+        else:
+            outcome = f"UNRESOLVED (phase={record.phase})"
+        print(
+            f"  {record.key}: shard {record.source} -> {record.dest} "
+            f"@{record.scheduled_at:g}  {outcome}"
+            + (f", {record.deferred_writes} write(s) deferred"
+               if record.deferred_writes else "")
+            + (f", {record.retries} retry(ies)" if record.retries else "")
+        )
+    stats = driver.stats
+    print(f"reads issued   : {stats.reads_issued} (skipped {stats.reads_skipped})")
+    print(
+        f"writes issued  : {stats.writes_issued} "
+        f"(deferred {stats.writes_deferred + sum(r.deferred_writes for r in records)}, "
+        f"dropped {cluster.writes_dropped})"
+    )
+    print(safety.summary())
+    print(liveness.summary())
+    all_resolved = all(r.finished for r in records)
+    if not all_resolved:
+        print("STUCK HANDOFF: a migration never resolved — this is a bug")
+    return 0 if (safety.is_safe and all_resolved) else 1
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     import json
 
@@ -445,6 +601,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         key_counts=tuple(args.keys),
         key_dist=args.key_dist,
         shard_counts=tuple(args.shards),
+        migration_counts=tuple(args.migrations),
     )
     for outcome in report.outcomes:
         if args.verbose or outcome.violated:

@@ -15,7 +15,12 @@ level routing, merged histories and merged checking on top:
   observable behaviour on the common clock;
 * :func:`check_cluster_safety` / :func:`find_cluster_inversions` /
   :func:`check_cluster_liveness` — cluster verdicts by delegation to
-  the unchanged single-system checkers.
+  the unchanged single-system checkers (plus the seam views of
+  migrated keys);
+* :class:`KeyMigration` / :class:`MigrationSpec` /
+  :class:`MigrationRecord` — live resharding: fault-tolerant key
+  handoff between shards (freeze → copy → install → flip + drain,
+  with a clean abort path).
 """
 
 from .checker import (
@@ -25,12 +30,16 @@ from .checker import (
 )
 from .config import ClusterConfig
 from .history import ClusterHistory, cluster_digest
+from .migration import KeyMigration, MigrationRecord, MigrationSpec
 from .system import ClusterSystem
 
 __all__ = [
     "ClusterConfig",
     "ClusterHistory",
     "ClusterSystem",
+    "KeyMigration",
+    "MigrationRecord",
+    "MigrationSpec",
     "check_cluster_liveness",
     "check_cluster_safety",
     "cluster_digest",

@@ -16,6 +16,8 @@ verdicts, experiment tables, summaries) consumes them unchanged.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..core.checker import (
     AtomicityReport,
     LivenessChecker,
@@ -36,14 +38,42 @@ def check_cluster_safety(
     Judgements are concatenated in shard order (then the single-system
     checker's own key order), so a violation's position names its
     shard as well as its key.
+
+    Shards touched by a committed migration
+    (:attr:`~ClusterHistory.migration_shards`) are judged with join
+    checking off: a join adopts a whole-space snapshot, and after a
+    handoff that snapshot includes slots whose write sequence is no
+    longer a function of the shard's own projected history (the source
+    keeps the migrated key frozen and stale by design; the destination
+    holds installed values it never wrote).  Reads stay fully judged
+    everywhere — per shard and across the seam.
     """
     report = SafetyReport()
     for shard in history.shard_ids():
         sub = RegularityChecker(
-            history.shard_view(shard), check_joins=check_joins, paranoid=paranoid
+            history.shard_view(shard),
+            check_joins=check_joins and shard not in history.migration_shards,
+            paranoid=paranoid,
+        ).check()
+        report.judgements.extend(sub.judgements)
+    for key in _seam_keys(history):
+        sub = RegularityChecker(
+            history.seam_view(key), check_joins=False, paranoid=paranoid
         ).check()
         report.judgements.extend(sub.judgements)
     return report
+
+
+def _seam_keys(history: ClusterHistory) -> list[Any]:
+    """Migrated keys in deterministic judging order.
+
+    The handoff rule: a committed flip moves a key's operations out of
+    the per-shard views and into one seam-spanning view per key
+    (:meth:`~ClusterHistory.seam_view`), judged after the shards.
+    Joins are keyless and stay in the shard views, so seam views are
+    always judged with join checking off.
+    """
+    return sorted(history.migrated_keys, key=str)
 
 
 def find_cluster_inversions(
@@ -60,6 +90,10 @@ def find_cluster_inversions(
         sub = find_new_old_inversions(history.shard_view(shard), paranoid=paranoid)
         merged.safety.judgements.extend(sub.safety.judgements)
         merged.inversions.extend(sub.inversions)
+    for key in _seam_keys(history):
+        sub = find_new_old_inversions(history.seam_view(key), paranoid=paranoid)
+        merged.safety.judgements.extend(sub.safety.judgements)
+        merged.inversions.extend(sub.inversions)
     return merged
 
 
@@ -72,6 +106,14 @@ def check_cluster_liveness(history: ClusterHistory, grace: Time) -> LivenessRepo
     merged = LivenessReport()
     for shard in history.shard_ids():
         sub = LivenessChecker(history.shard_view(shard), grace=grace).check()
+        merged.completed += sub.completed
+        merged.excused += sub.excused
+        merged.in_grace += sub.in_grace
+        merged.stuck.extend(sub.stuck)
+        for kind, samples in sub.latencies.items():
+            merged.latencies.setdefault(kind, []).extend(samples)
+    for key in _seam_keys(history):
+        sub = LivenessChecker(history.seam_view(key), grace=grace).check()
         merged.completed += sub.completed
         merged.excused += sub.excused
         merged.in_grace += sub.in_grace

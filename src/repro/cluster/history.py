@@ -31,13 +31,41 @@ from ..sim.operations import OperationHandle
 class ClusterHistory:
     """The merged operation record of one cluster run."""
 
-    def __init__(self, shard_histories: Sequence[History]) -> None:
+    def __init__(
+        self,
+        shard_histories: Sequence[History],
+        migrations: Sequence[Any] = (),
+    ) -> None:
         if not shard_histories:
             raise HistoryError("a cluster history needs at least one shard")
         self._shards = tuple(shard_histories)
         self.initial_value = self._shards[0].initial_value
+        #: Migration outcome records
+        #: (:class:`~repro.cluster.migration.MigrationRecord`), in
+        #: schedule order — empty for every non-resharding run.
+        self.migrations = tuple(migrations)
+        #: Keys whose ownership flipped at least once: their history
+        #: legitimately spans shards, split at the flip, and is judged
+        #: across the seam (:meth:`seam_view`) instead of per shard.
+        self.migrated_keys: frozenset[Any] = frozenset(
+            record.key for record in self.migrations if record.committed
+        )
+        #: Shards that served as source or destination of a committed
+        #: handoff.  Their join snapshots include register slots whose
+        #: authority moved mid-run (a source keeps the migrated key's
+        #: frozen slot, stale by design; a destination adopts installed
+        #: values its own projected history never wrote), so join
+        #: *value* certification is delegated away from these shards —
+        #: see :func:`~repro.cluster.checker.check_cluster_safety`.
+        self.migration_shards: frozenset[int] = frozenset(
+            shard
+            for record in self.migrations
+            if record.committed
+            for shard in (record.source, record.dest)
+        )
         self._merged_cache: list[OperationHandle] | None = None
         self._view_cache: dict[int, History] = {}
+        self._seam_cache: dict[Any, History] = {}
 
     # ------------------------------------------------------------------
     # Shard access
@@ -129,6 +157,8 @@ class ClusterHistory:
         source = self._shards[shard]
         view = History(source.initial_value)
         for op in self.merged_operations():
+            if self.migrated_keys and op.key in self.migrated_keys:
+                continue  # judged across the seam instead (seam_view)
             if op.shard == shard or (op.shard is None and self.shard_count == 1):
                 view.record_operation(op)
         view._departures = dict(source._departures)
@@ -136,6 +166,41 @@ class ClusterHistory:
             view.close(source.horizon)
             if self.horizon is not None:
                 self._view_cache[shard] = view
+        return view
+
+    def seam_view(self, key: Any) -> History:
+        """The full cross-shard history of one migrated ``key``.
+
+        A committed flip splits the key's timeline at the routing
+        change: operations before it live in the source shard's
+        history, operations after it in the destination's.  Neither
+        shard view alone is checkable (each sees a torn half), so the
+        handoff rule merges every shard's operations on the key into
+        one fresh :class:`History` — departures pooled across shards
+        (pid namespaces are disjoint) — and safety is judged on that
+        seam-spanning record.  The migration protocol's freeze/drain
+        guarantees writes never overlap across the seam, and elastic
+        mode's cluster-wide value counter keeps written values unique,
+        so the ordinary checkers apply unchanged.
+
+        Joins are key-less and stay in the per-shard views; seam views
+        are judged with join checking off.
+        """
+        cached = self._seam_cache.get(key)
+        if cached is not None:
+            return cached
+        view = History(self.initial_value)
+        for op in self.merged_operations():
+            if op.key == key:
+                view.record_operation(op)
+        departures: dict[str, Time] = {}
+        for shard in self._shards:
+            departures.update(shard._departures)
+        view._departures = departures
+        horizon = self.horizon
+        if horizon is not None:
+            view.close(horizon)
+            self._seam_cache[key] = view
         return view
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -167,4 +232,28 @@ def cluster_digest(history: ClusterHistory) -> str:
             for op in history
         ]
     ).encode()
+    if history.migrations:
+        # Resharding runs additionally pin every handoff outcome, so a
+        # migration that commits at a different instant (or aborts for
+        # a different reason) changes the digest even if the operation
+        # stream happens to coincide.  Runs without migrations keep the
+        # exact pre-resharding blob, byte for byte.
+        blob += repr(
+            [
+                (
+                    record.key,
+                    record.source,
+                    record.dest,
+                    record.phase,
+                    record.committed,
+                    record.aborted,
+                    record.reason,
+                    record.retries,
+                    record.started_at,
+                    record.finished_at,
+                    record.map_version,
+                )
+                for record in history.migrations
+            ]
+        ).encode()
     return hashlib.sha256(blob).hexdigest()

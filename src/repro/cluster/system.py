@@ -23,7 +23,8 @@ reproduces the whole cluster byte-for-byte
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import itertools
+from typing import Any, Sequence, TYPE_CHECKING
 
 from ..churn.controller import ChurnController
 from ..core.checker import AtomicityReport, LivenessReport, SafetyReport
@@ -43,6 +44,10 @@ from .checker import (
 )
 from .config import ClusterConfig
 from .history import ClusterHistory
+from .migration import KeyMigration, MigrationRecord, MigrationSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.cluster_plan import ClusterFaultPlan
 
 
 class ClusterSystem:
@@ -66,6 +71,25 @@ class ClusterSystem:
         )
         self._closed = False
         self._history: ClusterHistory | None = None
+        # -- live-resharding state (inert until a migration schedules) --
+        #: Version of the key→shard map; bumped by every committed flip.
+        self.map_version = 0
+        #: ``(time, key, source, dest, map_version)`` per committed flip.
+        self.ownership_log: list[tuple[Time, Any, int, int, int]] = []
+        #: Every coordinator ever scheduled, in schedule order.
+        self.migrations: list[KeyMigration] = []
+        self._frozen_keys: set[Any] = set()
+        self._write_queues: dict[Any, list[Any]] = {}
+        self._last_write: dict[Any, OperationHandle] = {}
+        self._writes_deferred = 0
+        self._writes_dropped = 0
+        #: Elastic mode (set by :meth:`schedule_migration`): the front
+        #: door serializes writes per key and draws values from one
+        #: cluster-wide counter, because a migrated key's history spans
+        #: two shards and the checkers need globally unique values and
+        #: non-overlapping writes across the seam.
+        self._elastic = False
+        self._value_counter = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Routing
@@ -108,15 +132,145 @@ class ClusterSystem:
 
     def write(
         self, value: Any | None = None, key: Any = None, pid: str | None = None
-    ) -> OperationHandle:
+    ) -> OperationHandle | None:
         """Write ``key`` on its owning shard (its writer by default).
 
         ``value=None`` draws the owning shard's next unique value —
         uniqueness per shard is what the per-key checkers need, since
         keys never span shards.
+
+        With migrations scheduled (*elastic* mode) the front door
+        changes contract: values come from a cluster-wide counter, the
+        explicit ``pid`` is ignored (a deferred write may land on a
+        different shard than the caller assumed), and a write for a
+        frozen or busy key is *deferred* — queued in order and issued
+        to the then-current owner when the key unfreezes or the
+        previous write settles.  Deferred writes return ``None``.
         """
         key = self.resolve_key(key)
-        return self.shard_for(key).write(value, pid=pid, key=key)
+        if not self._elastic:
+            return self.shard_for(key).write(value, pid=pid, key=key)
+        if value is None:
+            value = self.next_value()
+        last = self._last_write.get(key)
+        if key in self._frozen_keys or (last is not None and last.pending):
+            self._write_queues.setdefault(key, []).append(value)
+            self._writes_deferred += 1
+            return None
+        return self._issue_write(key, value)
+
+    def next_value(self) -> str:
+        """A cluster-unique value for the next write (elastic mode)."""
+        return f"w{next(self._value_counter)}"
+
+    # ------------------------------------------------------------------
+    # Live resharding (repro.cluster.migration)
+    # ------------------------------------------------------------------
+
+    def schedule_migration(
+        self, key: Any, dest: int, at: Time, **knobs: Any
+    ) -> MigrationRecord:
+        """Plan a handoff of ``key`` to shard ``dest`` at time ``at``.
+
+        Must be called *before* the run starts (it flips the cluster
+        into elastic mode — see :meth:`write` — and every write of the
+        run must go through the serializing front door).  Returns the
+        :class:`MigrationRecord` that the handoff will fill in.
+        """
+        if len(self.keys) == 1 and self.keys[0] is None:
+            raise ConfigError(
+                "migration requires a named multi-key cluster "
+                "(a 1-key cluster has nothing to reshard)"
+            )
+        key = self.resolve_key(key)
+        if not 0 <= dest < len(self.shards):
+            raise ConfigError(
+                f"destination shard {dest} out of range [0, {len(self.shards)})"
+            )
+        self._elastic = True
+        migration = KeyMigration(
+            self,
+            MigrationSpec(key=key, dest=dest, start=at, **knobs),
+            migration_id=len(self.migrations) + 1,
+        )
+        migration.schedule()
+        self.migrations.append(migration)
+        return migration.record
+
+    def migration_records(self) -> tuple[MigrationRecord, ...]:
+        """Every scheduled migration's outcome record, in schedule order."""
+        return tuple(m.record for m in self.migrations)
+
+    def is_frozen(self, key: Any) -> bool:
+        """Is ``key`` currently frozen by an in-flight migration?"""
+        return key in self._frozen_keys
+
+    @property
+    def writes_deferred(self) -> int:
+        """Writes the elastic front door queued instead of issuing."""
+        return self._writes_deferred
+
+    @property
+    def writes_dropped(self) -> int:
+        """Queued writes dropped because the owner's writer was gone."""
+        return self._writes_dropped
+
+    def _freeze(self, key: Any) -> None:
+        self._frozen_keys.add(key)
+        self._write_queues.setdefault(key, [])
+
+    def _commit_flip(self, key: Any, dest: int, record: MigrationRecord) -> None:
+        """Atomically flip routing and drain the deferred writes."""
+        source = self._owner[key]
+        self.map_version += 1
+        self._owner[key] = dest
+        record.map_version = self.map_version
+        self.ownership_log.append((self.now, key, source, dest, self.map_version))
+        self._unfreeze(key, record)
+
+    def _abort_migration(self, key: Any, record: MigrationRecord) -> None:
+        """Clean abort: ownership unchanged, deferred writes drain home."""
+        self._unfreeze(key, record)
+
+    def _unfreeze(self, key: Any, record: MigrationRecord) -> None:
+        self._frozen_keys.discard(key)
+        record.deferred_writes = len(self._write_queues.get(key, ()))
+        self._drain_queue(key)
+
+    def _issue_write(self, key: Any, value: Any) -> OperationHandle | None:
+        """Issue one serialized write to the key's current owner.
+
+        Chained: when the handle settles (complete *or* abandoned), the
+        next queued value for the key goes out — unless the key froze
+        again in between, in which case the queue waits for the next
+        unfreeze.
+        """
+        shard = self.shard_for(key)
+        if not shard.membership.is_present(shard.writer_pid):
+            # The owner's designated writer crashed; the write cannot
+            # be issued.  Count it and keep the queue moving.
+            self._writes_dropped += 1
+            self._drain_queue(key)
+            return None
+        handle = shard.write(value, key=key)
+        self._last_write[key] = handle
+        handle.add_done_callback(lambda h, key=key: self._write_settled(key))
+        return handle
+
+    def _write_settled(self, key: Any) -> None:
+        if key not in self._frozen_keys:
+            self._drain_queue(key)
+
+    def _drain_queue(self, key: Any) -> None:
+        if key in self._frozen_keys:
+            return
+        queue = self._write_queues.get(key)
+        if not queue:
+            return
+        last = self._last_write.get(key)
+        if last is not None and last.pending:
+            return
+        self._issue_write(key, queue.pop(0))
 
     # ------------------------------------------------------------------
     # Dynamicity and faults
@@ -165,6 +319,25 @@ class ClusterSystem:
             injectors.append(self.shards[index].install_faults(scoped))
         return tuple(injectors)
 
+    def install_cluster_faults(
+        self, plan: "ClusterFaultPlan", scope_pids: bool = True
+    ) -> tuple[FaultInjector, ...]:
+        """Install a :class:`~repro.faults.cluster_plan.ClusterFaultPlan`.
+
+        Each shard receives the cluster-wide schedule merged with its
+        own per-shard schedules (one injector per faulted shard); shards
+        the composed plan leaves empty get no injector at all.
+        """
+        injectors = []
+        for index in range(len(self.shards)):
+            shard_plan = plan.plan_for(index)
+            if shard_plan.is_empty:
+                continue
+            injectors.extend(
+                self.install_faults(shard_plan, shards=[index], scope_pids=scope_pids)
+            )
+        return tuple(injectors)
+
     # ------------------------------------------------------------------
     # Running and closing
     # ------------------------------------------------------------------
@@ -185,7 +358,10 @@ class ClusterSystem:
         if not self._closed:
             for shard in self.shards:
                 shard.close()
-            self._history = ClusterHistory([s.history for s in self.shards])
+            self._history = ClusterHistory(
+                [s.history for s in self.shards],
+                migrations=self.migration_records(),
+            )
             self._closed = True
         assert self._history is not None
         return self._history

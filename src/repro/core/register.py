@@ -131,8 +131,24 @@ class RegisterSpace:
             self._sequences[key] = sequence
 
     def adopt(self, key: Any, value: Any, sequence: int) -> bool:
-        """The paper's adoption rule: install iff strictly newer."""
-        key = self.resolve(key)
+        """The paper's adoption rule: install iff strictly newer.
+
+        Unlike :meth:`resolve`-gated operations, adoption *auto-admits*
+        an unknown named key: live resharding grows a destination
+        shard's key set at migration time, and any node of that shard —
+        including ones created before the migration — may then receive
+        the key via ``MigInstall``, a ``WriteMsg`` broadcast or a
+        batched join reply.  The admitted cell starts at ⟨⊥, -1⟩, so
+        the newer-wins guard applies uniformly.  The ``None`` sentinel
+        still resolves to the default key (single-register payloads are
+        key-less), so non-migrating systems are untouched.
+        """
+        if key is None:
+            key = self._keys[0]
+        elif key not in self._values:
+            self._keys += (key,)
+            self._values[key] = BOTTOM
+            self._sequences[key] = -1
         if sequence > self._sequences[key]:
             self._values[key] = value
             self._sequences[key] = sequence
@@ -242,6 +258,56 @@ class RegisterNode(SimProcess, abc.ABC):
     def write(self, value: Any, key: Any = None) -> OperationHandle:
         """Invoke a write of ``key``.  Only legal once the node is
         active; ``None`` addresses the default key."""
+
+    # ------------------------------------------------------------------
+    # Key-migration service (repro.cluster.migration)
+    # ------------------------------------------------------------------
+    #
+    # Every protocol's nodes can serve a live-resharding handoff: the
+    # coordinator polls source nodes for their freshest copy
+    # (``MigFetch``) and installs the winner across the destination
+    # shard (``MigInstall``).  Replies route back through the *agent*
+    # node the coordinator sends from — the coordinator itself is a
+    # plain object outside the membership — via ``migration_sink``.
+    # The payload classes are imported lazily: ``repro.protocols``
+    # imports this module at package-init time, so a top-level import
+    # would cycle.
+
+    #: The coordinator currently using this node as its reply agent
+    #: (``None`` when no migration is in flight through this node).
+    migration_sink: Any = None
+
+    def on_migfetch(self, sender: str, msg: Any) -> None:
+        from ..protocols.common import MigFetchReply
+
+        try:
+            value, sequence = self.space.snapshot(msg.key)
+        except KeyError:
+            value, sequence = BOTTOM, -1
+        self.ctx.network.send(
+            self.pid,
+            sender,
+            MigFetchReply(msg.key, msg.migration_id, value, sequence),
+        )
+
+    def on_migfetchreply(self, sender: str, msg: Any) -> None:
+        sink = self.migration_sink
+        if sink is not None:
+            sink.on_fetch_reply(sender, msg)
+
+    def on_miginstall(self, sender: str, msg: Any) -> None:
+        from ..protocols.common import MigAck
+
+        # Adoption auto-admits the key and keeps newer local state; the
+        # ack is unconditional, so re-installs (retry rounds) are
+        # idempotent.
+        self.space.adopt(msg.key, msg.value, msg.sequence)
+        self.ctx.network.send(self.pid, sender, MigAck(msg.migration_id))
+
+    def on_migack(self, sender: str, msg: Any) -> None:
+        sink = self.migration_sink
+        if sink is not None:
+            sink.on_install_ack(sender, msg)
 
     # ------------------------------------------------------------------
     # Uniform introspection used by experiments and tests

@@ -37,6 +37,7 @@ ENTRY_POINTS: dict[str, str] = {
     "e12": "repro.experiments.e12_burst_churn:cell",
     "e13": "repro.experiments.e13_keyed_store:cell",
     "e14": "repro.experiments.e14_sharded_cluster:cell",
+    "e15": "repro.experiments.e15_migration:cell",
 }
 
 #: Resolved callables, cached per process.

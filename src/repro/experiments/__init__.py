@@ -32,6 +32,7 @@ from . import (
     e12_burst_churn,
     e13_keyed_store,
     e14_sharded_cluster,
+    e15_migration,
 )
 from .ablations import ABLATIONS
 from .harness import ExperimentResult, format_table
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E12": e12_burst_churn.run,
     "E13": e13_keyed_store.run,
     "E14": e14_sharded_cluster.run,
+    "E15": e15_migration.run,
 }
 
 

@@ -11,6 +11,7 @@ violating run refutes a lemma (in-model ⇒ bug) or merely documents a
 hypothesis the plan broke (out-of-model ⇒ expected breakage).
 """
 
+from .cluster_plan import ClusterFaultPlan
 from .injector import (
     REASON_DEPARTED,
     REASON_LOSS,
@@ -29,6 +30,7 @@ from .plan import (
 )
 
 __all__ = [
+    "ClusterFaultPlan",
     "REASON_DEPARTED",
     "REASON_LOSS",
     "REASON_PARTITION",

@@ -223,6 +223,63 @@ class KeyedJoinResult:
         return JoinResult(value, sequence)
 
 
+# ----------------------------------------------------------------------
+# Key-migration payloads (repro.cluster.migration)
+# ----------------------------------------------------------------------
+#
+# The live-resharding handoff moves one key between two shards through
+# four point-to-point message types.  They live here — next to
+# :class:`QuorumPhase`, which collects their replies — because the
+# handlers sit on :class:`~repro.core.register.RegisterNode` itself
+# (every protocol's nodes can serve a migration), and because fault
+# plans target them by payload type name, exactly like protocol
+# messages ("crash the destination agent at the second ``MigInstall``").
+
+
+@dataclass(frozen=True)
+class MigFetch:
+    """Coordinator → source node: report your ⟨value, sn⟩ for ``key``."""
+
+    key: Any
+    migration_id: int
+
+
+@dataclass(frozen=True)
+class MigFetchReply:
+    """Source node → coordinator agent: my local copy of ``key``."""
+
+    key: Any
+    migration_id: int
+    value: Any
+    sequence: int
+
+
+@dataclass(frozen=True)
+class MigInstall:
+    """Coordinator → destination node: adopt ⟨value, sn⟩ for ``key``."""
+
+    key: Any
+    migration_id: int
+    value: Any
+    sequence: int
+
+
+@dataclass(frozen=True)
+class MigAck:
+    """Destination node → coordinator agent: install acknowledged."""
+
+    migration_id: int
+
+
+#: Payload type names of the migration handoff, for fault-plan
+#: targeting and the explorer's in-model classification (the handoff
+#: promises abort-safety under arbitrary migration-message loss, so
+#: losses confined to these payloads never excuse a violation).
+MIGRATION_PAYLOADS = frozenset(
+    {"MigFetch", "MigFetchReply", "MigInstall", "MigAck"}
+)
+
+
 def make_join_result(space: Any) -> JoinResult | KeyedJoinResult:
     """The join return value for a node's register space.
 

@@ -158,6 +158,21 @@ class DynamicSystem:
         """A fresh, unique value for the next write (``w1``, ``w2``, ...)."""
         return f"w{next(self._value_counter)}"
 
+    def register_key(self, key: Any) -> None:
+        """Admit ``key`` into this system's register space (migration).
+
+        Every node constructed from now on owns a cell for the key;
+        nodes already present receive it via ``MigInstall`` adoption
+        (the :class:`~repro.cluster.migration.KeyMigration` install
+        round covers all present pids before routing flips).
+        """
+        if key is None:
+            raise ConfigError("cannot migrate the single-register sentinel key")
+        if key in self.keys:
+            return
+        self.keys = (*self.keys, key)
+        self._ctx.keys = self.keys
+
     # ------------------------------------------------------------------
     # Dynamicity
     # ------------------------------------------------------------------

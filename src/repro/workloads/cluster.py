@@ -24,27 +24,58 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from ..sim.errors import ExperimentError
+from ..sim.events import Priority
 from .generators import KeyPicker, uniform_key_picker, zipf_key_picker
-from .schedule import WorkloadDriver, WorkloadOp, WorkloadStats
+from .schedule import ReadOp, WorkloadDriver, WorkloadOp, WorkloadStats, WriteOp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cluster.system import ClusterSystem
 
 
 class ClusterWorkloadDriver:
-    """Installs one workload plan across a cluster's shards."""
+    """Installs one workload plan across a cluster's shards.
+
+    Two routing modes:
+
+    * **static** (default) — operations are split by owning shard at
+      install time and delegated to one single-system
+      :class:`WorkloadDriver` per shard.  Cheapest, and byte-identical
+      to the pre-resharding driver, but blind to routing changes.
+    * **dynamic** (``dynamic=True``) — each operation resolves its
+      owning shard *at firing time* through the cluster front door
+      (:meth:`ClusterSystem.read` / ``write``), which is what live
+      resharding requires: a write fired after a flip must reach the
+      new owner, and a write fired during a freeze is deferred by the
+      front door (counted in ``stats.writes_deferred``) rather than
+      issued to a stale shard.  Readers are drawn from the *current*
+      owner's active set, from the dedicated cluster stream
+      ``workload.cluster.readers`` (only created in dynamic mode, so
+      static runs draw exactly what they always drew).
+    """
 
     def __init__(
-        self, cluster: "ClusterSystem", avoid_writer_reads: bool = False
+        self,
+        cluster: "ClusterSystem",
+        avoid_writer_reads: bool = False,
+        dynamic: bool = False,
     ) -> None:
         self.cluster = cluster
-        #: One single-system driver per shard; their stats are the
-        #: ground truth, :attr:`stats` just aggregates them.
-        self.drivers: tuple[WorkloadDriver, ...] = tuple(
-            WorkloadDriver(shard, avoid_writer_reads=avoid_writer_reads)
-            for shard in cluster.shards
-        )
+        self.dynamic = dynamic
         self._installed = False
+        if dynamic:
+            self.drivers: tuple[WorkloadDriver, ...] = ()
+            self._stats = WorkloadStats()
+            self._rng = cluster.rng.stream("workload.cluster.readers")
+            self._avoid_writer_reads = avoid_writer_reads
+            self._pending_writes: dict[object, object] = {}
+            self._shard_ops: dict[int, int] = {}
+        else:
+            #: One single-system driver per shard; their stats are the
+            #: ground truth, :attr:`stats` just aggregates them.
+            self.drivers = tuple(
+                WorkloadDriver(shard, avoid_writer_reads=avoid_writer_reads)
+                for shard in cluster.shards
+            )
 
     def install(self, plan: list[WorkloadOp]) -> None:
         """Route every planned operation to its key's owning shard.
@@ -56,6 +87,9 @@ class ClusterWorkloadDriver:
         if self._installed:
             raise ExperimentError("cluster workload installed twice")
         self._installed = True
+        if self.dynamic:
+            self._install_dynamic(plan)
+            return
         per_shard: list[list[WorkloadOp]] = [[] for _ in self.cluster.shards]
         for op in plan:
             key = self.cluster.resolve_key(op.key)
@@ -64,8 +98,86 @@ class ClusterWorkloadDriver:
             if sub_plan:
                 driver.install(sub_plan)
 
+    def _install_dynamic(self, plan: list[WorkloadOp]) -> None:
+        engine = self.cluster.engine
+        for op in plan:
+            if op.time < self.cluster.now:
+                raise ExperimentError(
+                    f"operation planned at {op.time!r} but the clock already "
+                    f"reads {self.cluster.now!r}"
+                )
+            if isinstance(op, WriteOp):
+                engine.schedule_at(
+                    op.time, self._fire_write, op,
+                    priority=Priority.OPERATION, label="cluster workload write",
+                )
+            elif isinstance(op, ReadOp):
+                engine.schedule_at(
+                    op.time, self._fire_read, op,
+                    priority=Priority.OPERATION, label="cluster workload read",
+                )
+            else:  # pragma: no cover - plan construction bug
+                raise ExperimentError(f"unknown workload op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Dynamic firing (routing resolved at fire time)
+    # ------------------------------------------------------------------
+
+    def _fire_write(self, op: WriteOp) -> None:
+        key = self.cluster.resolve_key(op.key)
+        pending = self._pending_writes.get(key)
+        if pending is not None and pending.pending:
+            self._stats.writes_skipped += 1
+            return
+        handle = self.cluster.write(op.value, key=key)
+        if handle is None:
+            # Deferred by the elastic front door (frozen or queued);
+            # it will reach the then-current owner on unfreeze.
+            self._stats.writes_deferred += 1
+            return
+        self._pending_writes[key] = handle
+        self._stats.writes_issued += 1
+        self._stats.write_handles.append(handle)
+        self._count_shard_op(key)
+
+    def _fire_read(self, op: ReadOp) -> None:
+        key = self.cluster.resolve_key(op.key)
+        shard = self.cluster.shard_for(key)
+        reader = op.reader if op.reader is not None else self._pick_reader(shard)
+        if reader is None or not shard.membership.is_present(reader):
+            self._stats.reads_skipped += 1
+            return
+        if not shard.node(reader).is_active:
+            self._stats.reads_skipped += 1
+            return
+        handle = self.cluster.read(key, pid=reader)
+        self._stats.reads_issued += 1
+        self._stats.read_handles.append(handle)
+        self._count_shard_op(key)
+
+    def _pick_reader(self, shard) -> str | None:
+        candidates = shard.active_pids()
+        if self._avoid_writer_reads:
+            candidates = [pid for pid in candidates if pid != shard.writer_pid]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def _count_shard_op(self, key: object) -> None:
+        shard = self.cluster.shard_of(key)
+        self._shard_ops[shard] = self._shard_ops.get(shard, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
     def shard_op_counts(self) -> tuple[int, ...]:
         """Issued operations per shard — the skew made visible."""
+        if self.dynamic:
+            return tuple(
+                self._shard_ops.get(shard, 0)
+                for shard in range(len(self.cluster.shards))
+            )
         return tuple(
             d.stats.reads_issued + d.stats.writes_issued for d in self.drivers
         )
@@ -73,6 +185,8 @@ class ClusterWorkloadDriver:
     @property
     def stats(self) -> WorkloadStats:
         """Cluster-wide aggregate of the per-shard driver stats."""
+        if self.dynamic:
+            return self._stats
         total = WorkloadStats()
         for driver in self.drivers:
             total.reads_issued += driver.stats.reads_issued

@@ -52,13 +52,15 @@ from ..faults.plan import (
     PartitionFault,
     PlanClassification,
 )
+from ..churn.model import sharded_synchronous_churn_bound
 from ..net.delay import (
     DEFAULT_GST_FACTOR,
     DELAY_MODEL_NAMES,
     DUAL_P2P_FRACTION,
     make_delay,
 )
-from ..runtime.assembly import scope_pid
+from ..protocols.common import MIGRATION_PAYLOADS
+from ..runtime.assembly import scope_pid, split_population
 from ..runtime.config import SystemConfig
 from ..runtime.system import DynamicSystem
 from ..sim.clock import Time
@@ -169,6 +171,52 @@ def _plan_combo(delta: Time, horizon: Time, n: int) -> FaultPlan:
     )
 
 
+def _plan_mig_crash_copy(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Crash whichever node a MigFetchReply is delivered to — that is
+    # the source shard's migration agent, mid-copy.  The handoff must
+    # abort cleanly (ownership stays at the source), so a violation
+    # here is a bug: crashes are ordinary in-model departures.
+    return FaultPlan.of(
+        CrashFault(phase="MigFetchReply", victim="dest"),
+        name="mig-crash-copy",
+    )
+
+
+def _plan_mig_crash_install(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Crash a destination replica at its second MigInstall delivery —
+    # mid-install, after some replicas already staged the value.  The
+    # coordinator must either reach full present-pid coverage (the
+    # victim departed, so it no longer counts) and commit, or abort
+    # with the source still owning the key.
+    return FaultPlan.of(
+        CrashFault(phase="MigInstall", victim="dest", occurrence=2),
+        name="mig-crash-install",
+    )
+
+
+def _plan_mig_loss(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Eat *every* migration message.  The handoff can never finish —
+    # but losing coordination traffic is in-model for the register
+    # itself (classify_scenario filters migration-only losses), so the
+    # protocol must time out, abort, and keep serving from the source.
+    return FaultPlan.of(
+        LossFault(probability=1.0, payload_types=MIGRATION_PAYLOADS),
+        name="mig-loss",
+    )
+
+
+def _plan_mig_storm(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # The resharding storm: heavy loss on *all* traffic plus crashes at
+    # both handoff phases.  Out-of-model (the loss soaks dissemination
+    # too), so violations document the boundary, not refute a lemma.
+    return FaultPlan.of(
+        LossFault(probability=0.35),
+        CrashFault(phase="MigFetchReply", victim="dest"),
+        CrashFault(phase="MigInstall", victim="dest"),
+        name="mig-storm",
+    )
+
+
 PLAN_BUILDERS = {
     "none": _plan_none,
     "light-loss": _plan_light_loss,
@@ -178,9 +226,18 @@ PLAN_BUILDERS = {
     "delay-spike": _plan_delay_spike,
     "writer-crash": _plan_writer_crash,
     "combo": _plan_combo,
+    "mig-crash-copy": _plan_mig_crash_copy,
+    "mig-crash-install": _plan_mig_crash_install,
+    "mig-loss": _plan_mig_loss,
+    "mig-storm": _plan_mig_storm,
 }
 
-DEFAULT_PLAN_NAMES = tuple(PLAN_BUILDERS)
+#: The default sweep deliberately excludes the ``mig-*`` storm plans:
+#: they only bite when the cell schedules migrations, and keeping them
+#: out preserves the recorded default-matrix order byte for byte.
+DEFAULT_PLAN_NAMES = tuple(
+    name for name in PLAN_BUILDERS if not name.startswith("mig-")
+)
 
 
 def build_plan(name: str, delta: Time, horizon: Time, n: int) -> FaultPlan:
@@ -227,18 +284,24 @@ class ScenarioSpec:
     #: :class:`~repro.cluster.system.ClusterSystem` with the plan
     #: installed cluster-wide and the merged history judged.
     shards: int = 1
+    #: Live key migrations scheduled during the run (cluster cells
+    #: only; requires ``shards > 1`` and ``keys > 1``).  Keys round-
+    #: robin, each hops to the next shard, starts spread over the
+    #: middle of the horizon — the resharding-storm axis.
+    migrations: int = 0
 
     def label(self) -> str:
         plan = self.plan.name or "anonymous"
         keyed = f" keys={self.keys}/{self.key_dist}" if self.keys > 1 else ""
         sharded = f" shards={self.shards}" if self.shards > 1 else ""
+        migrating = f" mig={self.migrations}" if self.migrations else ""
         return (
             f"{self.protocol}/{self.delay} c={self.churn_rate:g} "
-            f"plan={plan} seed={self.seed}{keyed}{sharded}"
+            f"plan={plan} seed={self.seed}{keyed}{sharded}{migrating}"
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "protocol": self.protocol,
             "n": self.n,
             "delta": self.delta,
@@ -253,6 +316,11 @@ class ScenarioSpec:
             "key_dist": self.key_dist,
             "shards": self.shards,
         }
+        # Only emitted when set, so pre-resharding spec dicts (and the
+        # recorded corpus) stay byte-identical.
+        if self.migrations:
+            payload["migrations"] = self.migrations
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ScenarioSpec":
@@ -281,6 +349,12 @@ class ScenarioOutcome:
     reads_issued: int
     writes_issued: int
     quiesced: bool
+    #: Handoff accounting (cluster cells with ``spec.migrations``; zero
+    #: elsewhere).  Every scheduled migration must finish as exactly
+    #: one of these — a record still mid-phase at the horizon is the
+    #: stuck-handoff signal the storm tests assert against.
+    migrations_committed: int = 0
+    migrations_aborted: int = 0
     first_violation: str | None = None
     shrunk_plan: FaultPlan | None = None
     shrink_runs: int = 0
@@ -314,6 +388,9 @@ class ScenarioOutcome:
             "writes_issued": self.writes_issued,
             "quiesced": self.quiesced,
         }
+        if self.spec.migrations:
+            payload["migrations_committed"] = self.migrations_committed
+            payload["migrations_aborted"] = self.migrations_aborted
         if self.first_violation is not None:
             payload["first_violation"] = self.first_violation
         if self.shrunk_plan is not None:
@@ -342,8 +419,29 @@ def classify_scenario(
     synchronous cap ``1/(3δ)`` (Lemma 2's regime).  A regularity
     violation in an in-model scenario refutes a lemma; one in an
     out-of-model scenario documents why the hypothesis is needed.
+
+    Two sharded refinements:
+
+    * Losses confined to the migration payloads are *stripped before
+      classification*: the paper's register makes no hypothesis about
+      handoff coordination traffic, so even losing all of it leaves the
+      scenario in-model — the migration must abort cleanly, and a
+      violation under ``mig-loss`` is a bug, not excused breakage.
+    * Cluster cells (``shards > 1``) run Lemma 2's adversary against
+      each shard's *own* slice of the population, so the churn cap is
+      the per-shard ``(1 − 1/n_s)/(3δ)`` of the smallest shard, not the
+      single-population ``1/(3δ)`` (which overstates what a 6-process
+      shard tolerates).
     """
-    plan_cls = spec.plan.classify(spec.delta, known_bound=known_bound)
+    plan = spec.plan
+    kept_losses = tuple(
+        loss
+        for loss in plan.losses
+        if not (loss.payload_types and frozenset(loss.payload_types) <= MIGRATION_PAYLOADS)
+    )
+    if len(kept_losses) != len(plan.losses):
+        plan = replace(plan, losses=kept_losses)
+    plan_cls = plan.classify(spec.delta, known_bound=known_bound)
     reasons = list(plan_cls.reasons)
     if spec.protocol in ("sync", "naive") and spec.delay not in ("sync", "dual"):
         reasons.append(
@@ -382,12 +480,22 @@ def classify_scenario(
             "the abd baseline assumes a static system; churn violates "
             "its fixed-universe hypothesis"
         )
-    sync_cap = 1.0 / (3.0 * spec.delta)
-    if spec.churn_rate > sync_cap:
-        reasons.append(
-            f"churn rate {spec.churn_rate} exceeds the synchronous cap "
-            f"1/(3delta) = {sync_cap:.4f}"
-        )
+    if spec.shards > 1:
+        shard_n = min(split_population(spec.n, spec.shards))
+        sync_cap = sharded_synchronous_churn_bound(spec.delta, shard_n)
+        if spec.churn_rate > sync_cap:
+            reasons.append(
+                f"churn rate {spec.churn_rate} exceeds the per-shard cap "
+                f"(1 - 1/{shard_n})/(3delta) = {sync_cap:.4f} of the "
+                f"smallest shard (n_s = {shard_n})"
+            )
+    else:
+        sync_cap = 1.0 / (3.0 * spec.delta)
+        if spec.churn_rate > sync_cap:
+            reasons.append(
+                f"churn rate {spec.churn_rate} exceeds the synchronous cap "
+                f"1/(3delta) = {sync_cap:.4f}"
+            )
     return PlanClassification(in_model=not reasons, reasons=tuple(reasons))
 
 
@@ -414,6 +522,8 @@ def _build_outcome(
     reads_issued: int,
     writes_issued: int,
     quiesced: bool,
+    migrations_committed: int = 0,
+    migrations_aborted: int = 0,
 ) -> ScenarioOutcome:
     """The one verdict rule, shared by every cell flavour.
 
@@ -449,6 +559,8 @@ def _build_outcome(
         reads_issued=reads_issued,
         writes_issued=writes_issued,
         quiesced=quiesced,
+        migrations_committed=migrations_committed,
+        migrations_aborted=migrations_aborted,
         first_violation=(violations[0].explanation if violations else None),
     )
 
@@ -476,6 +588,16 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     if spec.shards < 1:
         raise ExperimentError(
             f"shard count must be at least 1, got {spec.shards!r}"
+        )
+    if spec.migrations < 0:
+        raise ExperimentError(
+            f"migration count must be non-negative, got {spec.migrations!r}"
+        )
+    if spec.migrations and (spec.shards < 2 or spec.keys < 2):
+        raise ExperimentError(
+            "migrations need somewhere to go: a cell with "
+            f"migrations={spec.migrations} requires shards >= 2 and "
+            f"keys >= 2, got shards={spec.shards} keys={spec.keys}"
         )
     if spec.shards > 1:
         return _run_cluster_scenario(spec)
@@ -657,7 +779,28 @@ def _run_cluster_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
             )
     if spec.churn_rate > 0:
         cluster.attach_churn(rate=spec.churn_rate, min_stay=3.0 * spec.delta)
-    driver = ClusterWorkloadDriver(cluster)
+    records = []
+    if spec.migrations:
+        # Keys round-robin; each hops one shard over (wrapping adds a
+        # hop so repeats of the same key keep moving); starts spread
+        # over [0.15, 0.55] of the horizon and retries capped at one so
+        # even a handoff that times out every phase under total
+        # migration-message loss still resolves — commit or clean
+        # abort, never a record left mid-phase at the horizon.
+        for j in range(spec.migrations):
+            key = cluster.keys[j % len(cluster.keys)]
+            hop = 1 + j // len(cluster.keys)
+            dest = (cluster.shard_of(key) + hop) % spec.shards
+            if dest == cluster.shard_of(key):
+                dest = (dest + 1) % spec.shards
+            start = spec.horizon * (0.15 + 0.4 * j / spec.migrations)
+            records.append(
+                cluster.schedule_migration(key, dest, at=start, max_retries=1)
+            )
+    # Migrating cells need fire-time routing (a write landing after a
+    # flip must reach the new owner); static cells keep the recorded
+    # install-time split byte for byte.
+    driver = ClusterWorkloadDriver(cluster, dynamic=bool(spec.migrations))
     workload = read_heavy_plan(
         start=5.0,
         end=max(6.0, spec.horizon - 4.0 * spec.delta),
@@ -692,6 +835,8 @@ def _run_cluster_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         reads_issued=stats.reads_issued,
         writes_issued=stats.writes_issued,
         quiesced=cluster.engine.next_event_time() is None,
+        migrations_committed=sum(1 for r in records if r.committed),
+        migrations_aborted=sum(1 for r in records if r.aborted),
     )
 
 
@@ -857,6 +1002,7 @@ def scenario_matrix(
     key_counts: tuple[int, ...] = (1,),
     key_dist: str = "uniform",
     shard_counts: tuple[int, ...] = (1,),
+    migration_counts: tuple[int, ...] = (0,),
 ) -> Iterator[ScenarioSpec]:
     """The sweep, in deterministic order (plans vary slowest).
 
@@ -865,6 +1011,10 @@ def scenario_matrix(
     single-register matrix.  ``shard_counts`` is the cluster axis:
     each (plan, protocol, delay, churn, keys) combination additionally
     runs at every shard count (1 = the classic single population).
+    ``migration_counts`` is the resharding axis: cluster combinations
+    additionally run with that many live key migrations; counts > 0
+    are silently skipped for cells that cannot host a handoff
+    (``shards < 2`` or ``keys < 2``), so a mixed sweep stays valid.
     """
     for name in plan_names:
         plan = build_plan(name, delta, horizon, n)
@@ -873,20 +1023,24 @@ def scenario_matrix(
                 for churn_rate in churn_rates:
                     for keys in key_counts:
                         for shards in shard_counts:
-                            for offset in range(seeds_per_combo):
-                                yield ScenarioSpec(
-                                    protocol=protocol,
-                                    n=n,
-                                    delta=delta,
-                                    delay=delay,
-                                    churn_rate=churn_rate,
-                                    plan=plan,
-                                    seed=seed + offset,
-                                    horizon=horizon,
-                                    keys=keys,
-                                    key_dist=key_dist,
-                                    shards=shards,
-                                )
+                            for migrations in migration_counts:
+                                if migrations and (shards < 2 or keys < 2):
+                                    continue
+                                for offset in range(seeds_per_combo):
+                                    yield ScenarioSpec(
+                                        protocol=protocol,
+                                        n=n,
+                                        delta=delta,
+                                        delay=delay,
+                                        churn_rate=churn_rate,
+                                        plan=plan,
+                                        seed=seed + offset,
+                                        horizon=horizon,
+                                        keys=keys,
+                                        key_dist=key_dist,
+                                        shards=shards,
+                                        migrations=migrations,
+                                    )
 
 
 def explore(
@@ -906,6 +1060,7 @@ def explore(
     key_counts: tuple[int, ...] = (1,),
     key_dist: str = "uniform",
     shard_counts: tuple[int, ...] = (1,),
+    migration_counts: tuple[int, ...] = (0,),
 ) -> ExplorationReport:
     """Sweep the matrix, judge every run, shrink every counterexample.
 
@@ -921,6 +1076,10 @@ def explore(
     — ``zipf`` is the hot-shard scenario), the plan lands on every
     shard and the merged history is judged; classification is
     untouched, so in-model violations of sharded cells are bugs too.
+    ``migration_counts`` adds the resharding axis: cluster cells
+    additionally run with that many live key migrations under the
+    plan — the resharding-storm family when combined with the
+    ``mig-*`` plans.
 
     The sweep itself runs through the shared execution engine:
     ``workers`` processes judge cells concurrently (default: all
@@ -947,6 +1106,7 @@ def explore(
             seed, tuple(protocols), tuple(delays), tuple(churn_rates),
             tuple(plan_names), seeds_per_combo, n, delta, horizon,
             tuple(key_counts), key_dist, tuple(shard_counts),
+            tuple(migration_counts),
         )
     )
     report.skipped_cells = max(0, len(specs) - budget)

@@ -61,6 +61,7 @@ class WorkloadStats:
     reads_skipped: int = 0  # no active process available
     writes_issued: int = 0
     writes_skipped: int = 0  # previous write still pending
+    writes_deferred: int = 0  # queued by a migration freeze (cluster only)
     read_handles: list[OperationHandle] = field(default_factory=list)
     write_handles: list[OperationHandle] = field(default_factory=list)
 

@@ -6,6 +6,7 @@ from repro.churn.model import (
     ConstantChurn,
     eventually_synchronous_churn_bound,
     lemma2_window_lower_bound,
+    sharded_synchronous_churn_bound,
     synchronous_churn_bound,
 )
 from repro.sim.errors import ChurnError
@@ -81,3 +82,36 @@ class TestBounds:
         assert lemma2_window_lower_bound(60, 0.0, 5.0) == 60.0
         assert lemma2_window_lower_bound(60, 1.0 / 15.0, 5.0) == pytest.approx(0.0)
         assert lemma2_window_lower_bound(60, 1.0 / 30.0, 5.0) == pytest.approx(30.0)
+
+    def test_sharded_bound_value(self):
+        # The explorer's storm-matrix shape: n=18 over 3 shards.
+        assert sharded_synchronous_churn_bound(5.0, 6) == pytest.approx(
+            (1.0 - 1.0 / 6.0) / 15.0
+        )
+
+    def test_sharded_bound_is_strictly_below_the_classic_cap(self):
+        for shard_n in (2, 3, 6, 10, 100):
+            assert sharded_synchronous_churn_bound(
+                5.0, shard_n
+            ) < synchronous_churn_bound(5.0)
+
+    def test_sharded_bound_is_monotone_in_shard_population(self):
+        caps = [
+            sharded_synchronous_churn_bound(5.0, shard_n)
+            for shard_n in range(1, 20)
+        ]
+        assert caps == sorted(caps)
+
+    def test_sharded_bound_approaches_the_classic_cap(self):
+        assert sharded_synchronous_churn_bound(5.0, 10**6) == pytest.approx(
+            synchronous_churn_bound(5.0), rel=1e-5
+        )
+
+    def test_single_process_shard_tolerates_no_churn(self):
+        assert sharded_synchronous_churn_bound(5.0, 1) == 0.0
+
+    def test_sharded_bound_validation(self):
+        with pytest.raises(ChurnError):
+            sharded_synchronous_churn_bound(0.0, 6)
+        with pytest.raises(ChurnError):
+            sharded_synchronous_churn_bound(5.0, 0)

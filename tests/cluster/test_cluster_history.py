@@ -149,3 +149,72 @@ class TestMergeSemantics:
         _, history_a = self._run(seed=12)
         _, history_b = self._run(seed=12)
         assert cluster_digest(history_a) == cluster_digest(history_b)
+
+
+class TestMigrationSeam:
+    """A committed handoff splits one key's record across two shards."""
+
+    def _migrated(self, seed=11):
+        cluster = ClusterSystem(
+            ClusterConfig(shards=3, keys=6, n=18, seed=seed)
+        )
+        key = cluster.keys[0]
+        source = cluster.shard_of(key)
+        dest = (source + 1) % 3
+        cluster.write("pre", key=key)
+        cluster.run_for(15.0)
+        cluster.schedule_migration(key, dest, at=20.0)
+        cluster.run_until(60.0)
+        cluster.write("post", key=key)
+        cluster.run_for(15.0)
+        cluster.read(key=key)
+        cluster.run_for(5.0)
+        return cluster, cluster.close(), key, source, dest
+
+    def test_migrated_keys_and_shards_are_recorded(self):
+        _, history, key, source, dest = self._migrated()
+        assert history.migrated_keys == frozenset({key})
+        assert history.migration_shards == frozenset({source, dest})
+        assert len(history.migrations) == 1
+        assert history.migrations[0].committed
+
+    def test_unmigrated_run_records_no_seam(self):
+        cluster, history = TestMergeSemantics()._run()
+        assert history.migrated_keys == frozenset()
+        assert history.migration_shards == frozenset()
+
+    def test_shard_views_exclude_the_migrated_key(self):
+        _, history, key, source, dest = self._migrated()
+        for shard in history.shard_ids():
+            assert all(
+                getattr(op, "key", None) != key
+                for op in history.shard_view(shard)
+            )
+
+    def test_seam_view_stitches_both_sides_in_order(self):
+        _, history, key, source, dest = self._migrated()
+        seam = history.seam_view(key)
+        writes = [op.argument for op in seam.writes() if op.done]
+        assert writes == ["pre", "post"]
+        assert any(
+            op.result == "post" for op in seam.reads() if op.done
+        )
+        times = [op.invoke_time for op in seam]
+        assert times == sorted(times)
+        # Both sides of the seam contributed operations.
+        assert {op.shard for op in seam} == {source, dest}
+
+    def test_seam_plus_shard_views_cover_every_keyed_operation(self):
+        _, history, key, *_ = self._migrated()
+        keyed = [op for op in history if getattr(op, "key", None) is not None]
+        covered = sum(
+            len([op for op in history.shard_view(s) if getattr(op, "key", None) is not None])
+            for s in history.shard_ids()
+        ) + len(history.seam_view(key))
+        assert covered == len(keyed)
+
+    def test_digest_covers_the_migration_record(self):
+        """Same operations, different handoff outcome ⇒ different digest."""
+        _, migrated, *_ = self._migrated(seed=11)
+        _, again, *_ = self._migrated(seed=11)
+        assert cluster_digest(migrated) == cluster_digest(again)

@@ -1,0 +1,86 @@
+"""Resharding-storm matrix: crash-safe handoff under adversarial plans.
+
+The acceptance bar for live migration: across the pinned storm matrix,
+every scheduled handoff resolves (committed flip or clean abort — never
+a record stuck mid-phase, never two owners, never none), and no
+in-model plan produces a safety violation.  Coordination faults
+(migration-payload loss, agent crashes) are *in-model* — the protocol
+claims to survive them — so any ``bug`` verdict here is a real
+protocol defect, not an excusable storm casualty.
+"""
+
+import pytest
+
+from repro.workloads.explorer import (
+    VERDICT_BUG,
+    ScenarioSpec,
+    build_plan,
+    run_scenario,
+)
+
+STORM_PLANS = (
+    "none",
+    "mig-crash-copy",
+    "mig-crash-install",
+    "mig-loss",
+    "mig-storm",
+)
+STORM_SEEDS = (0, 1, 2, 3)
+
+
+def storm_spec(plan_name: str, seed: int, **overrides) -> ScenarioSpec:
+    params = dict(
+        n=18,
+        delta=5.0,
+        churn_rate=0.02,
+        seed=seed,
+        horizon=120.0,
+        keys=6,
+        shards=3,
+        migrations=3,
+    )
+    params.update(overrides)
+    plan = build_plan(
+        plan_name, params["delta"], params["horizon"], params["n"]
+    )
+    return ScenarioSpec(plan=plan, **params)
+
+
+class TestStormMatrix:
+    @pytest.mark.parametrize("plan_name", STORM_PLANS)
+    @pytest.mark.parametrize("seed", STORM_SEEDS)
+    def test_no_in_model_bugs_and_every_handoff_resolves(
+        self, plan_name, seed
+    ):
+        outcome = run_scenario(storm_spec(plan_name, seed))
+        assert outcome.verdict != VERDICT_BUG, outcome.first_violation
+        resolved = outcome.migrations_committed + outcome.migrations_aborted
+        assert resolved == 3, (
+            f"{plan_name} seed={seed}: {3 - resolved} handoff(s) stuck "
+            f"mid-phase at the horizon"
+        )
+
+    def test_total_coordination_loss_aborts_every_handoff(self):
+        outcome = run_scenario(storm_spec("mig-loss", seed=0))
+        assert outcome.migrations_aborted == 3
+        assert outcome.migrations_committed == 0
+        assert outcome.safe
+
+    def test_quiet_plan_commits_every_handoff(self):
+        outcome = run_scenario(storm_spec("none", seed=0))
+        assert outcome.migrations_committed == 3
+        assert outcome.migrations_aborted == 0
+        assert outcome.safe and outcome.live
+
+
+class TestStormDeterminism:
+    def test_same_spec_replays_byte_identically(self):
+        a = run_scenario(storm_spec("mig-storm", seed=1))
+        b = run_scenario(storm_spec("mig-storm", seed=1))
+        assert a.digest == b.digest
+        assert a.to_dict() == b.to_dict()
+
+    def test_migration_axis_perturbs_the_digest(self):
+        with_mig = run_scenario(storm_spec("none", seed=0))
+        without = run_scenario(storm_spec("none", seed=0, migrations=0))
+        assert with_mig.digest != without.digest

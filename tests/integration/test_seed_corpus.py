@@ -50,6 +50,23 @@ def _spec(name: str, plan_name: str, **overrides) -> tuple[str, ScenarioSpec]:
     )
 
 
+#: The resharding-storm corpus shape: big enough for three shards of
+#: six, small enough to replay fast.
+CLUSTER_N = 18
+
+
+def _cluster_spec(
+    name: str, plan_name: str, **overrides
+) -> tuple[str, ScenarioSpec]:
+    plan = build_plan(plan_name, DELTA, HORIZON, CLUSTER_N)
+    params = dict(
+        n=CLUSTER_N, delta=DELTA, horizon=HORIZON, plan=plan,
+        shards=3, keys=6, migrations=2,
+    )
+    params.update(overrides)
+    return name, ScenarioSpec(**params)
+
+
 #: The canonical corpus: one entry per scenario family the explorer
 #: surfaced.  Violating entries document hypothesis breakage; safe
 #: entries pin the near-miss boundary from the other side.
@@ -93,6 +110,19 @@ CORPUS_SCENARIOS: list[tuple[str, ScenarioSpec]] = [
           churn_rate=0.02, seed=0),
     _spec("es-baseline", "none", protocol="es", delay="es",
           churn_rate=0.02, seed=0),
+    # -- resharding storms (live migration under attack) ---------------
+    _cluster_spec(
+        "cluster-clean-migration", "none", churn_rate=0.02, seed=0,
+    ),  # the baseline: both handoffs commit, everything stays judged
+    _cluster_spec(
+        "mig-loss-aborts-cleanly", "mig-loss", churn_rate=0.02, seed=0,
+    ),  # total coordination loss is in-model: clean aborts, safety holds
+    _cluster_spec(
+        "mig-crash-install-commits", "mig-crash-install", seed=0,
+    ),  # a dest replica dying mid-install still reaches full coverage
+    _cluster_spec(
+        "mig-storm-breaks", "mig-storm", churn_rate=0.02, seed=1,
+    ),  # 35% register loss on top: out-of-model, breakage documented
 ]
 
 
