@@ -1,0 +1,10 @@
+"""Benchmark E16 — regenerates the policy-driven rebalancing experiment."""
+
+from repro.experiments import e16_rebalance
+
+from .conftest import regenerate
+
+
+def test_bench_e16(benchmark):
+    """Regenerate E16 (rebalancing: imbalance reduction vs handoff cost)."""
+    regenerate(benchmark, e16_rebalance.run, "E16")

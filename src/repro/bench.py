@@ -265,6 +265,81 @@ def migration_handoff(
     return cluster.delivered_count, cluster_digest(history)
 
 
+def rebalance_storm(
+    shards: int = 4, keys: int = 8, n: int = 40, horizon: float = 240.0
+) -> tuple[int, str]:
+    """The cluster fan-out workload with a policy-driven rebalancer on it.
+
+    Same population and churn as :func:`migration_handoff`, but the
+    traffic is Zipf hot-shard skewed and no migration is hand-scheduled:
+    an aggressive :class:`~repro.cluster.rebalance.Rebalancer` (short
+    period, low threshold, budget 2) watches per-shard load and plans
+    concurrent handoff storms itself.  Returns the delivered count and a
+    digest combining the merged cluster history with the rebalancer's
+    own sample/action/record digest — so a policy regression that plans
+    different moves, at different ticks, from the same loads changes the
+    fingerprint even when the operation stream happens to match.
+    """
+    from .cluster.config import ClusterConfig
+    from .cluster.history import cluster_digest
+    from .cluster.rebalance import RebalancePolicy, Rebalancer
+    from .cluster.system import ClusterSystem
+    from .workloads.cluster import ClusterWorkloadDriver, shard_skewed_key_picker
+    from .workloads.generators import assign_keys, read_heavy_plan
+
+    delta = 5.0
+    cluster = ClusterSystem(
+        ClusterConfig(
+            shards=shards, keys=keys, n=n, delta=delta, protocol="sync", seed=29
+        )
+    )
+    cluster.attach_churn(rate=0.04, min_stay=15.0)
+    driver = ClusterWorkloadDriver(cluster, dynamic=True)
+    rebalancer = Rebalancer(
+        cluster,
+        driver=driver,
+        policy=RebalancePolicy(
+            period=3.0 * delta,
+            threshold=1.2,
+            budget=2,
+            max_retries=1,
+            plan_until=horizon - 18.0 * delta,
+        ),
+    )
+    plan = read_heavy_plan(
+        start=5.0,
+        end=horizon - 20.0,
+        write_period=12.0,
+        read_rate=2.0,
+        rng=cluster.rng.stream("bench.rebalance.plan"),
+    )
+    plan = assign_keys(
+        plan,
+        shard_skewed_key_picker(
+            cluster, cluster.rng.stream("bench.rebalance.keys"), distribution="zipf"
+        ),
+    )
+    driver.install(plan)
+    cluster.run_until(horizon)
+    history = cluster.close()
+    safety = cluster.check_safety()
+    if not safety.is_safe:
+        raise AssertionError(
+            f"the rebalance storm workload violated per-key regularity "
+            f"({safety.violation_count} bad reads) — the rebalancer planned "
+            f"an unsafe handoff"
+        )
+    if any(not r.finished for r in cluster.migration_records()):
+        raise AssertionError(
+            "a rebalancer-planned migration was still mid-phase at the "
+            "horizon — the plan_until quiesce margin broke"
+        )
+    combined = hashlib.sha256(
+        (cluster_digest(history) + rebalancer.digest()).encode("ascii")
+    ).hexdigest()
+    return cluster.delivered_count, combined
+
+
 def checker_history(rounds: int = 20, readers: int = 20, per: int = 5) -> History:
     """The ~2k-operation history the checker benchmarks judge."""
     system = DynamicSystem(
@@ -404,6 +479,12 @@ def run_kernel_benchmarks(
     record("migration_handoff", migration_wall, "delivered", migration_delivered)
     _, migration_digest_b = migration_handoff()
 
+    rebalance_wall, (rebalance_delivered, rebalance_digest_a) = _time_best(
+        rebalance_storm, repeats
+    )
+    record("rebalance_storm", rebalance_wall, "delivered", rebalance_delivered)
+    _, rebalance_digest_b = rebalance_storm()
+
     history = checker_history()
     ops = len(history)
 
@@ -523,6 +604,15 @@ def run_kernel_benchmarks(
             "migration_stable_within_process": (
                 migration_digest_a == migration_digest_b
             ),
+            # The combined cluster-history + rebalancer digest of the
+            # fixed-seed rebalance storm run: covers the policy's
+            # samples, planned moves and their records, so a rebalancer
+            # regression (different moves from the same loads) is
+            # caught even when the scheduled-migration digest is clean.
+            "rebalance_digest": rebalance_digest_a,
+            "rebalance_stable_within_process": (
+                rebalance_digest_a == rebalance_digest_b
+            ),
         },
     }
 
@@ -641,6 +731,7 @@ def compare_artifacts(
         "keyed_digest",
         "cluster_digest",
         "migration_digest",
+        "rebalance_digest",
     ):
         if field in old_det and field in new_det:
             same = old_det[field] == new_det[field]
@@ -715,6 +806,7 @@ def run_and_report(
     keyed_stable = payload["determinism"]["keyed_stable_within_process"]
     cluster_stable = payload["determinism"]["cluster_stable_within_process"]
     migration_stable = payload["determinism"]["migration_stable_within_process"]
+    rebalance_stable = payload["determinism"]["rebalance_stable_within_process"]
     print(f"determinism digest {payload['determinism']['digest'][:16]}… "
           f"{'STABLE' if stable else 'UNSTABLE'}")
     print(f"faulted digest     {payload['determinism']['faulted_digest'][:16]}… "
@@ -725,6 +817,8 @@ def run_and_report(
           f"{'STABLE' if cluster_stable else 'UNSTABLE'}")
     print(f"migration digest   {payload['determinism']['migration_digest'][:16]}… "
           f"{'STABLE' if migration_stable else 'UNSTABLE'}")
+    print(f"rebalance digest   {payload['determinism']['rebalance_digest'][:16]}… "
+          f"{'STABLE' if rebalance_stable else 'UNSTABLE'}")
     print(f"wrote {out_path}")
     if not (
         stable
@@ -732,6 +826,7 @@ def run_and_report(
         and keyed_stable
         and cluster_stable
         and migration_stable
+        and rebalance_stable
     ):
         return 1
     if baseline is not None:

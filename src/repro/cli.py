@@ -39,6 +39,15 @@ Seven subcommands, mirroring how the library is typically used:
     deferred writes) and the merged-history checker verdicts.  Exits
     non-zero if safety broke or a handoff never resolved.
 
+``rebalance``
+    Drive one policy-driven rebalancing cell ad hoc: a Zipf hot-shard
+    cluster with a load-watching rebalancer planning budget-bounded
+    storms of concurrent handoffs (optionally retiring a shard, or
+    running under a ``rebal-*`` fault plan), printing every sampling
+    window, every planned handoff's outcome and the imbalance
+    before/after.  Exits non-zero if safety broke or a planned
+    handoff never resolved.
+
 ``explore``
     Sweep the adversarial scenario matrix (protocol × delay model ×
     churn × fault plan × key count × shard count × migration count ×
@@ -230,6 +239,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="judge the merged history with the brute-force reference checkers",
     )
 
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="rebalance a hot-shard cluster by policy-planned migrations",
+    )
+    rebalance.add_argument("--shards", type=int, default=4)
+    rebalance.add_argument("--keys", type=int, default=8)
+    rebalance.add_argument("--n", type=int, default=24)
+    rebalance.add_argument("--delta", type=float, default=5.0)
+    rebalance.add_argument("--churn", type=float, default=0.02)
+    rebalance.add_argument("--horizon", type=float, default=240.0)
+    rebalance.add_argument("--seed", type=int, default=0)
+    rebalance.add_argument(
+        "--period",
+        type=float,
+        default=None,
+        help="load-sampling period (default: 4 delta)",
+    )
+    rebalance.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="max/mean imbalance past which a batch is planned",
+    )
+    rebalance.add_argument(
+        "--migration-budget",
+        type=int,
+        default=2,
+        help="max handoffs planned per sampling window (the storm size cap)",
+    )
+    rebalance.add_argument(
+        "--cooldown",
+        type=float,
+        default=0.0,
+        help="extra wait after a planned batch before imbalance triggers again",
+    )
+    rebalance.add_argument(
+        "--load",
+        default="ops",
+        choices=["ops", "delivered"],
+        help="shard-load signal: issued workload ops or delivered messages",
+    )
+    rebalance.add_argument(
+        "--retire",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="retire this shard: migrate every key off it, never move keys to it",
+    )
+    rebalance.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "fault plan from the explorer library to rebalance under "
+            "(e.g. rebal-loss, rebal-crash, rebal-storm)"
+        ),
+    )
+    rebalance.add_argument(
+        "--key-dist",
+        default="zipf",
+        choices=["uniform", "zipf"],
+        help="shard-level traffic skew (zipf = a hot shard, the default)",
+    )
+    rebalance.add_argument("--read-rate", type=float, default=0.6)
+    rebalance.add_argument("--write-period", type=float, default=10.0)
+    rebalance.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="judge the merged history with the brute-force reference checkers",
+    )
+
     explore = sub.add_parser(
         "explore", help="sweep adversarial fault scenarios and shrink violations"
     )
@@ -302,6 +382,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     explore.add_argument(
+        "--rebalance",
+        nargs="+",
+        type=int,
+        default=[0],
+        metavar="B",
+        help=(
+            "rebalancer per-window migration budgets to sweep (default: "
+            "just 0 = no rebalancer; budgets > 0 run only in cells with "
+            "shards >= 2 and keys >= 2 — combine with the rebal-* plans "
+            "for rebalancing storms)"
+        ),
+    )
+    explore.add_argument(
         "--no-shrink",
         action="store_true",
         help="skip minimizing violating fault schedules",
@@ -363,6 +456,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 2
         if args.command == "migrate":
             return _cmd_migrate(args)
+        if args.command == "rebalance":
+            return _cmd_rebalance(args)
         if args.command == "explore":
             return _cmd_explore(args)
     except ReproError as error:
@@ -571,6 +666,128 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     return 0 if (safety.is_safe and all_resolved) else 1
 
 
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    from .cluster.config import ClusterConfig
+    from .cluster.rebalance import RebalancePolicy, Rebalancer
+    from .cluster.system import ClusterSystem
+    from .workloads.cluster import ClusterWorkloadDriver, shard_skewed_key_picker
+    from .workloads.explorer import PLAN_BUILDERS, _shard_scoped_plan, build_plan
+    from .workloads.generators import assign_keys, read_heavy_plan
+
+    if args.plan is not None and args.plan not in PLAN_BUILDERS:
+        print(
+            f"error: unknown plan {args.plan!r}; "
+            f"known: {', '.join(PLAN_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    cluster = ClusterSystem(
+        ClusterConfig(
+            shards=args.shards,
+            keys=args.keys,
+            n=args.n,
+            delta=args.delta,
+            protocol="sync",
+            seed=args.seed,
+        )
+    )
+    if args.plan is not None:
+        plan = build_plan(args.plan, args.delta, args.horizon, args.n)
+        sizes = cluster.config.shard_sizes()
+        for index in range(args.shards):
+            cluster.install_faults(
+                _shard_scoped_plan(plan, index, sizes[index], args.n),
+                shards=[index],
+                scope_pids=False,
+            )
+    if args.churn > 0:
+        cluster.attach_churn(rate=args.churn, min_stay=3.0 * args.delta)
+    driver = ClusterWorkloadDriver(cluster, dynamic=True)
+    policy = RebalancePolicy(
+        period=args.period if args.period is not None else 4.0 * args.delta,
+        threshold=args.threshold,
+        budget=args.migration_budget,
+        cooldown=args.cooldown,
+        load=args.load,
+        max_retries=1,
+        plan_until=args.horizon - 18.0 * args.delta,
+    )
+    rebalancer = Rebalancer(cluster, driver=driver, policy=policy)
+    if args.retire is not None:
+        rebalancer.retire_shard(args.retire)
+    plan_ops = read_heavy_plan(
+        start=5.0,
+        end=max(6.0, args.horizon - 4.0 * args.delta),
+        write_period=args.write_period,
+        read_rate=args.read_rate,
+        rng=cluster.rng.stream("cli.rebalance.plan"),
+    )
+    plan_ops = assign_keys(
+        plan_ops,
+        shard_skewed_key_picker(
+            cluster,
+            cluster.rng.stream("cli.rebalance.keys"),
+            distribution=args.key_dist,
+        ),
+    )
+    driver.install(plan_ops)
+    cluster.run_until(args.horizon)
+    cluster.close()
+    safety = cluster.check_safety(paranoid=args.paranoid)
+    liveness = cluster.check_liveness(grace=10.0 * args.delta)
+    plan_label = f" plan={args.plan}" if args.plan else ""
+    retire_label = f" retire={args.retire}" if args.retire is not None else ""
+    print(
+        f"shards={args.shards} keys={args.keys} n={args.n} δ={args.delta} "
+        f"churn={args.churn} horizon={args.horizon} seed={args.seed}"
+        f"{plan_label}{retire_label}"
+    )
+    print(
+        f"policy         : period={policy.period:g} threshold={policy.threshold:g} "
+        f"budget={policy.budget} cooldown={policy.cooldown:g} load={policy.load}"
+    )
+    for sample in rebalancer.samples:
+        flag = f" planned {sample.planned}" if sample.planned else ""
+        note = f" [{sample.note}]" if sample.note else ""
+        print(
+            f"  t={sample.time:6.1f}  loads={tuple(sample.loads)}  "
+            f"imbalance={sample.imbalance:.3f}{flag}{note}"
+        )
+    for action in rebalancer.actions:
+        record = action.record
+        if record.committed:
+            outcome = f"committed in {record.latency:.1f} (v{record.map_version})"
+        elif record.aborted:
+            outcome = f"aborted ({record.reason})"
+        else:
+            outcome = f"UNRESOLVED (phase={record.phase})"
+        print(
+            f"  {action.key}: shard {action.source} -> {action.dest} "
+            f"@{action.time:g} [{action.reason}]  {outcome}"
+        )
+    ops = driver.shard_op_counts()
+    print(f"shard ops      : {tuple(ops)}")
+    print(f"imbalance      : {Rebalancer.imbalance_of(ops):.3f} (max/mean, cumulative)")
+    stats = driver.stats
+    print(f"reads issued   : {stats.reads_issued} (skipped {stats.reads_skipped})")
+    print(
+        f"writes issued  : {stats.writes_issued} "
+        f"(deferred {cluster.writes_deferred}, dropped {cluster.writes_dropped})"
+    )
+    summary = rebalancer.summary()
+    print(
+        f"handoffs       : {summary['planned']} planned, "
+        f"{summary['committed']} committed, {summary['aborted']} aborted, "
+        f"{summary['unresolved']} unresolved"
+    )
+    print(safety.summary())
+    print(liveness.summary())
+    all_resolved = summary["unresolved"] == 0
+    if not all_resolved:
+        print("STUCK HANDOFF: a planned migration never resolved — this is a bug")
+    return 0 if (safety.is_safe and all_resolved) else 1
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     import json
 
@@ -602,6 +819,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         key_dist=args.key_dist,
         shard_counts=tuple(args.shards),
         migration_counts=tuple(args.migrations),
+        rebalance_counts=tuple(args.rebalance),
     )
     for outcome in report.outcomes:
         if args.verbose or outcome.violated:

@@ -20,7 +20,11 @@ level routing, merged histories and merged checking on top:
 * :class:`KeyMigration` / :class:`MigrationSpec` /
   :class:`MigrationRecord` — live resharding: fault-tolerant key
   handoff between shards (freeze → copy → install → flip + drain,
-  with a clean abort path).
+  with a clean abort path);
+* :class:`Rebalancer` / :class:`RebalancePolicy` — the policy on top
+  of the mechanism: samples per-shard load, plans budget-bounded
+  batches of handoffs (greedy hottest-key-to-coldest-shard, plus a
+  ``retire_shard`` scale-down mode).
 """
 
 from .checker import (
@@ -31,6 +35,12 @@ from .checker import (
 from .config import ClusterConfig
 from .history import ClusterHistory, cluster_digest
 from .migration import KeyMigration, MigrationRecord, MigrationSpec
+from .rebalance import (
+    RebalanceAction,
+    RebalancePolicy,
+    Rebalancer,
+    RebalanceSample,
+)
 from .system import ClusterSystem
 
 __all__ = [
@@ -40,6 +50,10 @@ __all__ = [
     "KeyMigration",
     "MigrationRecord",
     "MigrationSpec",
+    "RebalanceAction",
+    "RebalancePolicy",
+    "RebalanceSample",
+    "Rebalancer",
     "check_cluster_liveness",
     "check_cluster_safety",
     "cluster_digest",

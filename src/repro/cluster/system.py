@@ -167,6 +167,22 @@ class ClusterSystem:
     # Live resharding (repro.cluster.migration)
     # ------------------------------------------------------------------
 
+    def enable_elastic(self) -> None:
+        """Flip the front door into elastic mode before the run starts.
+
+        :meth:`schedule_migration` does this implicitly; callers that
+        plan migrations *during* the run (a rebalancer watching load)
+        must arm the serializing front door up front, because every
+        write of the run has to share the cluster-wide value counter
+        and per-key serialization with the handoffs that may follow.
+        """
+        if len(self.keys) == 1 and self.keys[0] is None:
+            raise ConfigError(
+                "elastic mode requires a named multi-key cluster "
+                "(a 1-key cluster has nothing to reshard)"
+            )
+        self._elastic = True
+
     def schedule_migration(
         self, key: Any, dest: int, at: Time, **knobs: Any
     ) -> MigrationRecord:
@@ -177,17 +193,12 @@ class ClusterSystem:
         run must go through the serializing front door).  Returns the
         :class:`MigrationRecord` that the handoff will fill in.
         """
-        if len(self.keys) == 1 and self.keys[0] is None:
-            raise ConfigError(
-                "migration requires a named multi-key cluster "
-                "(a 1-key cluster has nothing to reshard)"
-            )
         key = self.resolve_key(key)
         if not 0 <= dest < len(self.shards):
             raise ConfigError(
                 f"destination shard {dest} out of range [0, {len(self.shards)})"
             )
-        self._elastic = True
+        self.enable_elastic()
         migration = KeyMigration(
             self,
             MigrationSpec(key=key, dest=dest, start=at, **knobs),
@@ -245,12 +256,21 @@ class ClusterSystem:
         again in between, in which case the queue waits for the next
         unfreeze.
         """
+        handle = self._try_issue(key, value)
+        if handle is None:
+            # The value was dropped (writer absent); keep the queue
+            # moving — iteratively, so a long deferred queue against a
+            # crashed writer never grows the Python stack.
+            self._drain_queue(key)
+        return handle
+
+    def _try_issue(self, key: Any, value: Any) -> OperationHandle | None:
+        """Issue ``value`` to the key's owner, or drop-and-count it."""
         shard = self.shard_for(key)
         if not shard.membership.is_present(shard.writer_pid):
             # The owner's designated writer crashed; the write cannot
-            # be issued.  Count it and keep the queue moving.
+            # be issued.
             self._writes_dropped += 1
-            self._drain_queue(key)
             return None
         handle = shard.write(value, key=key)
         self._last_write[key] = handle
@@ -262,15 +282,21 @@ class ClusterSystem:
             self._drain_queue(key)
 
     def _drain_queue(self, key: Any) -> None:
-        if key in self._frozen_keys:
-            return
-        queue = self._write_queues.get(key)
-        if not queue:
-            return
-        last = self._last_write.get(key)
-        if last is not None and last.pending:
-            return
-        self._issue_write(key, queue.pop(0))
+        # A loop, not recursion: every dropped value continues draining
+        # in the same frame, so a several-thousand-entry queue whose
+        # owner lost its writer drains without touching the recursion
+        # limit mid-run.
+        while True:
+            if key in self._frozen_keys:
+                return
+            queue = self._write_queues.get(key)
+            if not queue:
+                return
+            last = self._last_write.get(key)
+            if last is not None and last.pending:
+                return
+            if self._try_issue(key, queue.pop(0)) is not None:
+                return
 
     # ------------------------------------------------------------------
     # Dynamicity and faults

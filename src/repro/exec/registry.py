@@ -38,6 +38,7 @@ ENTRY_POINTS: dict[str, str] = {
     "e13": "repro.experiments.e13_keyed_store:cell",
     "e14": "repro.experiments.e14_sharded_cluster:cell",
     "e15": "repro.experiments.e15_migration:cell",
+    "e16": "repro.experiments.e16_rebalance:cell",
 }
 
 #: Resolved callables, cached per process.

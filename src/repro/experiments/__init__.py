@@ -33,6 +33,7 @@ from . import (
     e13_keyed_store,
     e14_sharded_cluster,
     e15_migration,
+    e16_rebalance,
 )
 from .ablations import ABLATIONS
 from .harness import ExperimentResult, format_table
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E13": e13_keyed_store.run,
     "E14": e14_sharded_cluster.run,
     "E15": e15_migration.run,
+    "E16": e16_rebalance.run,
 }
 
 

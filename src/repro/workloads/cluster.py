@@ -20,7 +20,7 @@ threatens per-key regularity (it must not — shards are independent).
 from __future__ import annotations
 
 import random
-from dataclasses import replace
+from dataclasses import fields, replace
 from typing import TYPE_CHECKING
 
 from ..sim.errors import ExperimentError
@@ -69,6 +69,7 @@ class ClusterWorkloadDriver:
             self._avoid_writer_reads = avoid_writer_reads
             self._pending_writes: dict[object, object] = {}
             self._shard_ops: dict[int, int] = {}
+            self._key_ops: dict[object, int] = {}
         else:
             #: One single-system driver per shard; their stats are the
             #: ground truth, :attr:`stats` just aggregates them.
@@ -166,6 +167,7 @@ class ClusterWorkloadDriver:
     def _count_shard_op(self, key: object) -> None:
         shard = self.cluster.shard_of(key)
         self._shard_ops[shard] = self._shard_ops.get(shard, 0) + 1
+        self._key_ops[key] = self._key_ops.get(key, 0) + 1
 
     # ------------------------------------------------------------------
     # Accounting
@@ -182,19 +184,38 @@ class ClusterWorkloadDriver:
             d.stats.reads_issued + d.stats.writes_issued for d in self.drivers
         )
 
+    def key_op_counts(self) -> dict[object, int]:
+        """Issued operations per key (dynamic mode only).
+
+        The rebalancer's per-key load signal: which keys make a hot
+        shard hot.  Static mode routes at install time and never
+        tracks per-key counts; asking there is a usage bug.
+        """
+        if not self.dynamic:
+            raise ExperimentError(
+                "key_op_counts requires a dynamic cluster driver"
+            )
+        return dict(self._key_ops)
+
     @property
     def stats(self) -> WorkloadStats:
-        """Cluster-wide aggregate of the per-shard driver stats."""
+        """Cluster-wide aggregate of the per-shard driver stats.
+
+        Aggregation walks ``WorkloadStats``'s own fields — lists are
+        concatenated, counters summed — so adding a field to the
+        dataclass can never silently vanish from cluster totals.
+        """
         if self.dynamic:
             return self._stats
         total = WorkloadStats()
         for driver in self.drivers:
-            total.reads_issued += driver.stats.reads_issued
-            total.reads_skipped += driver.stats.reads_skipped
-            total.writes_issued += driver.stats.writes_issued
-            total.writes_skipped += driver.stats.writes_skipped
-            total.read_handles.extend(driver.stats.read_handles)
-            total.write_handles.extend(driver.stats.write_handles)
+            for field in fields(WorkloadStats):
+                mine = getattr(total, field.name)
+                theirs = getattr(driver.stats, field.name)
+                if isinstance(mine, list):
+                    mine.extend(theirs)
+                else:
+                    setattr(total, field.name, mine + theirs)
         return total
 
 
@@ -211,13 +232,20 @@ def shard_skewed_key_picker(
     ``"uniform"`` spreads evenly), then a key uniformly within the
     drawn shard.  Two draws per operation, both from ``rng``, so a
     skewed plan is exactly as reproducible as its base plan.
+
+    Shard *rank* is fixed at construction (so the hot shard stays the
+    hot shard), but the keys within the drawn shard are resolved at
+    pick time: after a committed migration flip, draws for a shard
+    route to the keys it owns *now*, never by stale ownership.  A
+    shard that has since lost every key falls back to a uniform draw
+    over all cluster keys, keeping the per-pick draw count — and so
+    the seeded sequence for static clusters — exactly as before.
     """
-    owned = {
-        shard: keys
+    populated = [
+        shard
         for shard in range(len(cluster.shards))
-        if (keys := cluster.keys_of_shard(shard))
-    }
-    populated = list(owned)
+        if cluster.keys_of_shard(shard)
+    ]
     if not populated:
         raise ExperimentError("no shard owns any key; nothing to pick")
     if distribution == "zipf":
@@ -231,7 +259,7 @@ def shard_skewed_key_picker(
         )
 
     def pick() -> object:
-        keys = owned[pick_shard()]
+        keys = cluster.keys_of_shard(pick_shard()) or cluster.keys
         return keys[rng.randrange(len(keys))]
 
     return pick

@@ -217,6 +217,41 @@ def _plan_mig_storm(delta: Time, horizon: Time, n: int) -> FaultPlan:
     )
 
 
+def _plan_rebal_loss(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Eat every handoff-coordination message under a *rebalancer's*
+    # storms of concurrent migrations.  Still in-model (the register
+    # makes no hypothesis about coordination traffic): every planned
+    # batch must abort cleanly while the store keeps serving, so a
+    # violation here is a rebalancer-induced bug.
+    return FaultPlan.of(
+        LossFault(probability=1.0, payload_types=MIGRATION_PAYLOADS),
+        name="rebal-loss",
+    )
+
+
+def _plan_rebal_crash(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Crash the handoff agents at both remote phases while the
+    # rebalancer keeps planning fresh batches — in-model departures, so
+    # safety must survive every storm.
+    return FaultPlan.of(
+        CrashFault(phase="MigFetchReply", victim="dest"),
+        CrashFault(phase="MigInstall", victim="dest", occurrence=2),
+        name="rebal-crash",
+    )
+
+
+def _plan_rebal_storm(delta: Time, horizon: Time, n: int) -> FaultPlan:
+    # Heavy loss on *all* traffic plus agent crashes under continuous
+    # rebalancing: out-of-model (the loss soaks dissemination too), the
+    # boundary-documenting flavour of the family.
+    return FaultPlan.of(
+        LossFault(probability=0.35),
+        CrashFault(phase="MigFetchReply", victim="dest"),
+        CrashFault(phase="MigInstall", victim="dest"),
+        name="rebal-storm",
+    )
+
+
 PLAN_BUILDERS = {
     "none": _plan_none,
     "light-loss": _plan_light_loss,
@@ -230,13 +265,19 @@ PLAN_BUILDERS = {
     "mig-crash-install": _plan_mig_crash_install,
     "mig-loss": _plan_mig_loss,
     "mig-storm": _plan_mig_storm,
+    "rebal-loss": _plan_rebal_loss,
+    "rebal-crash": _plan_rebal_crash,
+    "rebal-storm": _plan_rebal_storm,
 }
 
-#: The default sweep deliberately excludes the ``mig-*`` storm plans:
-#: they only bite when the cell schedules migrations, and keeping them
-#: out preserves the recorded default-matrix order byte for byte.
+#: The default sweep deliberately excludes the ``mig-*`` and
+#: ``rebal-*`` storm plans: they only bite when the cell schedules
+#: migrations (or runs a rebalancer), and keeping them out preserves
+#: the recorded default-matrix order byte for byte.
 DEFAULT_PLAN_NAMES = tuple(
-    name for name in PLAN_BUILDERS if not name.startswith("mig-")
+    name
+    for name in PLAN_BUILDERS
+    if not name.startswith(("mig-", "rebal-"))
 )
 
 
@@ -289,15 +330,24 @@ class ScenarioSpec:
     #: robin, each hops to the next shard, starts spread over the
     #: middle of the horizon — the resharding-storm axis.
     migrations: int = 0
+    #: Per-window migration budget of a load-watching
+    #: :class:`~repro.cluster.rebalance.Rebalancer` riding the run
+    #: (0 = none; requires ``shards > 1`` and ``keys > 1``).  Unlike
+    #: the ``migrations`` axis the handoffs are *planned by policy*
+    #: from observed load, so a safety violation under an in-model
+    #: plan here is a rebalancer-induced bug.
+    rebalance: int = 0
 
     def label(self) -> str:
         plan = self.plan.name or "anonymous"
         keyed = f" keys={self.keys}/{self.key_dist}" if self.keys > 1 else ""
         sharded = f" shards={self.shards}" if self.shards > 1 else ""
         migrating = f" mig={self.migrations}" if self.migrations else ""
+        rebalancing = f" rebal={self.rebalance}" if self.rebalance else ""
         return (
             f"{self.protocol}/{self.delay} c={self.churn_rate:g} "
             f"plan={plan} seed={self.seed}{keyed}{sharded}{migrating}"
+            f"{rebalancing}"
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -320,6 +370,8 @@ class ScenarioSpec:
         # recorded corpus) stay byte-identical.
         if self.migrations:
             payload["migrations"] = self.migrations
+        if self.rebalance:
+            payload["rebalance"] = self.rebalance
         return payload
 
     @classmethod
@@ -349,12 +401,16 @@ class ScenarioOutcome:
     reads_issued: int
     writes_issued: int
     quiesced: bool
-    #: Handoff accounting (cluster cells with ``spec.migrations``; zero
-    #: elsewhere).  Every scheduled migration must finish as exactly
-    #: one of these — a record still mid-phase at the horizon is the
-    #: stuck-handoff signal the storm tests assert against.
+    #: Handoff accounting (cluster cells with ``spec.migrations`` or
+    #: ``spec.rebalance``; zero elsewhere).  Every scheduled migration
+    #: must finish as exactly one of these — a record still mid-phase
+    #: at the horizon is the stuck-handoff signal the storm tests
+    #: assert against.  ``migrations_planned`` is the total the cell
+    #: scheduled (fixed for the ``migrations`` axis, policy-decided for
+    #: the ``rebalance`` axis).
     migrations_committed: int = 0
     migrations_aborted: int = 0
+    migrations_planned: int = 0
     first_violation: str | None = None
     shrunk_plan: FaultPlan | None = None
     shrink_runs: int = 0
@@ -388,9 +444,11 @@ class ScenarioOutcome:
             "writes_issued": self.writes_issued,
             "quiesced": self.quiesced,
         }
-        if self.spec.migrations:
+        if self.spec.migrations or self.spec.rebalance:
             payload["migrations_committed"] = self.migrations_committed
             payload["migrations_aborted"] = self.migrations_aborted
+        if self.spec.rebalance:
+            payload["migrations_planned"] = self.migrations_planned
         if self.first_violation is not None:
             payload["first_violation"] = self.first_violation
         if self.shrunk_plan is not None:
@@ -524,6 +582,7 @@ def _build_outcome(
     quiesced: bool,
     migrations_committed: int = 0,
     migrations_aborted: int = 0,
+    migrations_planned: int = 0,
 ) -> ScenarioOutcome:
     """The one verdict rule, shared by every cell flavour.
 
@@ -561,6 +620,7 @@ def _build_outcome(
         quiesced=quiesced,
         migrations_committed=migrations_committed,
         migrations_aborted=migrations_aborted,
+        migrations_planned=migrations_planned,
         first_violation=(violations[0].explanation if violations else None),
     )
 
@@ -597,6 +657,16 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         raise ExperimentError(
             "migrations need somewhere to go: a cell with "
             f"migrations={spec.migrations} requires shards >= 2 and "
+            f"keys >= 2, got shards={spec.shards} keys={spec.keys}"
+        )
+    if spec.rebalance < 0:
+        raise ExperimentError(
+            f"rebalance budget must be non-negative, got {spec.rebalance!r}"
+        )
+    if spec.rebalance and (spec.shards < 2 or spec.keys < 2):
+        raise ExperimentError(
+            "a rebalancer needs somewhere to move keys: a cell with "
+            f"rebalance={spec.rebalance} requires shards >= 2 and "
             f"keys >= 2, got shards={spec.shards} keys={spec.keys}"
         )
     if spec.shards > 1:
@@ -779,7 +849,6 @@ def _run_cluster_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
             )
     if spec.churn_rate > 0:
         cluster.attach_churn(rate=spec.churn_rate, min_stay=3.0 * spec.delta)
-    records = []
     if spec.migrations:
         # Keys round-robin; each hops one shard over (wrapping adds a
         # hop so repeats of the same key keep moving); starts spread
@@ -794,13 +863,32 @@ def _run_cluster_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
             if dest == cluster.shard_of(key):
                 dest = (dest + 1) % spec.shards
             start = spec.horizon * (0.15 + 0.4 * j / spec.migrations)
-            records.append(
-                cluster.schedule_migration(key, dest, at=start, max_retries=1)
-            )
-    # Migrating cells need fire-time routing (a write landing after a
-    # flip must reach the new owner); static cells keep the recorded
-    # install-time split byte for byte.
-    driver = ClusterWorkloadDriver(cluster, dynamic=bool(spec.migrations))
+            cluster.schedule_migration(key, dest, at=start, max_retries=1)
+    # Migrating (and rebalanced) cells need fire-time routing (a write
+    # landing after a flip must reach the new owner); static cells keep
+    # the recorded install-time split byte for byte.
+    driver = ClusterWorkloadDriver(
+        cluster, dynamic=bool(spec.migrations or spec.rebalance)
+    )
+    if spec.rebalance:
+        from ..cluster.rebalance import RebalancePolicy, Rebalancer
+
+        # A deliberately trigger-happy policy: tick every 3 delta,
+        # react to mild skew, plan up to ``spec.rebalance`` handoffs
+        # per window — the concurrent-storm shape — and stop planning
+        # past 55% of the horizon so the timeout ladders of the last
+        # batch (one retry per phase) can resolve before the run ends.
+        Rebalancer(
+            cluster,
+            driver=driver,
+            policy=RebalancePolicy(
+                period=3.0 * spec.delta,
+                threshold=1.2,
+                budget=spec.rebalance,
+                max_retries=1,
+                plan_until=spec.horizon * 0.55,
+            ),
+        )
     workload = read_heavy_plan(
         start=5.0,
         end=max(6.0, spec.horizon - 4.0 * spec.delta),
@@ -818,6 +906,9 @@ def _run_cluster_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     cluster.run_until(spec.horizon)
     history = cluster.close()
     stats = driver.stats
+    # All handoffs the run scheduled — the fixed `migrations` axis plus
+    # anything a rebalancer planned from observed load.
+    all_records = cluster.migration_records()
     return _build_outcome(
         spec,
         check_cluster_safety(history),
@@ -835,8 +926,9 @@ def _run_cluster_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
         reads_issued=stats.reads_issued,
         writes_issued=stats.writes_issued,
         quiesced=cluster.engine.next_event_time() is None,
-        migrations_committed=sum(1 for r in records if r.committed),
-        migrations_aborted=sum(1 for r in records if r.aborted),
+        migrations_committed=sum(1 for r in all_records if r.committed),
+        migrations_aborted=sum(1 for r in all_records if r.aborted),
+        migrations_planned=len(all_records),
     )
 
 
@@ -1003,6 +1095,7 @@ def scenario_matrix(
     key_dist: str = "uniform",
     shard_counts: tuple[int, ...] = (1,),
     migration_counts: tuple[int, ...] = (0,),
+    rebalance_counts: tuple[int, ...] = (0,),
 ) -> Iterator[ScenarioSpec]:
     """The sweep, in deterministic order (plans vary slowest).
 
@@ -1015,6 +1108,9 @@ def scenario_matrix(
     additionally run with that many live key migrations; counts > 0
     are silently skipped for cells that cannot host a handoff
     (``shards < 2`` or ``keys < 2``), so a mixed sweep stays valid.
+    ``rebalance_counts`` is the rebalancer axis: a per-window migration
+    budget for a load-watching rebalancer riding the cell, with the
+    same skip rule.
     """
     for name in plan_names:
         plan = build_plan(name, delta, horizon, n)
@@ -1026,21 +1122,25 @@ def scenario_matrix(
                             for migrations in migration_counts:
                                 if migrations and (shards < 2 or keys < 2):
                                     continue
-                                for offset in range(seeds_per_combo):
-                                    yield ScenarioSpec(
-                                        protocol=protocol,
-                                        n=n,
-                                        delta=delta,
-                                        delay=delay,
-                                        churn_rate=churn_rate,
-                                        plan=plan,
-                                        seed=seed + offset,
-                                        horizon=horizon,
-                                        keys=keys,
-                                        key_dist=key_dist,
-                                        shards=shards,
-                                        migrations=migrations,
-                                    )
+                                for rebalance in rebalance_counts:
+                                    if rebalance and (shards < 2 or keys < 2):
+                                        continue
+                                    for offset in range(seeds_per_combo):
+                                        yield ScenarioSpec(
+                                            protocol=protocol,
+                                            n=n,
+                                            delta=delta,
+                                            delay=delay,
+                                            churn_rate=churn_rate,
+                                            plan=plan,
+                                            seed=seed + offset,
+                                            horizon=horizon,
+                                            keys=keys,
+                                            key_dist=key_dist,
+                                            shards=shards,
+                                            migrations=migrations,
+                                            rebalance=rebalance,
+                                        )
 
 
 def explore(
@@ -1061,6 +1161,7 @@ def explore(
     key_dist: str = "uniform",
     shard_counts: tuple[int, ...] = (1,),
     migration_counts: tuple[int, ...] = (0,),
+    rebalance_counts: tuple[int, ...] = (0,),
 ) -> ExplorationReport:
     """Sweep the matrix, judge every run, shrink every counterexample.
 
@@ -1079,7 +1180,11 @@ def explore(
     ``migration_counts`` adds the resharding axis: cluster cells
     additionally run with that many live key migrations under the
     plan — the resharding-storm family when combined with the
-    ``mig-*`` plans.
+    ``mig-*`` plans.  ``rebalance_counts`` adds the rebalancer axis
+    (per-window migration budgets for a load-watching rebalancer) —
+    the rebalancing-storm family when combined with the ``rebal-*``
+    plans; classification is again untouched, so a rebalancer-induced
+    violation under an in-model plan is a bug.
 
     The sweep itself runs through the shared execution engine:
     ``workers`` processes judge cells concurrently (default: all
@@ -1106,7 +1211,7 @@ def explore(
             seed, tuple(protocols), tuple(delays), tuple(churn_rates),
             tuple(plan_names), seeds_per_combo, n, delta, horizon,
             tuple(key_counts), key_dist, tuple(shard_counts),
-            tuple(migration_counts),
+            tuple(migration_counts), tuple(rebalance_counts),
         )
     )
     report.skipped_cells = max(0, len(specs) - budget)

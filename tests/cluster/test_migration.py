@@ -238,3 +238,44 @@ class TestElasticFrontDoor:
         b.schedule_migration(key, dest, at=20.0)
         b.run_until(80.0)
         assert cluster_digest(b.close()) == cluster_digest(history)
+
+
+class TestDeferredQueueDepth:
+    def test_deep_queue_against_a_crashed_writer_drains_iteratively(self):
+        """Regression: draining a deferred-write queue used to recurse
+        once per dropped value, so a few thousand writes queued behind a
+        frozen key whose owner lost its writer blew the recursion limit
+        mid-run.  The drain is a loop now: every value drops in the same
+        frame and the queue empties no matter how deep it got."""
+        depth = 3000
+        cluster = make_cluster()
+        cluster.enable_elastic()
+        key = cluster.keys[0]
+        shard = cluster.shard_for(key)
+        cluster._freeze(key)
+        for _ in range(depth):
+            assert cluster.write(key=key) is None  # queued behind the freeze
+        assert cluster.writes_deferred == depth
+        shard.leave(shard.writer_pid)
+        cluster._frozen_keys.discard(key)
+        cluster._drain_queue(key)  # recursed pre-fix: RecursionError here
+        assert cluster.writes_dropped == depth
+        assert not cluster._write_queues.get(key)
+
+    def test_drain_resumes_issuing_once_a_live_value_heads_the_queue(self):
+        """The iterative drain must still stop at the first value it can
+        actually issue — dropping is the exceptional path, not the loop's
+        purpose."""
+        cluster = make_cluster()
+        cluster.enable_elastic()
+        key = cluster.keys[0]
+        cluster._freeze(key)
+        for _ in range(5):
+            cluster.write(key=key)
+        cluster._frozen_keys.discard(key)
+        cluster._drain_queue(key)  # writer alive: issues exactly one
+        assert cluster.writes_dropped == 0
+        assert len(cluster._write_queues[key]) == 4
+        cluster.run_until(40.0)  # the rest chain out as each settles
+        assert not cluster._write_queues.get(key)
+        assert cluster.writes_dropped == 0

@@ -104,3 +104,15 @@ class TestE12Shapes:
         assert rows["constant"]["violations"] == 0
         assert rows["diurnal"]["peak_over_cap"] < 1.0
         assert rows["burst"]["peak_over_cap"] > 1.0
+
+
+class TestE16Shapes:
+    def test_rebalancer_pays_a_reported_amortized_cost(self):
+        result = EXPERIMENTS["E16"](**QUICK_KWARGS)
+        for row in result.rows:
+            assert row["imbalance_rebalanced"] < row["imbalance_static"]
+            assert row["unresolved"] == 0
+            assert row["violations"] == 0
+            # Handoffs are not free and the cost is reported, not hidden.
+            assert row["committed"] > 0
+            assert row["cost_per_commit"] > 0

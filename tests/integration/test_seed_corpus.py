@@ -123,6 +123,19 @@ CORPUS_SCENARIOS: list[tuple[str, ScenarioSpec]] = [
     _cluster_spec(
         "mig-storm-breaks", "mig-storm", churn_rate=0.02, seed=1,
     ),  # 35% register loss on top: out-of-model, breakage documented
+    # -- rebalancing storms (policy-planned migration under attack) -----
+    _cluster_spec(
+        "rebal-clean-converges", "none", churn_rate=0.02, seed=0,
+        migrations=0, rebalance=2,
+    ),  # the policy plans its own storms; every one resolves, safety holds
+    _cluster_spec(
+        "rebal-loss-aborts-cleanly", "rebal-loss", churn_rate=0.02, seed=0,
+        migrations=0, rebalance=2,
+    ),  # total handoff-coordination loss: every policy move aborts clean
+    _cluster_spec(
+        "rebal-storm-breaks", "rebal-storm", churn_rate=0.02, seed=1,
+        migrations=0, rebalance=2,
+    ),  # register loss + dest crashes on top: out-of-model, documented
 ]
 
 

@@ -95,7 +95,17 @@ class TestCommittedArtifactGuards:
         # The sharded-cluster pair and its derived scaling ratio.
         assert {"cluster_single", "cluster_sharded"} <= names
         assert "shard_scaling" in payload["derived"]
-        for digest in ("digest", "faulted_digest", "keyed_digest", "cluster_digest"):
+        # The resharding workloads: hand-scheduled handoffs (PR 6) and
+        # the policy-driven rebalancer storm (PR 7).
+        assert {"migration_handoff", "rebalance_storm"} <= names
+        for digest in (
+            "digest",
+            "faulted_digest",
+            "keyed_digest",
+            "cluster_digest",
+            "migration_digest",
+            "rebalance_digest",
+        ):
             assert digest in payload["determinism"]
 
 

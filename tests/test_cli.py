@@ -239,3 +239,48 @@ class TestExplore:
         )
         assert code == 0
         assert "[               ok]" in capsys.readouterr().out
+
+
+class TestRebalanceCLI:
+    QUICK = [
+        "rebalance", "--horizon", "140", "--n", "16",
+        "--shards", "4", "--keys", "8", "--churn", "0",
+    ]
+
+    def test_clean_cell_exits_zero_and_reports_the_story(self, capsys):
+        assert main(self.QUICK) == 0
+        out = capsys.readouterr().out
+        assert "policy" in out
+        assert "imbalance=" in out
+        assert "handoffs" in out
+        assert "regularity: SAFE" in out
+
+    def test_retire_flag_drains_the_shard(self, capsys):
+        assert main(self.QUICK + ["--retire", "0", "--load", "delivered",
+                                  "--horizon", "220"]) == 0
+        out = capsys.readouterr().out
+        assert "retire=0" in out
+        assert "[retire]" in out
+
+    def test_unknown_plan_rejected(self, capsys):
+        assert main(self.QUICK + ["--plan", "not-a-plan"]) == 2
+        assert "unknown plan" in capsys.readouterr().err
+
+    def test_explore_accepts_the_rebalance_axis(self, capsys):
+        code = main(
+            [
+                "explore",
+                "--budget", "1",
+                "--protocols", "sync",
+                "--delays", "sync",
+                "--churn", "0.0",
+                "--plans", "none",
+                "--keys", "4",
+                "--shards", "2",
+                "--rebalance", "2",
+                "--n", "12",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        assert "rebal=2" in capsys.readouterr().out

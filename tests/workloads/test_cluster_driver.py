@@ -136,3 +136,107 @@ class TestEndToEnd:
         assert cluster.check_safety().is_safe
         assert driver.stats.reads_issued > 0
         assert driver.stats.writes_issued > 0
+
+
+class TestPickerFollowsFlips:
+    """Regression: the skew picker used to capture each shard's key list
+    at construction, so a picker built before a migration kept routing
+    hot-rank traffic by the stale pre-flip ownership.  Ownership now
+    resolves at pick time."""
+
+    @staticmethod
+    def _committed_flip(cluster):
+        key = cluster.keys[0]
+        dest = (cluster.shard_of(key) + 1) % len(cluster.shards)
+        record = cluster.schedule_migration(key, dest, at=10.0)
+        cluster.run_until(60.0)
+        assert record.committed
+        return key, dest
+
+    def test_pre_flip_picker_matches_post_flip_picker(self):
+        """A picker built before the handoff must draw the exact same
+        seeded sequence as one built after it — pick-time resolution
+        makes construction order irrelevant."""
+        early = make_cluster(seed=5)
+        pick_early = shard_skewed_key_picker(
+            early, random.Random(3), distribution="zipf"
+        )
+        self._committed_flip(early)
+        late = make_cluster(seed=5)
+        self._committed_flip(late)
+        pick_late = shard_skewed_key_picker(
+            late, random.Random(3), distribution="zipf"
+        )
+        assert [pick_early() for _ in range(300)] == [
+            pick_late() for _ in range(300)
+        ]
+
+    def test_migrated_key_draws_by_its_new_shards_rank(self):
+        cluster = make_cluster(seed=5)
+        pick = shard_skewed_key_picker(
+            cluster, random.Random(3), distribution="zipf"
+        )
+        key, dest = self._committed_flip(cluster)
+        counts = {shard: 0 for shard in range(len(cluster.shards))}
+        for _ in range(2000):
+            counts[cluster.shard_of(pick())] += 1
+        # Every pick routed by current ownership: the source shard (which
+        # may have emptied) gets only what it still owns.
+        for shard, count in counts.items():
+            if not cluster.keys_of_shard(shard):
+                assert count == 0
+
+    def test_emptied_shard_falls_back_to_the_whole_key_space(self):
+        """Draining a shard mid-run must not strand its skew rank: picks
+        that land on an empty shard fall back to all cluster keys."""
+        cluster = make_cluster(shards=3, keys=3, n=12, seed=5)
+        source = cluster.shard_of(cluster.keys[0])
+        dest = (source + 1) % 3
+        pick = shard_skewed_key_picker(
+            cluster, random.Random(3), distribution="uniform"
+        )
+        records = [
+            cluster.schedule_migration(key, dest, at=10.0 + 40.0 * j)
+            for j, key in enumerate(cluster.keys_of_shard(source))
+        ]
+        cluster.run_until(140.0)
+        assert all(r.committed for r in records)
+        assert cluster.keys_of_shard(source) == ()
+        draws = [pick() for _ in range(600)]
+        assert set(draws) == set(cluster.keys)
+        assert all(cluster.shard_of(k) != source for k in draws)
+
+
+class TestStatsAggregation:
+    def test_static_stats_aggregate_every_field(self):
+        """Regression: the static driver's ``stats`` summed a hand-kept
+        field list that silently dropped ``writes_deferred`` (and would
+        drop any future counter).  Aggregation is introspective now:
+        every ``WorkloadStats`` field must survive the merge."""
+        from dataclasses import fields
+
+        from repro.workloads.schedule import WorkloadStats
+
+        cluster = make_cluster()
+        driver = ClusterWorkloadDriver(cluster)
+        for index, sub in enumerate(driver.drivers):
+            for field in fields(WorkloadStats):
+                value = getattr(sub.stats, field.name)
+                if isinstance(value, int):
+                    setattr(sub.stats, field.name, index + 1)
+                else:
+                    value.append(object())
+        total = driver.stats
+        expected = sum(range(1, len(driver.drivers) + 1))
+        for field in fields(WorkloadStats):
+            value = getattr(total, field.name)
+            if isinstance(value, int):
+                assert value == expected, f"{field.name} dropped by the merge"
+            else:
+                assert len(value) == len(driver.drivers)
+
+    def test_deferred_writes_surface_in_static_stats(self):
+        cluster = make_cluster()
+        driver = ClusterWorkloadDriver(cluster)
+        driver.drivers[0].stats.writes_deferred = 7
+        assert driver.stats.writes_deferred == 7

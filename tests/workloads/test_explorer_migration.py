@@ -26,9 +26,10 @@ class TestMigrationPlans:
 
     def test_default_sweep_excludes_migration_plans(self):
         assert not any(n.startswith("mig-") for n in DEFAULT_PLAN_NAMES)
-        # But every non-migration builder stays in.
+        # But every builder outside the opt-in families (mig-, rebal-)
+        # stays in.
         assert set(DEFAULT_PLAN_NAMES) == {
-            n for n in PLAN_BUILDERS if not n.startswith("mig-")
+            n for n in PLAN_BUILDERS if not n.startswith(("mig-", "rebal-"))
         }
 
     def test_mig_loss_is_in_model_but_mig_storm_is_not(self):
