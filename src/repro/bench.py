@@ -100,6 +100,35 @@ def churn_ticks(ticks: float = 300.0, n: int = 100) -> int:
     return system.churn.ticks_executed
 
 
+def broadcast_fanout_large(broadcasts: int = 40, n: int = 1000) -> int:
+    """Kilonode fan-out: the batched-delivery kernel's headline workload.
+
+    Each write broadcast schedules ``n`` deliveries in one vectorized
+    call — the wall time tracks the per-recipient cost of the slab
+    queue at a population 20x the classic fan-out benchmark's.
+    """
+    system = DynamicSystem(
+        SystemConfig(n=n, delta=5.0, protocol="sync", seed=1, trace=False)
+    )
+    for _ in range(broadcasts):
+        system.write()
+        system.run_for(12.0)
+    return system.network.delivered_count
+
+
+def churn_tick_large(ticks: float = 40.0, n: int = 1000) -> int:
+    """Churn bookkeeping at ``n = 1000``: every join's inquiry fans out
+    to the whole kilonode population and the actives' replies ride the
+    envelope-free point-to-point path, so this workload exercises the
+    batched kernel end to end at population scale (E17's territory)."""
+    system = DynamicSystem(
+        SystemConfig(n=n, delta=5.0, protocol="sync", seed=1, trace=False)
+    )
+    system.attach_churn(rate=0.002)
+    system.run_until(ticks)
+    return system.churn.ticks_executed
+
+
 def keyed_store_fanout(
     keys: int = 8, n: int = 40, horizon: float = 240.0
 ) -> tuple[int, str]:
@@ -452,6 +481,12 @@ def run_kernel_benchmarks(
 
     seconds, ticks = _time_best(churn_ticks, repeats)
     record("churn_tick_cost", seconds, "ticks", ticks)
+
+    seconds, delivered_large = _time_best(broadcast_fanout_large, repeats)
+    record("broadcast_fanout_large", seconds, "delivered", delivered_large)
+
+    seconds, ticks_large = _time_best(churn_tick_large, repeats)
+    record("churn_tick_large", seconds, "ticks", ticks_large)
 
     keyed_single, (single_delivered, _) = _time_best(
         lambda: keyed_store_fanout(keys=1), repeats

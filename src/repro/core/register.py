@@ -83,7 +83,7 @@ class RegisterSpace:
     one implementation of the paper's "adopt if newer" rule.
     """
 
-    __slots__ = ("_keys", "_values", "_sequences")
+    __slots__ = ("_keys", "_values", "_sequences", "version")
 
     def __init__(self, keys: tuple[Any, ...] = (SINGLE_KEY,)) -> None:
         if not keys:
@@ -91,6 +91,12 @@ class RegisterSpace:
         self._keys = tuple(keys)
         self._values: dict[Any, Any] = {key: BOTTOM for key in self._keys}
         self._sequences: dict[Any, int] = {key: -1 for key in self._keys}
+        #: Bumped by every mutator call (even a rejected adoption, so
+        #: callers may over-invalidate but never under-invalidate).
+        #: Protocol nodes key cached derived payloads — e.g. an inquiry
+        #: reply, rebuilt tens of thousands of times under churn from a
+        #: space that never changed — on this counter.
+        self.version = 0
 
     @property
     def keys(self) -> tuple[Any, ...]:
@@ -118,14 +124,28 @@ class RegisterSpace:
         key = self.resolve(key)
         return self._values[key], self._sequences[key]
 
+    def reply_parts(self) -> tuple[Any, int, tuple[tuple[Any, Any, int], ...] | None]:
+        """The default key's ``(value, sequence)`` plus the batched
+        ``entries`` payload (``None`` on a single-key space) — the three
+        fields of an inquiry reply, in one call.  Replies are the
+        dominant point-to-point traffic under churn, so this exists to
+        keep the hot path to one method call instead of three."""
+        keys = self._keys
+        key = keys[0]
+        if len(keys) == 1:
+            return self._values[key], self._sequences[key], None
+        return self._values[key], self._sequences[key], self.entries()
+
     def install(self, key: Any, value: Any, sequence: int) -> None:
         """Unconditionally set ``key``'s local copy."""
         key = self.resolve(key)
+        self.version += 1
         self._values[key] = value
         self._sequences[key] = sequence
 
     def install_all(self, value: Any, sequence: int) -> None:
         """Seed every key with the initial value (footnote 3)."""
+        self.version += 1
         for key in self._keys:
             self._values[key] = value
             self._sequences[key] = sequence
@@ -143,6 +163,7 @@ class RegisterSpace:
         still resolves to the default key (single-register payloads are
         key-less), so non-migrating systems are untouched.
         """
+        self.version += 1
         if key is None:
             key = self._keys[0]
         elif key not in self._values:
@@ -158,6 +179,7 @@ class RegisterSpace:
     def bump(self, key: Any = None) -> int:
         """Increment and return ``key``'s sequence number (a write)."""
         key = self.resolve(key)
+        self.version += 1
         self._sequences[key] += 1
         return self._sequences[key]
 

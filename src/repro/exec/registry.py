@@ -39,6 +39,7 @@ ENTRY_POINTS: dict[str, str] = {
     "e14": "repro.experiments.e14_sharded_cluster:cell",
     "e15": "repro.experiments.e15_migration:cell",
     "e16": "repro.experiments.e16_rebalance:cell",
+    "e17": "repro.experiments.e17_population_scaling:cell",
 }
 
 #: Resolved callables, cached per process.

@@ -34,6 +34,7 @@ from . import (
     e14_sharded_cluster,
     e15_migration,
     e16_rebalance,
+    e17_population_scaling,
 )
 from .ablations import ABLATIONS
 from .harness import ExperimentResult, format_table
@@ -56,6 +57,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "E14": e14_sharded_cluster.run,
     "E15": e15_migration.run,
     "E16": e16_rebalance.run,
+    "E17": e17_population_scaling.run,
 }
 
 

@@ -84,13 +84,16 @@ class FaultInjector:
         payload: Any,
         now: Time,
         deliver_at: Time,
+        payload_type: str | None = None,
     ) -> tuple[Time, str | None]:
         """Filter one about-to-be-scheduled delivery.
 
         Returns ``(deliver_at, None)`` to let it through (possibly at a
-        later instant) or ``(deliver_at, reason)`` to drop it.
+        later instant) or ``(deliver_at, reason)`` to drop it.  Batched
+        fan-out passes ``payload_type`` precomputed once per broadcast.
         """
-        payload_type = type(payload).__name__
+        if payload_type is None:
+            payload_type = type(payload).__name__
         plan = self.plan
         for spike in plan.spikes:
             if spike.matches(sender, dest, payload_type, now):
@@ -113,10 +116,13 @@ class FaultInjector:
 
     def drop_on_deliver(self, message: Any, now: Time) -> str | None:
         """Filter one firing delivery; returns a drop reason or ``None``."""
+        return self.drop_at_deliver(message.sender, message.dest, now)
+
+    def drop_at_deliver(self, sender: str, dest: str, now: Time) -> str | None:
+        """Parts-based :meth:`drop_on_deliver` — batched deliveries
+        carry no ``Message`` envelope, only the shared header fields."""
         for partition in self.plan.partitions:
-            if partition.mode == "drop" and partition.severs(
-                message.sender, message.dest, now
-            ):
+            if partition.mode == "drop" and partition.severs(sender, dest, now):
                 self.partition_dropped_count += 1
                 return REASON_PARTITION
         return None
@@ -131,18 +137,27 @@ class FaultInjector:
         """
         if not self.plan.crashes:
             return
-        payload_type = type(message.payload).__name__
+        self.crash_at_deliver(
+            message.sender, message.dest, type(message.payload).__name__
+        )
+
+    def crash_at_deliver(self, sender: str, dest: str, payload_type: str) -> None:
+        """Parts-based :meth:`crash_on_deliver` (see there for the
+        occurrence semantics); the caller precomputes ``payload_type``
+        once per batch."""
+        if not self.plan.crashes:
+            return
         for index, crash in enumerate(self.plan.crashes):
             if self._crash_done[index]:
                 continue
-            if not crash.matches(message.sender, message.dest, payload_type):
+            if not crash.matches(sender, dest, payload_type):
                 continue
             self._crash_seen[index] += 1
             if self._crash_seen[index] < crash.occurrence:
                 continue
             self._crash_done[index] = True
             if self.crash_hook is not None:
-                victim = message.dest if crash.victim == "dest" else message.sender
+                victim = dest if crash.victim == "dest" else sender
                 self.crash_hook(victim)
                 self.crashes_fired += 1
 

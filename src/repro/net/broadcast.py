@@ -69,6 +69,7 @@ class BroadcastService:
         rng: RngRegistry,
         window: Time | None = None,
         entrant_policy: EntrantPolicy = "none",
+        batched: bool = True,
     ) -> None:
         self.engine = engine
         self.membership = membership
@@ -80,6 +81,12 @@ class BroadcastService:
         self._window = window
         self._entrant_policy = self._validate_policy(entrant_policy)
         self._in_flight: list[_InFlightBroadcast] = []
+        #: ``True`` rides the batched slab fan-out; ``False`` keeps the
+        #: legacy one-Message-one-Event-per-recipient loop.  Both paths
+        #: are byte-identical (the kernel-parity property suite and the
+        #: determinism digests pin it) — the switch exists so the parity
+        #: claim stays falsifiable.
+        self.batched = batched
 
     @staticmethod
     def _validate_policy(policy: EntrantPolicy) -> EntrantPolicy:
@@ -129,24 +136,36 @@ class BroadcastService:
         # entrant policy is active) the in-flight record; without a
         # policy no bookkeeping is materialized at all.
         recipients = self.membership.present_pids()
-        for dest in recipients:
-            delay = self.delay_model.sample_broadcast(
-                sender, dest, payload, now, self._rng
+        if self.batched:
+            # Vectorized fan-out: sample every recipient's delay in one
+            # call (same draws, same stream), then hand the whole vector
+            # to the network, which groups same-instant arrivals into
+            # slab batches — no per-recipient Message or Event at all.
+            delays = self.delay_model.sample_broadcast_many(
+                sender, recipients, payload, now, self._rng
             )
-            if delay <= 0:
-                raise NetworkError(
-                    f"delay model produced non-positive delay {delay!r}"
-                )
-            self.network.deliver_scheduled(
-                Message(
-                    sender=sender,
-                    dest=dest,
-                    payload=payload,
-                    sent_at=now,
-                    deliver_at=now + delay,
-                    broadcast_id=broadcast_id,
-                )
+            self.network.deliver_fanout(
+                sender, recipients, delays, payload, now, broadcast_id
             )
+        else:
+            for dest in recipients:
+                delay = self.delay_model.sample_broadcast(
+                    sender, dest, payload, now, self._rng
+                )
+                if delay <= 0:
+                    raise NetworkError(
+                        f"delay model produced non-positive delay {delay!r}"
+                    )
+                self.network.deliver_scheduled(
+                    Message(
+                        sender=sender,
+                        dest=dest,
+                        payload=payload,
+                        sent_at=now,
+                        deliver_at=now + delay,
+                        broadcast_id=broadcast_id,
+                    )
+                )
         if self._window is not None and self._entrant_policy != "none":
             self._in_flight.append(
                 _InFlightBroadcast(

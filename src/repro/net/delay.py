@@ -63,6 +63,27 @@ class DelayModel(abc.ABC):
         """
         return self.sample(sender, dest, payload, send_time, rng)
 
+    def sample_broadcast_many(
+        self,
+        sender: str,
+        dests: list[str],
+        payload: Any,
+        send_time: Time,
+        rng: random.Random,
+    ) -> list[Time]:
+        """Latencies for one broadcast's whole fan-out, in recipient order.
+
+        The default delegates to :meth:`sample_broadcast` per recipient,
+        so custom models stay byte-identical without opting in; the
+        built-in uniform models override it with the loop inlined
+        (drawing the *exact* same value per recipient from the same RNG
+        stream — batched fan-out must not perturb a single draw).
+        """
+        sample = self.sample_broadcast
+        return [
+            sample(sender, dest, payload, send_time, rng) for dest in dests
+        ]
+
     @property
     def known_bound(self) -> Time | None:
         """The delay bound ``delta`` if one is *known to the processes*.
@@ -100,7 +121,25 @@ class SynchronousDelay(DelayModel):
         send_time: Time,
         rng: random.Random,
     ) -> Time:
-        return rng.uniform(self.min_delay, self.delta)
+        # ``lo + (hi - lo) * random()`` is exactly what random.uniform
+        # computes — bit-identical draw, without the wrapper call.
+        lo = self.min_delay
+        return lo + (self.delta - lo) * rng.random()
+
+    def sample_broadcast_many(
+        self,
+        sender: str,
+        dests: list[str],
+        payload: Any,
+        send_time: Time,
+        rng: random.Random,
+    ) -> list[Time]:
+        # Same bit-identical expansion of random.uniform, with the loop
+        # inlined so a fan-out costs one method call total.
+        lo = self.min_delay
+        span = self.delta - lo
+        random = rng.random
+        return [lo + span * random() for _ in dests]
 
     @property
     def known_bound(self) -> Time:
@@ -155,7 +194,9 @@ class DualBoundSynchronousDelay(DelayModel):
         send_time: Time,
         rng: random.Random,
     ) -> Time:
-        return rng.uniform(self.min_delay, self.p2p_delta)
+        # Bit-identical expansion of random.uniform (see SynchronousDelay).
+        lo = self.min_delay
+        return lo + (self.p2p_delta - lo) * rng.random()
 
     def sample_broadcast(
         self,
@@ -166,6 +207,21 @@ class DualBoundSynchronousDelay(DelayModel):
         rng: random.Random,
     ) -> Time:
         return rng.uniform(self.min_delay, self.broadcast_delta)
+
+    def sample_broadcast_many(
+        self,
+        sender: str,
+        dests: list[str],
+        payload: Any,
+        send_time: Time,
+        rng: random.Random,
+    ) -> list[Time]:
+        # Same bit-identical inlining as SynchronousDelay, against the
+        # broadcast bound δ.
+        lo = self.min_delay
+        span = self.broadcast_delta - lo
+        random = rng.random
+        return [lo + span * random() for _ in dests]
 
     @property
     def known_bound(self) -> Time:

@@ -20,18 +20,40 @@ targeted phases.  Fault-induced drops are accounted in
 ``faulted_count``, separately from ``dropped_count`` (departed
 destination), and stamped with a ``reason`` in the trace.  With no
 injector installed the paths are unchanged.
+
+Delivery hot path
+-----------------
+
+Scheduled deliveries ride the scheduler's slab queue
+(:meth:`~repro.sim.engine.EventScheduler.schedule_slab`), not full
+``Event`` objects:
+
+* a point-to-point send pushes one pooled :class:`_ScheduledMessage`
+  wrapping the prebuilt envelope;
+* a broadcast fan-out pushes one pooled :class:`_BroadcastBatch` per
+  *distinct arrival instant*, carrying the shared header (sender,
+  payload, broadcast id) once and a vector of destinations — no
+  per-recipient ``Message``, ``Event`` or label f-string exists at all.
+  Within-instant recipients deliver in recipient order and batches are
+  scheduled in first-occurrence order, which reproduces the historical
+  per-event ``(time, priority, sequence)`` order byte-for-byte (the
+  determinism digests pin this).
+
+Slab entries are recycled through per-network free lists, so steady
+state churn storms allocate nothing per delivery.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from heapq import heappush
 from typing import TYPE_CHECKING, Any
 
 from ..faults.injector import REASON_DEPARTED
 from ..sim.clock import Time
 from ..sim.engine import EventScheduler
 from ..sim.errors import NetworkError, UnknownProcessError
-from ..sim.events import Priority
+from ..sim.events import Priority, SlabEntry
 from ..sim.membership import Membership
 from ..sim.rng import RngRegistry
 from ..sim.trace import TraceKind, TraceLog
@@ -40,6 +62,101 @@ from .message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> sim only)
     from ..faults.injector import FaultInjector
+
+_DELIVERY = int(Priority.DELIVERY)
+_INF = float("inf")
+
+
+class _ScheduledMessage(SlabEntry):
+    """One heap slot for one prebuilt in-flight :class:`Message`."""
+
+    __slots__ = ("network", "message")
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self.message: Message | None = None
+
+    def fire(self) -> None:
+        network = self.network
+        message = self.message
+        # Recycle before delivering: the handler may send again and
+        # reuse this very slot, its payload is already extracted.
+        self.message = None
+        network._message_pool.append(self)
+        network._deliver(message)
+
+
+class _BroadcastBatch(SlabEntry):
+    """One heap slot for every recipient of one broadcast arriving at
+    one instant: the shared header once, plus the destination vector.
+
+    Also carries envelope-free point-to-point sends
+    (:meth:`Network.send_payload`) as size-1 batches with
+    ``broadcast_id = None`` — the fire path only differs in the trace
+    kind (RECEIVE instead of DELIVER)."""
+
+    __slots__ = ("network", "sender", "payload", "sent_at", "broadcast_id",
+                 "dests", "size")
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self.sender = ""
+        self.payload: Any = None
+        self.sent_at: Time = 0.0
+        self.broadcast_id: int | None = None
+        self.dests: list[str] = []
+        self.size = 0
+
+    def fire(self) -> None:
+        """Deliver the recipient vector, in recipient order.
+
+        Replicates the per-message delivery path per recipient — same
+        check order (fault drop, presence, crash, presence again), same
+        counters, same trace records — against the shared header
+        instead of a per-recipient envelope.
+        """
+        network = self.network
+        sender = self.sender
+        payload = self.payload
+        dests = self.dests
+        # ``_fast`` folds the fault gate and the (construction-time
+        # constant) trace flag into one attribute test.
+        if network._fast:
+            # Hot path: one dict probe per recipient, then straight
+            # into the handler.  Presence is re-read per recipient
+            # because an earlier delivery of this very batch may depart
+            # a process.  The dispatch is ``deliver_payload`` inlined:
+            # a process held in ``membership._present`` is never
+            # DEPARTED (departure always pairs ``process.depart()``
+            # with ``membership.leave``), so the mode guard is the
+            # presence probe itself; a cache miss falls back to the
+            # full method.
+            present = network._present
+            payload_cls = payload.__class__
+            for dest in dests:
+                process = present.get(dest)
+                if process is None:
+                    network.dropped_count += 1
+                    continue
+                network.delivered_count += 1
+                handler = process._dispatch.get(payload_cls)
+                if handler is None:
+                    process.deliver_payload(sender, payload)
+                    continue
+                handler(process, sender, payload)
+                watchers = process._watchers
+                if watchers:
+                    for watcher in list(watchers):
+                        watcher.poll()
+        else:
+            network._fire_batch_checked(
+                self, sender, payload, dests, network.faults
+            )
+        # Recycle: drop the payload reference and the vector, keep the
+        # object (and its list) on the free list.
+        self.payload = None
+        dests.clear()
+        network._batch_pool.append(self)
 
 
 class Network:
@@ -65,12 +182,26 @@ class Network:
         # Fault gate: ``None`` means the un-faulted fast path — no extra
         # work per message beyond this attribute test.
         self.faults: FaultInjector | None = None
+        # The delivery fast-path flag: no faults installed AND tracing
+        # off.  ``trace._enabled`` never changes after construction, so
+        # this only needs refreshing when a fault injector lands.
+        self._fast = not trace.enabled
+        # Hot-path aliases: the membership dicts are bound once (only
+        # ever mutated in place) and the delay model is fixed, so the
+        # per-delivery attribute chains collapse to one load each.
+        self._present = membership._present
+        self._records = membership._records
+        self._sample = delay_model.sample
+        # Free lists for the slab entries (see module docstring).
+        self._message_pool: list[_ScheduledMessage] = []
+        self._batch_pool: list[_BroadcastBatch] = []
 
     def install_faults(self, injector: FaultInjector) -> None:
         """Install a fault injector (at most one per network)."""
         if self.faults is not None:
             raise NetworkError("a fault injector is already installed")
         self.faults = injector
+        self._fast = False
 
     @property
     def known_bound(self) -> Time | None:
@@ -112,9 +243,8 @@ class Network:
             deliver_at=deliver_at,
         )
         self.sent_count += 1
-        # Fast path: with tracing off, sends build no trace kwargs and
-        # no label f-string — the per-message cost is just the Message
-        # and the heap push.
+        # Fast path: with tracing off, sends build no trace kwargs —
+        # the per-message cost is just the Message and the heap push.
         if self.trace.enabled:
             self.trace.record(
                 now,
@@ -124,20 +254,87 @@ class Network:
                 type=message.payload_type,
                 arrives=message.deliver_at,
             )
-        self.engine.schedule_at(
-            message.deliver_at,
-            self._deliver,
-            message,
-            priority=Priority.DELIVERY,
-            label=self._delivery_label(message),
-        )
+        self._schedule_message(message)
         return message
 
-    def _delivery_label(self, message: Message) -> str:
-        """Debug label for a delivery event; empty when tracing is off."""
-        if not self.trace.enabled:
-            return ""
-        return f"deliver:{message.payload_type}:{message.sender}->{message.dest}"
+    def send_payload(self, sender: str, dest: str, payload: Any) -> None:
+        """:meth:`send` without materializing the ``Message`` envelope.
+
+        Same checks, same delay draw, same counters and trace records —
+        the delivery rides a pooled size-1 slab entry instead, so hot
+        protocol paths (quorum replies under churn) allocate nothing
+        per message.  Use :meth:`send` when the caller needs the
+        in-flight envelope back.
+        """
+        # Same gates as ``send``, as direct dict probes (``is_present``
+        # and ``__contains__`` are these very lookups behind a call).
+        if sender not in self._present:
+            raise NetworkError(f"departed process {sender!r} cannot send")
+        if dest not in self._records:
+            raise UnknownProcessError(f"destination {dest!r} was never in the system")
+        now = self.engine._now
+        delay = self._sample(sender, dest, payload, now, self._rng)
+        if delay <= 0:
+            raise NetworkError(
+                f"delay model produced non-positive delay {delay!r}"
+            )
+        deliver_at = now + delay
+        if self.faults is not None:
+            deliver_at, fault_reason = self.faults.on_transmit(
+                sender, dest, payload, now, deliver_at
+            )
+            if fault_reason is not None:
+                self.sent_count += 1
+                if self.trace.enabled:
+                    payload_type = type(payload).__name__
+                    self.trace.record(
+                        now,
+                        TraceKind.SEND,
+                        sender,
+                        dest=dest,
+                        type=payload_type,
+                        arrives=deliver_at,
+                    )
+                    self._account_fault_drop(
+                        now, sender, dest, payload_type, fault_reason
+                    )
+                else:
+                    self.faulted_count += 1
+                return
+        self.sent_count += 1
+        if self.trace._enabled:
+            self.trace.record(
+                now,
+                TraceKind.SEND,
+                sender,
+                dest=dest,
+                type=type(payload).__name__,
+                arrives=deliver_at,
+            )
+        pool = self._batch_pool
+        batch = pool.pop() if pool else _BroadcastBatch(self)
+        batch.sender = sender
+        batch.payload = payload
+        batch.sent_at = now
+        batch.broadcast_id = None
+        batch.dests.append(dest)
+        batch.size = 1
+        # schedule_slab inlined (same validation, one size-1 entry):
+        # the kernel and this hot path are co-designed — see the module
+        # docstring and the scheduler's design notes.
+        engine = self.engine
+        if not (engine._now <= deliver_at < _INF):
+            engine._reject_instant(deliver_at)
+        heappush(engine._queue, (deliver_at, _DELIVERY, engine._sequence, batch))
+        engine._sequence += 1
+        engine._live += 1
+
+    def _schedule_message(self, message: Message) -> None:
+        """Push one delivery onto the slab queue via a pooled entry."""
+        pool = self._message_pool
+        entry = pool.pop() if pool else _ScheduledMessage(self)
+        entry.message = message
+        self.engine.schedule_slab(message.deliver_at, _DELIVERY, entry)
 
     def _account_fault_drop(
         self, now: Time, sender: str, dest: str, payload_type: str, reason: str
@@ -185,8 +382,8 @@ class Network:
         return message
 
     def deliver_scheduled(self, message: Message) -> None:
-        """Schedule an externally-built message (used by the broadcast
-        service, which computes its own per-recipient delivery times)."""
+        """Schedule an externally-built message (entrant offers, and the
+        legacy per-recipient broadcast path kept for parity testing)."""
         if self.faults is not None:
             now = self.engine.now
             deliver_at, fault_reason = self.faults.on_transmit(
@@ -199,26 +396,165 @@ class Network:
                 return
             if deliver_at != message.deliver_at:
                 message = replace(message, deliver_at=deliver_at)
-        self.engine.schedule_at(
-            message.deliver_at,
-            self._deliver,
-            message,
-            priority=Priority.DELIVERY,
-            label=self._delivery_label(message),
-        )
+        self._schedule_message(message)
 
-    def _account_departed_drop(self, message: Message) -> None:
+    # ------------------------------------------------------------------
+    # Batched broadcast fan-out
+    # ------------------------------------------------------------------
+
+    def deliver_fanout(
+        self,
+        sender: str,
+        dests: list[str],
+        delays: list[Time],
+        payload: Any,
+        now: Time,
+        broadcast_id: int,
+    ) -> None:
+        """Schedule one broadcast's whole fan-out, batched by instant.
+
+        ``dests`` and ``delays`` are parallel, in recipient order — the
+        same order the legacy per-recipient loop sampled and scheduled
+        in, so the fault hooks see every delivery at the same point of
+        the RNG stream.  Recipients sharing an arrival instant (e.g. a
+        defer-partition parking several on its ``end``) coalesce into
+        one heap slot; batches are pushed in first-occurrence order,
+        which preserves the historical sequence order exactly.
+        """
+        faults = self.faults
+        groups: dict[Time, _BroadcastBatch] = {}
+        if faults is None:
+            pool = self._batch_pool
+            groups_get = groups.get
+            for dest, delay in zip(dests, delays):
+                if delay <= 0:
+                    raise NetworkError(
+                        f"delay model produced non-positive delay {delay!r}"
+                    )
+                deliver_at = now + delay
+                batch = groups_get(deliver_at)
+                if batch is None:
+                    batch = pool.pop() if pool else _BroadcastBatch(self)
+                    batch.sender = sender
+                    batch.payload = payload
+                    batch.sent_at = now
+                    batch.broadcast_id = broadcast_id
+                    groups[deliver_at] = batch
+                batch.dests.append(dest)
+        else:
+            payload_type = type(payload).__name__
+            for dest, delay in zip(dests, delays):
+                if delay <= 0:
+                    raise NetworkError(
+                        f"delay model produced non-positive delay {delay!r}"
+                    )
+                deliver_at, fault_reason = faults.on_transmit(
+                    sender, dest, payload, now, now + delay, payload_type
+                )
+                if fault_reason is not None:
+                    self._account_fault_drop(
+                        now, sender, dest, payload_type, fault_reason
+                    )
+                    continue
+                batch = groups.get(deliver_at)
+                if batch is None:
+                    groups[deliver_at] = batch = self._take_batch(
+                        sender, payload, now, broadcast_id
+                    )
+                batch.dests.append(dest)
+        for batch in groups.values():
+            batch.size = len(batch.dests)
+        self.engine.schedule_slab_many(groups, _DELIVERY)
+
+    def _take_batch(
+        self, sender: str, payload: Any, sent_at: Time, broadcast_id: int
+    ) -> _BroadcastBatch:
+        pool = self._batch_pool
+        batch = pool.pop() if pool else _BroadcastBatch(self)
+        batch.sender = sender
+        batch.payload = payload
+        batch.sent_at = sent_at
+        batch.broadcast_id = broadcast_id
+        return batch
+
+    def _fire_batch_checked(
+        self,
+        batch: _BroadcastBatch,
+        sender: str,
+        payload: Any,
+        dests: list[str],
+        faults: FaultInjector | None,
+    ) -> None:
+        """The traced / faulted arm of :meth:`_BroadcastBatch.fire`.
+
+        Replicates :meth:`_deliver` per recipient — same check order
+        (fault drop, presence, crash, presence again), same counters,
+        same trace records — against the shared header instead of a
+        per-recipient envelope.  The caller recycles the batch.
+        """
+        trace = self.trace
+        now = self.engine.now
+        payload_type = type(payload).__name__
+        is_present = self.membership.is_present
+        kind = (
+            TraceKind.DELIVER
+            if batch.broadcast_id is not None
+            else TraceKind.RECEIVE
+        )
+        for dest in dests:
+            if faults is not None:
+                fault_reason = faults.drop_at_deliver(sender, dest, now)
+                if fault_reason is not None:
+                    self._account_fault_drop(
+                        now, sender, dest, payload_type, fault_reason
+                    )
+                    continue
+            if not is_present(dest):
+                self._departed_drop(now, sender, dest, payload_type)
+                continue
+            if faults is not None:
+                # Crash faults count only genuinely deliverable
+                # messages; a crash of the destination then drops
+                # this very delivery at the re-checked presence
+                # gate, like any departure.
+                faults.crash_at_deliver(sender, dest, payload_type)
+                if not is_present(dest):
+                    self._departed_drop(now, sender, dest, payload_type)
+                    continue
+            self.delivered_count += 1
+            if trace.enabled:
+                trace.record(
+                    now,
+                    kind,
+                    dest,
+                    sender=sender,
+                    type=payload_type,
+                )
+            self.membership.process(dest).deliver_payload(sender, payload)
+
+    # ------------------------------------------------------------------
+    # Per-message delivery (point-to-point and the legacy parity path)
+    # ------------------------------------------------------------------
+
+    def _departed_drop(
+        self, now: Time, sender: str, dest: str, payload_type: str
+    ) -> None:
         """Accounting for a delivery to a destination that has left."""
         self.dropped_count += 1
         if self.trace.enabled:
             self.trace.record(
-                self.engine.now,
+                now,
                 TraceKind.DROP,
-                message.dest,
-                sender=message.sender,
-                type=message.payload_type,
+                dest,
+                sender=sender,
+                type=payload_type,
                 reason=REASON_DEPARTED,
             )
+
+    def _account_departed_drop(self, message: Message) -> None:
+        self._departed_drop(
+            self.engine.now, message.sender, message.dest, message.payload_type
+        )
 
     def _deliver(self, message: Message) -> None:
         faults = self.faults

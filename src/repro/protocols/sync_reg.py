@@ -65,6 +65,7 @@ from typing import Any
 from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
 from ..sim.errors import ProcessError
 from ..sim.operations import OperationBody, OperationHandle, Wait
+from ..sim.process import ProcessMode
 from .common import OK, QuorumPhase, make_join_result
 
 
@@ -124,6 +125,14 @@ class SynchronousRegisterNode(RegisterNode):
         self._join_phase = QuorumPhase()
         self._reply_to: set[str] = set()
         self._delta = ctx.delta
+        # Bound once: every inquiry reply reads it (hot under churn).
+        self._network = ctx.network
+        # Reply payload cache, keyed on the space's version counter:
+        # under churn a node answers thousands of inquiries from a
+        # space that never changed, and the frozen payload is immutable
+        # and therefore shareable across every one of those sends.
+        self._reply_cache: Reply | None = None
+        self._reply_version = -1
         # Footnote 4: with a known one-to-one bound δ' the inquiry wait
         # is δ + δ' instead of 2δ.
         p2p_delta = ctx.extra.get("p2p_delta")
@@ -208,11 +217,15 @@ class SynchronousRegisterNode(RegisterNode):
         self._join_phase.settle()
 
     def _send_reply(self, dest: str) -> None:
-        value, sequence = self.space.snapshot()
-        entries = None if self.space.is_single else self.space.entries()
-        self.ctx.network.send(
-            self.pid, dest, Reply(self.pid, value, sequence, entries)
-        )
+        reply = self._reply_cache
+        if reply is None or self._reply_version != self.space.version:
+            value, sequence, entries = self.space.reply_parts()
+            reply = Reply(self.pid, value, sequence, entries)
+            self._reply_cache = reply
+            self._reply_version = self.space.version
+        # send_payload: same draw/counters/trace as send, but no Message
+        # envelope — replies are the dominant p2p traffic under churn.
+        self._network.send_payload(self.pid, dest, reply)
 
     # ------------------------------------------------------------------
     # Message handlers (Figures 1 and 2)
@@ -222,8 +235,15 @@ class SynchronousRegisterNode(RegisterNode):
         """Lines 13-16 of Figure 1."""
         if msg.sender == self.pid:
             return  # own broadcast echo: a process does not answer itself
-        if self.is_active:  # line 14
-            self._send_reply(msg.sender)
+        # line 14 — ``is_active`` spelled as the raw mode test and the
+        # reply-cache hit inlined (see ``_send_reply``): every broadcast
+        # fans this handler out to the whole population.
+        if self._mode is ProcessMode.ACTIVE:
+            reply = self._reply_cache
+            if reply is not None and self._reply_version == self.space.version:
+                self._network.send_payload(self.pid, msg.sender, reply)
+            else:
+                self._send_reply(msg.sender)
         else:  # line 15
             self._reply_to.add(msg.sender)
 

@@ -83,6 +83,7 @@ def build_substrate(
         rng,
         window=config.delta,
         entrant_policy=config.entrant_policy,
+        batched=config.batch_delivery,
     )
     return Substrate(
         engine=engine,

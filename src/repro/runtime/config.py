@@ -73,6 +73,11 @@ class SystemConfig:
         construction.  ``None`` keeps the network's fault gate closed
         (the byte-identical fast path); an empty plan is installed but
         draws no randomness, so it perturbs nothing either.
+    batch_delivery:
+        Whether broadcast fan-out rides the batched slab queue (the
+        default) or the legacy one-Event-per-recipient path.  The two
+        are byte-identical — the kernel-parity property suite runs
+        every grid both ways; keep the default outside of that suite.
     """
 
     n: int = 20
@@ -89,6 +94,7 @@ class SystemConfig:
     pid_prefix: str = "p"
     sample_period: Time = 1.0
     faults: FaultPlan | None = None
+    batch_delivery: bool = True
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -5,11 +5,17 @@ Design notes
 
 The engine is intentionally tiny and fully deterministic:
 
-* the event queue is a binary heap ordered by
-  ``(time, priority, sequence)`` — see :mod:`repro.sim.events`;
+* the event queue is a binary heap of plain ``(time, priority,
+  sequence, item)`` tuples — ``sequence`` is unique, so heap
+  comparisons resolve at C speed on the first three fields and never
+  touch the item.  An item is either a full :class:`Event` (cancellable
+  timers) or a :class:`~repro.sim.events.SlabEntry` (a never-cancelled
+  batch standing for a whole vector of deliveries);
 * cancelling an event marks it dead in place (lazy deletion), which
-  keeps cancellation O(1) and the heap free of bookkeeping;
-* the clock only ever moves when an event is dequeued, so a handler
+  keeps cancellation O(1); when dead entries outnumber live ones the
+  heap is compacted in place, so cancel-heavy workloads (migration
+  retry storms) cannot grow the queue without bound;
+* the clock only ever moves when an entry is dequeued, so a handler
   always observes ``engine.now`` equal to its own firing time.
 
 Every source of nondeterminism in a simulation must flow through the
@@ -20,12 +26,18 @@ strategy of the library leans on this property.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Any, Callable, Iterator
+from heapq import heapify, heappop, heappush
+from math import isfinite
+from typing import Any, Callable, Iterator, Union
 
-from .clock import Time, VirtualClock
-from .errors import SchedulerError
-from .events import Event, Priority
+from .clock import Time
+from .errors import ClockError, SchedulerError
+from .events import Event, Priority, SlabEntry
+
+_INF = float("inf")
+
+#: What the heap's item slot may hold.
+QueueItem = Union[Event, SlabEntry]
 
 
 class EventScheduler:
@@ -43,12 +55,15 @@ class EventScheduler:
     """
 
     def __init__(self, start: Time = 0.0) -> None:
-        self._clock = VirtualClock(start)
-        self._queue: list[Event] = []
+        if start < 0:
+            raise ClockError(f"cannot start the clock at {start!r}")
+        self._now: Time = float(start)
+        self._queue: list[tuple[Time, int, int, QueueItem]] = []
         self._sequence = 0
         self._running = False
         self._fired_count = 0
-        self._live = 0  # non-cancelled events still in the queue
+        self._live = 0  # non-cancelled logical events still in the queue
+        self._dead = 0  # cancelled entries still occupying heap slots
 
     # ------------------------------------------------------------------
     # Introspection
@@ -57,28 +72,29 @@ class EventScheduler:
     @property
     def now(self) -> Time:
         """The current simulated instant."""
-        return self._clock.now
+        return self._now
 
     @property
     def pending_count(self) -> int:
         """The number of live (non-cancelled) events still queued.
 
         O(1): the counter is maintained on schedule, cancel and fire
-        instead of scanning the heap.
+        instead of scanning the heap.  A slab entry counts as its
+        ``size`` logical events, so batching never changes the number.
         """
         return self._live
 
     @property
     def fired_count(self) -> int:
-        """The number of events executed since construction."""
+        """The number of logical events executed since construction."""
         return self._fired_count
 
     def next_event_time(self) -> Time | None:
         """When the next live event fires, or ``None`` if the queue is
         empty.  The explorer uses this to tell a quiesced system (all
         operations resolved, nothing left to do) from a stalled one."""
-        event = self._peek_live()
-        return event.time if event is not None else None
+        entry = self._peek_live()
+        return entry[0] if entry is not None else None
 
     def __len__(self) -> int:
         return self.pending_count
@@ -99,7 +115,7 @@ class EventScheduler:
         if delay < 0:
             raise SchedulerError(f"cannot schedule {delay!r} units in the past")
         return self.schedule_at(
-            self.now + delay, callback, *args, priority=priority, label=label
+            self._now + delay, callback, *args, priority=priority, label=label
         )
 
     def schedule_at(
@@ -111,27 +127,93 @@ class EventScheduler:
         label: str = "",
     ) -> Event:
         """Schedule ``callback(*args)`` to fire at absolute time ``instant``."""
-        if instant < self.now:
-            raise SchedulerError(
-                f"cannot schedule at {instant!r}, the clock already reads {self.now!r}"
-            )
+        instant = float(instant)
+        # One comparison chain rejects past instants AND the non-finite
+        # ones: NaN fails the first comparison, +inf fails the second
+        # (both would otherwise corrupt heap ordering silently).
+        if not (self._now <= instant < _INF):
+            self._reject_instant(instant)
+        sequence = self._sequence
         event = Event(
-            time=float(instant),
+            time=instant,
             priority=int(priority),
-            sequence=self._sequence,
+            sequence=sequence,
             callback=callback,
             args=args,
             label=label,
         )
         event._owner = self
-        self._sequence += 1
+        self._sequence = sequence + 1
         self._live += 1
-        heappush(self._queue, event)
+        heappush(self._queue, (instant, event.priority, sequence, event))
         return event
+
+    def schedule_slab(self, instant: Time, priority: int, entry: SlabEntry) -> None:
+        """Schedule a never-cancelled slab entry (batched deliveries).
+
+        One heap slot stands for ``entry.size`` logical events; the
+        entry's ``fire()`` performs them all.  See
+        :class:`~repro.sim.events.SlabEntry` for the contract.
+        """
+        if not (self._now <= instant < _INF):
+            self._reject_instant(instant)
+        heappush(self._queue, (instant, priority, self._sequence, entry))
+        self._sequence += 1
+        self._live += entry.size
+
+    def schedule_slab_many(
+        self, groups: dict[Time, SlabEntry], priority: int
+    ) -> None:
+        """Bulk :meth:`schedule_slab`: one heap push per ``(instant,
+        entry)`` pair, in the dict's iteration order (a broadcast's
+        batches arrive in first-occurrence order, which fixes their
+        sequence numbers).  Entries must already carry their ``size``.
+        """
+        queue = self._queue
+        sequence = self._sequence
+        now = self._now
+        live = 0
+        for instant, entry in groups.items():
+            if not (now <= instant < _INF):
+                self._reject_instant(instant)
+            heappush(queue, (instant, priority, sequence, entry))
+            sequence += 1
+            live += entry.size
+        self._sequence = sequence
+        self._live += live
+
+    def _reject_instant(self, instant: Time) -> None:
+        if isfinite(instant):
+            raise SchedulerError(
+                f"cannot schedule at {instant!r}, the clock already reads "
+                f"{self._now!r}"
+            )
+        raise SchedulerError(
+            f"cannot schedule at non-finite instant {instant!r}"
+        )
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel` for events still in the queue."""
         self._live -= 1
+        self._dead += 1
+        # Compact when dead entries outnumber live heap slots, so lazy
+        # deletion stays O(1) amortized without unbounded queue growth
+        # under cancel-heavy workloads (e.g. migration retry storms).
+        if self._dead > len(self._queue) - self._dead:
+            self._compact()
+
+    def _compact(self) -> None:
+        queue = self._queue
+        survivors = []
+        for entry in queue:
+            if entry[3].cancelled:
+                entry[3]._consumed = True
+            else:
+                survivors.append(entry)
+        heapify(survivors)
+        # In-place so any local alias of the queue stays valid.
+        queue[:] = survivors
+        self._dead = 0
 
     def call_soon(
         self,
@@ -141,26 +223,38 @@ class EventScheduler:
         label: str = "",
     ) -> Event:
         """Schedule ``callback`` at the current instant (after running events)."""
-        return self.schedule_at(self.now, callback, *args, priority=priority, label=label)
+        return self.schedule_at(
+            self._now, callback, *args, priority=priority, label=label
+        )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def step(self) -> bool:
-        """Fire the single next event.  Returns ``False`` if none remain."""
-        event = self._pop_live()
-        if event is None:
+        """Fire the single next heap entry.  Returns ``False`` if none
+        remain.  A slab entry fires its whole delivery vector."""
+        entry = self._peek_live()
+        if entry is None:
             return False
-        self._clock.advance_to(event.time)
-        self._fired_count += 1
-        event.fire()
+        heappop(self._queue)
+        self._now = entry[0]
+        item = entry[3]
+        if item.__class__ is Event:
+            item._consumed = True
+            self._live -= 1
+            self._fired_count += 1
+        else:
+            size = item.size
+            self._live -= size
+            self._fired_count += size
+        item.fire()
         return True
 
     def run(self, max_events: int | None = None) -> int:
         """Run until the queue drains (or ``max_events`` fired).
 
-        Returns the number of events executed by this call.
+        Returns the number of logical events executed by this call.
         """
         return self._drain(until=None, max_events=max_events)
 
@@ -169,14 +263,15 @@ class EventScheduler:
 
         Events scheduled beyond the horizon stay queued, so a simulation
         can be resumed with a later horizon.  Returns the number of
-        events executed by this call.
+        logical events executed by this call.
         """
-        if horizon < self.now:
+        if not (self._now <= horizon < _INF):
             raise SchedulerError(
-                f"horizon {horizon!r} is before current time {self.now!r}"
+                f"horizon {horizon!r} is before current time {self._now!r} "
+                f"or not finite"
             )
         fired = self._drain(until=horizon, max_events=max_events)
-        self._clock.advance_to(horizon)
+        self._now = float(horizon)
         return fired
 
     def _drain(self, until: Time | None, max_events: int | None) -> int:
@@ -184,49 +279,67 @@ class EventScheduler:
             raise SchedulerError("the scheduler is not reentrant")
         self._running = True
         fired = 0
+        queue = self._queue
+        # Normalize both bounds to plain float comparisons so the loop
+        # body carries no None tests (``entry[0] > inf`` is never true).
+        horizon = _INF if until is None else until
+        limit = _INF if max_events is None else max_events
         try:
-            while max_events is None or fired < max_events:
-                event = self._peek_live()
-                if event is None:
+            while fired < limit:
+                if not queue:
                     break
-                if until is not None and event.time > until:
+                entry = queue[0]
+                item = entry[3]
+                if item.cancelled:
+                    heappop(queue)
+                    item._consumed = True
+                    self._dead -= 1
+                    continue
+                if entry[0] > horizon:
                     break
-                heappop(self._queue)
-                event._consumed = True
-                self._live -= 1
-                self._clock.advance_to(event.time)
-                self._fired_count += 1
-                event.fire()
-                fired += 1
+                heappop(queue)
+                # Heap order plus schedule-time validation guarantee
+                # monotonicity, so the clock is assigned directly.
+                self._now = entry[0]
+                if item.__class__ is Event:
+                    item._consumed = True
+                    fired += 1
+                else:
+                    fired += item.size
+                item.fire()
         finally:
             self._running = False
+            # The live/fired counters drain in bulk: nothing inside the
+            # loop reads them (handlers schedule, which only adds), and
+            # every introspection site samples between runs.
+            self._live -= fired
+            self._fired_count += fired
         return fired
 
     # ------------------------------------------------------------------
     # Queue internals (lazy deletion of cancelled events)
     # ------------------------------------------------------------------
 
-    def _peek_live(self) -> Event | None:
-        while self._queue and self._queue[0].cancelled:
+    def _peek_live(self) -> tuple[Time, int, int, QueueItem] | None:
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
             # Cancelled events already left the live count (Event.cancel
             # notifies the owner); mark them consumed for symmetry.
-            heappop(self._queue)._consumed = True
-        return self._queue[0] if self._queue else None
+            heappop(queue)[3]._consumed = True
+            self._dead -= 1
+        return queue[0] if queue else None
 
-    def _pop_live(self) -> Event | None:
-        event = self._peek_live()
-        if event is not None:
-            heappop(self._queue)
-            event._consumed = True
-            self._live -= 1
-        return event
+    def iter_pending(self) -> Iterator[QueueItem]:
+        """Yield live pending items in firing order (for diagnostics).
 
-    def iter_pending(self) -> Iterator[Event]:
-        """Yield live pending events in firing order (for diagnostics)."""
-        return iter(sorted(e for e in self._queue if not e.cancelled))
+        Slab entries appear as themselves — one item per batch, not one
+        per logical delivery."""
+        return (
+            entry[3] for entry in sorted(self._queue) if not entry[3].cancelled
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"EventScheduler(now={self.now!r}, pending={self.pending_count}, "
+            f"EventScheduler(now={self._now!r}, pending={self.pending_count}, "
             f"fired={self._fired_count})"
         )

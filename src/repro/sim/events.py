@@ -13,6 +13,15 @@ ordered by ``(time, priority, sequence)``:
 ``Event`` is a ``__slots__`` class rather than a dataclass: millions of
 instances are created per large run, and slots cut both the per-event
 memory and the attribute-access cost on the scheduler's hot path.
+
+Delivery fan-out does not even pay for an ``Event`` per recipient: the
+scheduler's heap holds plain ``(time, priority, sequence, item)``
+tuples, and an item may be a :class:`SlabEntry` — a single heap slot
+standing for a whole *vector* of same-instant deliveries.  Slab entries
+are never cancellable (``cancelled`` is a class attribute, so the
+scheduler's lazy-deletion scan pays one shared attribute read, no
+per-entry state), which is exactly why they can skip the cancellation
+bookkeeping full events carry.
 """
 
 from __future__ import annotations
@@ -39,6 +48,34 @@ class Priority(enum.IntEnum):
     CHURN = 30
     PROBE = 40
     HORIZON = 50
+
+
+class SlabEntry:
+    """Base class for never-cancelled slab queue entries.
+
+    A slab entry occupies one heap slot but stands for ``size`` logical
+    events (a batched broadcast fan-out delivers its whole recipient
+    vector from one slot).  The scheduler's contract:
+
+    * ``cancelled`` is always ``False`` — slab entries cannot be
+      cancelled, which is what lets them skip ``Event``'s owner /
+      consumed bookkeeping entirely;
+    * ``size`` is the number of logical events the entry represents;
+      it feeds the scheduler's ``pending_count`` / ``fired_count`` so
+      batching is invisible to every counter-reading observer;
+    * ``fire()`` performs all ``size`` deliveries, in the deterministic
+      internal order the entry was built with.
+
+    Schedule via :meth:`EventScheduler.schedule_slab`.
+    """
+
+    __slots__ = ()
+
+    cancelled = False
+    size = 1
+
+    def fire(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
 
 class Event:

@@ -60,6 +60,16 @@ class SimProcess:
         self._departed_at: Time | None = None
         self._runners: list[_OperationRunner] = []
         self._watchers: list[_ConditionWatcher] = []
+        # Instance-level alias of this class's dispatch cache (created
+        # here if this is the first instance): dispatch then costs one
+        # attribute load and one dict probe per delivery, instead of a
+        # ``type()`` + mappingproxy lookup.
+        cls = type(self)
+        cache = cls.__dict__.get("_dispatch_cache")
+        if cache is None:
+            cache = {}
+            cls._dispatch_cache = cache
+        self._dispatch: dict[type, Callable[..., None]] = cache
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,16 +131,35 @@ class SimProcess:
     def deliver(self, message: "Message") -> None:
         """Dispatch a delivered message to its ``on_<type>`` handler.
 
-        Called by the network.  Messages to departed processes are
-        dropped by the network before reaching this point, but the
-        check is repeated here defensively.
+        Thin wrapper over :meth:`deliver_payload` — handlers only ever
+        see the sender and the payload, never the envelope.
         """
-        if not self.present:
+        self.deliver_payload(message.sender, message.payload)
+
+    def deliver_payload(self, sender: str, payload: Any) -> None:
+        """Dispatch one delivered payload to its ``on_<type>`` handler.
+
+        Called by the network — batched fan-out delivers straight from
+        the shared broadcast header, with no per-recipient ``Message``
+        envelope at all.  Deliveries to departed processes are dropped
+        by the network before reaching this point, but the check is
+        repeated here defensively.
+        """
+        if self._mode is ProcessMode.DEPARTED:
             return
-        payload = message.payload
-        handler = self._handler_for(type(payload))
-        handler(self, message.sender, payload)
-        self._wake_watchers()
+        # Cache hit is the common case; a miss (first delivery of a
+        # payload type to this class) falls back to _handler_for.
+        handler = self._dispatch.get(payload.__class__)
+        if handler is None:
+            handler = self._handler_for(payload.__class__)
+        handler(self, sender, payload)
+        watchers = self._watchers
+        if watchers:
+            # Watchers may complete operations whose callbacks add new
+            # watchers; iterate over a snapshot and let satisfied
+            # watchers unregister themselves.
+            for watcher in list(watchers):
+                watcher.poll()
 
     def _handler_for(self, payload_type: type) -> Callable[..., None]:
         """The (unbound) handler for a payload type, cached per class.

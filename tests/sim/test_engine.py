@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.engine import EventScheduler
 from repro.sim.errors import SchedulerError
-from repro.sim.events import Priority
+from repro.sim.events import Priority, SlabEntry
 
 
 class TestScheduling:
@@ -162,3 +162,97 @@ class TestHandlersSchedulingMore:
         engine.schedule(2.0, lambda: None, label="b")
         labels = [event.label for event in engine.iter_pending()]
         assert labels == ["a", "b", "c"]
+
+
+class TestNonFiniteInstants:
+    """NaN/inf instants must raise instead of corrupting heap order.
+
+    A NaN in the heap compares false against everything, silently
+    breaking the sift invariant; +inf would park an event that can
+    never fire.  Both are rejected at schedule time.
+    """
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_schedule_rejects_non_finite_delay(self, engine, bad):
+        with pytest.raises(SchedulerError):
+            engine.schedule(bad, lambda: None)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_schedule_at_rejects_non_finite_instant(self, engine, bad):
+        with pytest.raises(SchedulerError):
+            engine.schedule_at(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_schedule_slab_rejects_non_finite_instant(self, engine, bad):
+        entry = _CountingSlab()
+        with pytest.raises(SchedulerError):
+            engine.schedule_slab(bad, Priority.DELIVERY, entry)
+        assert engine.pending_count == 0
+
+    def test_rejection_leaves_queue_usable(self, engine):
+        fired = []
+        engine.schedule(1.0, fired.append, "ok")
+        with pytest.raises(SchedulerError):
+            engine.schedule(float("nan"), fired.append, "bad")
+        engine.run()
+        assert fired == ["ok"]
+
+    def test_run_until_rejects_non_finite_horizon(self, engine):
+        with pytest.raises(SchedulerError):
+            engine.run_until(float("nan"))
+        with pytest.raises(SchedulerError):
+            engine.run_until(float("inf"))
+
+
+class _CountingSlab(SlabEntry):
+    __slots__ = ("fired",)
+
+    def __init__(self) -> None:
+        self.fired = 0
+
+    def fire(self) -> None:
+        self.fired += 1
+
+
+class TestHeapCompaction:
+    """Lazy deletion must not let dead entries dominate the heap."""
+
+    def test_cancel_storm_keeps_dead_bounded_by_live(self, engine):
+        live = [engine.schedule(float(i + 1), lambda: None) for i in range(8)]
+        doomed = [
+            engine.schedule(float(i + 100), lambda: None) for i in range(1000)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        # The invariant _note_cancelled maintains: dead heap slots never
+        # outnumber live ones, so the queue stays O(live).
+        assert engine._dead <= len(engine._queue) - engine._dead
+        assert len(engine._queue) <= 2 * len(live)
+        assert engine.pending_count == len(live)
+        assert engine.run() == len(live)
+
+    def test_interleaved_cancel_storms_stay_bounded(self, engine):
+        keeper = engine.schedule(1e6, lambda: None)
+        for _ in range(20):
+            batch = [
+                engine.schedule(float(i + 10), lambda: None) for i in range(50)
+            ]
+            for handle in batch:
+                handle.cancel()
+            assert engine._dead <= len(engine._queue) - engine._dead
+        assert engine.pending_count == 1
+        assert not keeper.cancelled
+
+    def test_compaction_preserves_firing_order(self, engine):
+        fired = []
+        for i in range(6):
+            engine.schedule(float(i + 1), fired.append, i)
+        doomed = [
+            engine.schedule(float(i + 50), fired.append, "no") for i in range(200)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        engine.run()
+        assert fired == list(range(6))

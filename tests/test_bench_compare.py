@@ -98,6 +98,9 @@ class TestCommittedArtifactGuards:
         # The resharding workloads: hand-scheduled handoffs (PR 6) and
         # the policy-driven rebalancer storm (PR 7).
         assert {"migration_handoff", "rebalance_storm"} <= names
+        # The population-scaling workloads guarding the batched-delivery
+        # kernel (PR 8): fan-out and churn at n = 1000.
+        assert {"broadcast_fanout_large", "churn_tick_large"} <= names
         for digest in (
             "digest",
             "faulted_digest",
