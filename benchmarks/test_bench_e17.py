@@ -1,0 +1,10 @@
+"""Benchmark E17 — regenerates the population-scaling experiment."""
+
+from repro.experiments import e17_population_scaling
+
+from .conftest import regenerate
+
+
+def test_bench_e17(benchmark):
+    """Regenerate E17 (churn-tick cost and join latency vs population)."""
+    regenerate(benchmark, e17_population_scaling.run, "E17")

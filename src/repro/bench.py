@@ -33,6 +33,7 @@ from .faults.plan import FaultPlan, PartitionFault
 from .runtime.config import SystemConfig
 from .runtime.system import DynamicSystem
 from .sim.engine import EventScheduler
+from .sim.errors import ReproError
 
 ARTIFACT_NAME = "BENCH_kernel.json"
 SCHEMA_VERSION = 1
@@ -125,6 +126,30 @@ def churn_tick_large(ticks: float = 40.0, n: int = 1000) -> int:
         SystemConfig(n=n, delta=5.0, protocol="sync", seed=1, trace=False)
     )
     system.attach_churn(rate=0.002)
+    system.run_until(ticks)
+    return system.churn.ticks_executed
+
+
+def churn_ticks_legacy_dispatch(ticks: float = 300.0, n: int = 100) -> int:
+    """:func:`churn_ticks` with the wave-handler plane switched off.
+
+    Same seed, same population, same churn — but every delivery goes
+    through the per-event ``on_<type>`` dispatch instead of the batched
+    wave handlers.  The pair feeds ``derived.dispatch_speedup``: the
+    measured, same-machine cost of the dispatch plane itself, free of
+    cross-machine noise.
+    """
+    system = DynamicSystem(
+        SystemConfig(
+            n=n,
+            delta=5.0,
+            protocol="sync",
+            seed=1,
+            trace=False,
+            batch_dispatch=False,
+        )
+    )
+    system.attach_churn(rate=0.1)
     system.run_until(ticks)
     return system.churn.ticks_executed
 
@@ -436,6 +461,68 @@ def history_digest(seed: int = 7, faults: FaultPlan | None = None) -> str:
 
 
 # ----------------------------------------------------------------------
+# Profiling
+# ----------------------------------------------------------------------
+
+#: Workloads ``repro profile`` can run under cProfile, by name.  Each
+#: entry is a zero-argument callable running one benchmark workload at
+#: its artifact-default parameters, so a profile is directly comparable
+#: to the matching ``BENCH_kernel.json`` row.
+PROFILE_WORKLOADS: dict[str, Callable[[], Any]] = {
+    "engine_throughput": engine_throughput,
+    "broadcast_fanout": lambda: broadcast_fanout(False),
+    "broadcast_fanout_large": broadcast_fanout_large,
+    "churn_ticks": churn_ticks,
+    "churn_ticks_legacy_dispatch": churn_ticks_legacy_dispatch,
+    "churn_tick_large": churn_tick_large,
+    "keyed_store_fanout": keyed_store_fanout,
+    "cluster_fanout": cluster_fanout,
+    "migration_handoff": migration_handoff,
+    "rebalance_storm": rebalance_storm,
+    "history_digest": history_digest,
+}
+
+#: ``--sort`` spellings accepted by :func:`profile_workload` (a curated
+#: subset of pstats' keys — the ones that answer perf questions here).
+PROFILE_SORTS = ("cumulative", "tottime", "calls")
+
+
+def profile_workload(
+    name: str, top: int = 25, sort: str = "cumulative"
+) -> None:
+    """Run one named bench workload under cProfile and print hot frames.
+
+    The instrument behind every handler-plane claim: wall times say
+    *whether* a change paid off, the frame table says *where* the time
+    went — and whether the next optimisation target is the kernel, the
+    protocol handlers, or the heap itself.  Prints the workload's wall
+    time and result, then the ``top`` frames by ``sort`` order.
+    """
+    import cProfile
+    import pstats
+
+    if name not in PROFILE_WORKLOADS:
+        raise ReproError(
+            f"unknown workload {name!r}; "
+            f"known: {', '.join(PROFILE_WORKLOADS)}"
+        )
+    if sort not in PROFILE_SORTS:
+        raise ReproError(
+            f"unknown sort {sort!r}; known: {', '.join(PROFILE_SORTS)}"
+        )
+    workload = PROFILE_WORKLOADS[name]
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = workload()
+    profiler.disable()
+    wall = time.perf_counter() - start
+    print(f"workload {name}: {wall:.3f}s wall (profiled), result {result!r}")
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+
+
+# ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
 
@@ -479,8 +566,20 @@ def run_kernel_benchmarks(
             "the fault gate is not transparent"
         )
 
-    seconds, ticks = _time_best(churn_ticks, repeats)
-    record("churn_tick_cost", seconds, "ticks", ticks)
+    churn_seconds, ticks = _time_best(churn_ticks, repeats)
+    record("churn_tick_cost", churn_seconds, "ticks", ticks)
+
+    legacy_dispatch_seconds, ticks_legacy = _time_best(
+        churn_ticks_legacy_dispatch, repeats
+    )
+    record(
+        "churn_tick_legacy_dispatch", legacy_dispatch_seconds, "ticks", ticks_legacy
+    )
+    if ticks_legacy != ticks:
+        raise AssertionError(
+            "switching off the wave-handler plane changed the churn "
+            "workload's tick count — the dispatch planes diverged"
+        )
 
     seconds, delivered_large = _time_best(broadcast_fanout_large, repeats)
     record("broadcast_fanout_large", seconds, "delivered", delivered_large)
@@ -598,6 +697,11 @@ def run_kernel_benchmarks(
             "trace_off_speedup": round(seconds_on / seconds_off, 3),
             "fault_gate_overhead": round(seconds_gated / seconds_off, 3),
             "checker_regularity_speedup": round(naive_reg / fast_reg, 3),
+            # the same churn workload with per-event on_<type> dispatch
+            # over the wave-handler plane — both legs timed in this run
+            # on this machine, so the ratio is noise-immune in a way the
+            # cross-machine wall-time comparison cannot be.
+            "dispatch_speedup": round(legacy_dispatch_seconds / churn_seconds, 3),
             "checker_atomicity_speedup": round(naive_atom / fast_atom, 3),
             # what serving 8 registers instead of 1 costs end to end on
             # the same churning population — joins are batched over

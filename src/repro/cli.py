@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands, mirroring how the library is typically used:
+Nine subcommands, mirroring how the library is typically used:
 
 ``experiments``
     Run the reproduction battery (E1–E12, optionally the ablations)
@@ -31,6 +31,12 @@ Seven subcommands, mirroring how the library is typically used:
     determinism digests).  ``--compare OLD.json`` diffs the fresh run
     against a committed artifact — per-workload wall-time and derived
     ratio deltas — and exits non-zero past ``--threshold``.
+
+``profile``
+    Run one named bench workload under ``cProfile`` and print the
+    top-N frames — the instrument behind (and against) every
+    handler-plane perf claim: wall times say whether a change paid
+    off, the frame table says where the time actually went.
 
 ``migrate``
     Live-reshard a cluster: schedule key migrations between quorum
@@ -204,6 +210,32 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_workers_flag(bench, "run the parallel-sweep benchmark")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one bench workload under cProfile and print hot frames",
+    )
+    profile.add_argument(
+        "workload",
+        metavar="WORKLOAD",
+        help=(
+            "bench workload to profile at its artifact-default "
+            "parameters (e.g. churn_ticks, churn_tick_large, "
+            "broadcast_fanout_large; see repro.bench.PROFILE_WORKLOADS)"
+        ),
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="frames to print (default 25)",
+    )
+    profile.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "calls"],
+        help="pstats sort order (default cumulative)",
+    )
 
     migrate = sub.add_parser(
         "migrate",
@@ -454,6 +486,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             except OSError as error:
                 print(f"error: cannot read/write artifact: {error}", file=sys.stderr)
                 return 2
+        if args.command == "profile":
+            from .bench import profile_workload
+
+            profile_workload(args.workload, top=args.top, sort=args.sort)
+            return 0
         if args.command == "migrate":
             return _cmd_migrate(args)
         if args.command == "rebalance":

@@ -137,15 +137,14 @@ class BroadcastService:
         # policy no bookkeeping is materialized at all.
         recipients = self.membership.present_pids()
         if self.batched:
-            # Vectorized fan-out: sample every recipient's delay in one
-            # call (same draws, same stream), then hand the whole vector
-            # to the network, which groups same-instant arrivals into
-            # slab batches — no per-recipient Message or Event at all.
-            delays = self.delay_model.sample_broadcast_many(
-                sender, recipients, payload, now, self._rng
-            )
+            # Vectorized fan-out: the network draws every recipient's
+            # delay itself, from this service's stream (``delays=None``
+            # — same draws, same order as ``sample_broadcast_many``),
+            # fusing the sampling into its scheduling loop — no
+            # per-recipient Message or Event at all.
             self.network.deliver_fanout(
-                sender, recipients, delays, payload, now, broadcast_id
+                sender, recipients, None, payload, now, broadcast_id,
+                rng=self._rng,
             )
         else:
             for dest in recipients:

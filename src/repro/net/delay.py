@@ -73,16 +73,42 @@ class DelayModel(abc.ABC):
     ) -> list[Time]:
         """Latencies for one broadcast's whole fan-out, in recipient order.
 
-        The default delegates to :meth:`sample_broadcast` per recipient,
-        so custom models stay byte-identical without opting in; the
-        built-in uniform models override it with the loop inlined
-        (drawing the *exact* same value per recipient from the same RNG
-        stream — batched fan-out must not perturb a single draw).
+        Models that declare uniform broadcast latencies (via
+        :meth:`broadcast_uniform`) get the vectorized ``lo + span *
+        random()`` comprehension — the bit-identical expansion of
+        ``random.uniform``, one method call per fan-out — here in the
+        base class, so a new delay model cannot fork the fast path.
+        Everything else delegates to :meth:`sample_broadcast` per
+        recipient and stays byte-identical without opting in (batched
+        fan-out must not perturb a single draw).
         """
-        sample = self.sample_broadcast
-        return [
-            sample(sender, dest, payload, send_time, rng) for dest in dests
-        ]
+        params = self.broadcast_uniform()
+        if params is None:
+            sample = self.sample_broadcast
+            return [
+                sample(sender, dest, payload, send_time, rng) for dest in dests
+            ]
+        lo, span = params
+        random = rng.random
+        return [lo + span * random() for _ in dests]
+
+    def broadcast_uniform(self) -> tuple[Time, Time] | None:
+        """``(lo, span)`` when broadcast latencies are exactly
+        ``lo + span * rng.random()`` — the uniform models declare their
+        parameters here and inherit the vectorized fan-out loop.
+        ``None`` (the default) means draws are not uniform and every
+        vectorized path must fall back to per-recipient sampling.
+        """
+        return None
+
+    def p2p_uniform(self) -> tuple[Time, Time] | None:
+        """``(lo, span)`` when *point-to-point* latencies are exactly
+        ``lo + span * rng.random()``; ``None`` otherwise.  The network's
+        batch-dispatch plane inlines reply draws with these parameters
+        (same stream, same draw order — bit-identical), and falls back
+        to :meth:`sample` calls when no parameters are declared.
+        """
+        return None
 
     @property
     def known_bound(self) -> Time | None:
@@ -126,20 +152,13 @@ class SynchronousDelay(DelayModel):
         lo = self.min_delay
         return lo + (self.delta - lo) * rng.random()
 
-    def sample_broadcast_many(
-        self,
-        sender: str,
-        dests: list[str],
-        payload: Any,
-        send_time: Time,
-        rng: random.Random,
-    ) -> list[Time]:
-        # Same bit-identical expansion of random.uniform, with the loop
-        # inlined so a fan-out costs one method call total.
+    def broadcast_uniform(self) -> tuple[Time, Time]:
         lo = self.min_delay
-        span = self.delta - lo
-        random = rng.random
-        return [lo + span * random() for _ in dests]
+        return lo, self.delta - lo
+
+    def p2p_uniform(self) -> tuple[Time, Time]:
+        lo = self.min_delay
+        return lo, self.delta - lo
 
     @property
     def known_bound(self) -> Time:
@@ -208,20 +227,13 @@ class DualBoundSynchronousDelay(DelayModel):
     ) -> Time:
         return rng.uniform(self.min_delay, self.broadcast_delta)
 
-    def sample_broadcast_many(
-        self,
-        sender: str,
-        dests: list[str],
-        payload: Any,
-        send_time: Time,
-        rng: random.Random,
-    ) -> list[Time]:
-        # Same bit-identical inlining as SynchronousDelay, against the
-        # broadcast bound δ.
+    def broadcast_uniform(self) -> tuple[Time, Time]:
         lo = self.min_delay
-        span = self.broadcast_delta - lo
-        random = rng.random
-        return [lo + span * random() for _ in dests]
+        return lo, self.broadcast_delta - lo
+
+    def p2p_uniform(self) -> tuple[Time, Time]:
+        lo = self.min_delay
+        return lo, self.p2p_delta - lo
 
     @property
     def known_bound(self) -> Time:

@@ -86,6 +86,190 @@ class _ScheduledMessage(SlabEntry):
         network._deliver(message)
 
 
+class _Unicast(SlabEntry):
+    """One heap slot for one envelope-free single-destination delivery.
+
+    The scalar sibling of :class:`_BroadcastBatch`: point-to-point
+    sends (:meth:`Network.send_payload`), the per-recipient pushes of a
+    continuous-delay fan-out, and the reply sends wave handlers inline
+    all land here.  Carrying ``dest`` as a plain slot instead of a
+    one-element vector removes the list append/clear churn from the
+    hottest entries, and ``size`` stays the inherited class attribute
+    (1) — no per-entry store, no per-fire load beyond a type-dict hit.
+
+    ``broadcast_id`` distinguishes a fan-out delivery (DELIVER trace
+    kind) from a point-to-point receive, exactly as on the batch.
+    """
+
+    __slots__ = ("network", "sender", "payload", "broadcast_id", "dest")
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self.sender = ""
+        self.payload: Any = None
+        self.broadcast_id: int | None = None
+        self.dest = ""
+
+    def fire(self) -> None:
+        network = self.network
+        if network._fast_waves:
+            sender = self.sender
+            payload = self.payload
+            process = network._present.get(self.dest)
+            # Recycle before dispatching: the handler may send again
+            # and reuse this very slot — everything is extracted.
+            self.payload = None
+            network._unicast_pool.append(self)
+            if process is None:
+                network.dropped_count += 1
+                return
+            network.delivered_count += 1
+            wave = process._waves1.get(payload.__class__)
+            if wave is not None:
+                wave(network, sender, payload, process)
+                return
+            handler = process._dispatch.get(payload.__class__)
+            if handler is None:
+                process.deliver_payload(sender, payload)
+                return
+            handler(process, sender, payload)
+            watchers = process._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+            return
+        if network._fast:
+            sender = self.sender
+            payload = self.payload
+            process = network._present.get(self.dest)
+            self.payload = None
+            network._unicast_pool.append(self)
+            if process is None:
+                network.dropped_count += 1
+                return
+            network.delivered_count += 1
+            handler = process._dispatch.get(payload.__class__)
+            if handler is None:
+                process.deliver_payload(sender, payload)
+                return
+            handler(process, sender, payload)
+            watchers = process._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+            return
+        network._fire_batch_checked(
+            self, self.sender, self.payload, (self.dest,), network.faults
+        )
+        self.payload = None
+        network._unicast_pool.append(self)
+
+
+class _FanoutSweep(SlabEntry):
+    """One heap slot carrying an *entire* broadcast fan-out.
+
+    The fan-out's arrivals are drawn up front (in recipient order, so
+    the RNG stream is untouched), sorted by instant, and then swept:
+    the entry sits in the heap at the next arrival's instant, delivers
+    that one recipient when it fires, and re-pushes itself at the
+    following instant.  Compared to one pooled entry per recipient this
+    keeps the heap ~two orders of magnitude smaller under broadcast
+    storms (one slot per in-flight broadcast, not one per in-flight
+    delivery) and replaces the per-recipient entry setup with two list
+    appends.
+
+    Ordering: arrivals are sorted by ``(instant, recipient index)``, so
+    same-instant recipients deliver in recipient order, exactly like
+    consecutive per-recipient sequence numbers.  Relative to *other*
+    events the re-push draws a fresh (later) sequence number, which can
+    only reorder exact ``(time, priority)`` ties — impossible under the
+    continuous delay models this fast path serves (the determinism
+    digests and the kernel-parity suite pin this).  ``size`` stays the
+    inherited 1: each fire performs exactly one logical delivery, so
+    the scheduler's counters see the same totals as per-recipient
+    entries.
+    """
+
+    __slots__ = ("network", "sender", "payload", "broadcast_id",
+                 "times", "dests", "index", "count")
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self.sender = ""
+        self.payload: Any = None
+        self.broadcast_id: int | None = None
+        self.times: list[Time] = []
+        self.dests: list[str] = []
+        self.index = 0
+        self.count = 0
+
+    def fire(self) -> None:
+        network = self.network
+        index = self.index
+        dest = self.dests[index]
+        index += 1
+        if index < self.count:
+            # Re-arm at the next arrival before delivering: the sorted
+            # vector guarantees monotone instants, and a handler that
+            # raises leaves the remaining arrivals queued — exactly
+            # like pre-pushed per-recipient entries.
+            self.index = index
+            engine = network.engine
+            heappush(
+                engine._queue,
+                (self.times[index], _DELIVERY, engine._sequence, self),
+            )
+            engine._sequence += 1
+            last = False
+        else:
+            last = True
+        if network._fast_waves:
+            payload = self.payload
+            process = network._present.get(dest)
+            if process is None:
+                network.dropped_count += 1
+            else:
+                network.delivered_count += 1
+                wave = process._waves1.get(payload.__class__)
+                if wave is not None:
+                    wave(network, self.sender, payload, process)
+                else:
+                    handler = process._dispatch.get(payload.__class__)
+                    if handler is None:
+                        process.deliver_payload(self.sender, payload)
+                    else:
+                        handler(process, self.sender, payload)
+                        watchers = process._watchers
+                        if watchers:
+                            for watcher in list(watchers):
+                                watcher.poll()
+        elif network._fast:
+            payload = self.payload
+            process = network._present.get(dest)
+            if process is None:
+                network.dropped_count += 1
+            else:
+                network.delivered_count += 1
+                handler = process._dispatch.get(payload.__class__)
+                if handler is None:
+                    process.deliver_payload(self.sender, payload)
+                else:
+                    handler(process, self.sender, payload)
+                    watchers = process._watchers
+                    if watchers:
+                        for watcher in list(watchers):
+                            watcher.poll()
+        else:
+            network._fire_batch_checked(
+                self, self.sender, self.payload, (dest,), network.faults
+            )
+        if last:
+            self.payload = None
+            self.times.clear()
+            self.dests.clear()
+            network._sweep_pool.append(self)
+
+
 class _BroadcastBatch(SlabEntry):
     """One heap slot for every recipient of one broadcast arriving at
     one instant: the shared header once, plus the destination vector.
@@ -119,18 +303,48 @@ class _BroadcastBatch(SlabEntry):
         sender = self.sender
         payload = self.payload
         dests = self.dests
-        # ``_fast`` folds the fault gate and the (construction-time
-        # constant) trace flag into one attribute test.
-        if network._fast:
-            # Hot path: one dict probe per recipient, then straight
-            # into the handler.  Presence is re-read per recipient
-            # because an earlier delivery of this very batch may depart
-            # a process.  The dispatch is ``deliver_payload`` inlined:
-            # a process held in ``membership._present`` is never
-            # DEPARTED (departure always pairs ``process.depart()``
-            # with ``membership.leave``), so the mode guard is the
-            # presence probe itself; a cache miss falls back to the
-            # full method.
+        # ``_fast_waves`` folds the fault gate, the (construction-time
+        # constant) trace flag and the batch-dispatch flag into one
+        # attribute test.
+        if network._fast_waves:
+            # Batch-dispatch plane: resolve the batch's recipients once,
+            # then at most one wave call per batch.  Size-1 batches (the
+            # continuous-delay common case) are fully inlined here; the
+            # wave contract (handlers never depart processes) makes the
+            # single upfront presence probe equivalent to the legacy
+            # per-recipient re-probe.
+            payload_cls = payload.__class__
+            if len(dests) == 1:
+                process = network._present.get(dests[0])
+                if process is None:
+                    network.dropped_count += 1
+                else:
+                    network.delivered_count += 1
+                    wave = process._waves.get(payload_cls)
+                    if wave is not None:
+                        wave(network, sender, payload, (process,))
+                    else:
+                        handler = process._dispatch.get(payload_cls)
+                        if handler is None:
+                            process.deliver_payload(sender, payload)
+                        else:
+                            handler(process, sender, payload)
+                            watchers = process._watchers
+                            if watchers:
+                                for watcher in list(watchers):
+                                    watcher.poll()
+            else:
+                network._dispatch_batch(sender, payload, dests, payload_cls)
+        elif network._fast:
+            # The PR 8 per-recipient fast path (``batch_dispatch=False``):
+            # one dict probe per recipient, then straight into the
+            # handler.  Presence is re-read per recipient because an
+            # earlier delivery of this very batch may depart a process.
+            # The dispatch is ``deliver_payload`` inlined: a process
+            # held in ``membership._present`` is never DEPARTED
+            # (departure always pairs ``process.depart()`` with
+            # ``membership.leave``), so the mode guard is the presence
+            # probe itself; a cache miss falls back to the full method.
             present = network._present
             payload_cls = payload.__class__
             for dest in dests:
@@ -169,6 +383,7 @@ class Network:
         delay_model: DelayModel,
         trace: TraceLog,
         rng: RngRegistry,
+        batch_dispatch: bool = True,
     ) -> None:
         self.engine = engine
         self.membership = membership
@@ -186,15 +401,30 @@ class Network:
         # off.  ``trace._enabled`` never changes after construction, so
         # this only needs refreshing when a fault injector lands.
         self._fast = not trace.enabled
+        # The batch-dispatch plane (wave handlers): folded with ``_fast``
+        # into one flag so the fire loop tests a single attribute.
+        self._batch_dispatch = batch_dispatch
+        self._fast_waves = self._fast and batch_dispatch
         # Hot-path aliases: the membership dicts are bound once (only
         # ever mutated in place) and the delay model is fixed, so the
         # per-delivery attribute chains collapse to one load each.
         self._present = membership._present
         self._records = membership._records
         self._sample = delay_model.sample
+        # Uniform point-to-point draw parameters, if the delay model
+        # declares them: wave handlers inline their reply delay draws as
+        # ``lo + span * random()`` (bit-identical to ``sample``) instead
+        # of calling through the model per reply.  ``None`` keeps waves
+        # on the exact ``sample`` call.
+        self._p2p_uniform = delay_model.p2p_uniform()
+        # Same idea for broadcast draws: with declared parameters the
+        # fan-out fuses its per-recipient draw into the scheduling loop.
+        self._bcast_uniform = delay_model.broadcast_uniform()
         # Free lists for the slab entries (see module docstring).
         self._message_pool: list[_ScheduledMessage] = []
         self._batch_pool: list[_BroadcastBatch] = []
+        self._unicast_pool: list[_Unicast] = []
+        self._sweep_pool: list[_FanoutSweep] = []
 
     def install_faults(self, injector: FaultInjector) -> None:
         """Install a fault injector (at most one per network)."""
@@ -202,6 +432,7 @@ class Network:
             raise NetworkError("a fault injector is already installed")
         self.faults = injector
         self._fast = False
+        self._fast_waves = False
 
     @property
     def known_bound(self) -> Time | None:
@@ -311,21 +542,19 @@ class Network:
                 type=type(payload).__name__,
                 arrives=deliver_at,
             )
-        pool = self._batch_pool
-        batch = pool.pop() if pool else _BroadcastBatch(self)
-        batch.sender = sender
-        batch.payload = payload
-        batch.sent_at = now
-        batch.broadcast_id = None
-        batch.dests.append(dest)
-        batch.size = 1
+        pool = self._unicast_pool
+        entry = pool.pop() if pool else _Unicast(self)
+        entry.sender = sender
+        entry.payload = payload
+        entry.broadcast_id = None
+        entry.dest = dest
         # schedule_slab inlined (same validation, one size-1 entry):
         # the kernel and this hot path are co-designed — see the module
         # docstring and the scheduler's design notes.
         engine = self.engine
         if not (engine._now <= deliver_at < _INF):
             engine._reject_instant(deliver_at)
-        heappush(engine._queue, (deliver_at, _DELIVERY, engine._sequence, batch))
+        heappush(engine._queue, (deliver_at, _DELIVERY, engine._sequence, entry))
         engine._sequence += 1
         engine._live += 1
 
@@ -406,62 +635,136 @@ class Network:
         self,
         sender: str,
         dests: list[str],
-        delays: list[Time],
+        delays: list[Time] | None,
         payload: Any,
         now: Time,
         broadcast_id: int,
+        rng: Any = None,
     ) -> None:
         """Schedule one broadcast's whole fan-out, batched by instant.
 
         ``dests`` and ``delays`` are parallel, in recipient order — the
         same order the legacy per-recipient loop sampled and scheduled
         in, so the fault hooks see every delivery at the same point of
-        the RNG stream.  Recipients sharing an arrival instant (e.g. a
-        defer-partition parking several on its ``end``) coalesce into
-        one heap slot; batches are pushed in first-occurrence order,
-        which preserves the historical sequence order exactly.
+        the RNG stream.  ``delays=None`` defers the sampling to this
+        method (``rng`` must then carry the caller's broadcast stream):
+        with declared uniform parameters the draw fuses into the
+        scheduling loop — same ``lo + span * random()`` per recipient,
+        in recipient order, bit-identical to
+        :meth:`~repro.net.delay.DelayModel.sample_broadcast_many` —
+        and no delay vector is materialized at all.  Recipients sharing
+        an arrival instant (e.g. a defer-partition parking several on
+        its ``end``) coalesce into one heap slot; batches are pushed in
+        first-occurrence order, which preserves the historical sequence
+        order exactly.
         """
         faults = self.faults
-        groups: dict[Time, _BroadcastBatch] = {}
         if faults is None:
-            pool = self._batch_pool
-            groups_get = groups.get
+            count = len(dests)
+            if count == 0:
+                return
+            engine = self.engine
+            queue = engine._queue
+            params = self._bcast_uniform if delays is None else None
+            if params is not None and params[1] > 0.0:
+                # Fused sweep arm: draw every arrival inline (recipient
+                # order — the RNG stream is exactly
+                # ``sample_broadcast_many``'s, and ``now + (lo + span *
+                # r)`` keeps the delay a single float so the sum rounds
+                # exactly like the legacy two-step computation; the
+                # model's constructor already validated ``0 < lo``, so
+                # the positivity check is subsumed), sort by
+                # ``(instant, recipient index)``, and push ONE sweep
+                # entry that re-arms itself arrival by arrival.  The
+                # sweep is reserved for *continuous* draws (``span >
+                # 0``): its re-push sequence numbers can only reorder
+                # exact instant ties, which are measure-zero here — see
+                # :class:`_FanoutSweep` for the full argument.
+                lo, span = params
+                rng_random = rng.random
+                pairs = [
+                    (now + (lo + span * rng_random()), i)
+                    for i in range(count)
+                ]
+                if not (pairs[-1][0] < _INF):
+                    engine._reject_instant(pairs[-1][0])
+                pairs.sort()
+                pool = self._sweep_pool
+                sweep = pool.pop() if pool else _FanoutSweep(self)
+                sweep.sender = sender
+                sweep.payload = payload
+                sweep.broadcast_id = broadcast_id
+                sweep.index = 0
+                sweep.count = count
+                times = sweep.times
+                sdests = sweep.dests
+                append_time = times.append
+                append_dest = sdests.append
+                for instant, i in pairs:
+                    append_time(instant)
+                    append_dest(dests[i])
+                heappush(queue, (times[0], _DELIVERY, engine._sequence, sweep))
+                engine._sequence += 1
+                engine._live += count
+                return
+            # Per-recipient arm: delay models without continuous
+            # uniform parameters CAN produce tied instants (the
+            # eventually-synchronous GST flush clamps every straggler
+            # to exactly ``gst + delta``; a degenerate ``span == 0``
+            # makes every draw equal), and tied deliveries must keep
+            # the historical consecutive-sequence interleaving — so
+            # each recipient gets its own pooled entry, pushed in
+            # recipient order.
+            if delays is None:
+                delays = self.delay_model.sample_broadcast_many(
+                    sender, dests, payload, now, rng
+                )
+            unicast_pool = self._unicast_pool
+            unicast_pop = unicast_pool.pop
+            sequence = engine._sequence
             for dest, delay in zip(dests, delays):
                 if delay <= 0:
                     raise NetworkError(
                         f"delay model produced non-positive delay {delay!r}"
                     )
                 deliver_at = now + delay
-                batch = groups_get(deliver_at)
-                if batch is None:
-                    batch = pool.pop() if pool else _BroadcastBatch(self)
-                    batch.sender = sender
-                    batch.payload = payload
-                    batch.sent_at = now
-                    batch.broadcast_id = broadcast_id
-                    groups[deliver_at] = batch
-                batch.dests.append(dest)
-        else:
-            payload_type = type(payload).__name__
-            for dest, delay in zip(dests, delays):
-                if delay <= 0:
-                    raise NetworkError(
-                        f"delay model produced non-positive delay {delay!r}"
-                    )
-                deliver_at, fault_reason = faults.on_transmit(
-                    sender, dest, payload, now, now + delay, payload_type
+                if not (deliver_at < _INF):
+                    engine._reject_instant(deliver_at)
+                entry = unicast_pop() if unicast_pool else _Unicast(self)
+                entry.sender = sender
+                entry.payload = payload
+                entry.broadcast_id = broadcast_id
+                entry.dest = dest
+                heappush(queue, (deliver_at, _DELIVERY, sequence, entry))
+                sequence += 1
+            engine._sequence = sequence
+            engine._live += count
+            return
+        if delays is None:
+            delays = self.delay_model.sample_broadcast_many(
+                sender, dests, payload, now, rng
+            )
+        groups: dict[Time, _BroadcastBatch] = {}
+        payload_type = type(payload).__name__
+        for dest, delay in zip(dests, delays):
+            if delay <= 0:
+                raise NetworkError(
+                    f"delay model produced non-positive delay {delay!r}"
                 )
-                if fault_reason is not None:
-                    self._account_fault_drop(
-                        now, sender, dest, payload_type, fault_reason
-                    )
-                    continue
-                batch = groups.get(deliver_at)
-                if batch is None:
-                    groups[deliver_at] = batch = self._take_batch(
-                        sender, payload, now, broadcast_id
-                    )
-                batch.dests.append(dest)
+            deliver_at, fault_reason = faults.on_transmit(
+                sender, dest, payload, now, now + delay, payload_type
+            )
+            if fault_reason is not None:
+                self._account_fault_drop(
+                    now, sender, dest, payload_type, fault_reason
+                )
+                continue
+            batch = groups.get(deliver_at)
+            if batch is None:
+                groups[deliver_at] = batch = self._take_batch(
+                    sender, payload, now, broadcast_id
+                )
+            batch.dests.append(dest)
         for batch in groups.values():
             batch.size = len(batch.dests)
         self.engine.schedule_slab_many(groups, _DELIVERY)
@@ -477,15 +780,70 @@ class Network:
         batch.broadcast_id = broadcast_id
         return batch
 
-    def _fire_batch_checked(
+    def _dispatch_batch(
         self,
-        batch: _BroadcastBatch,
         sender: str,
         payload: Any,
         dests: list[str],
+        payload_cls: type,
+    ) -> None:
+        """Multi-recipient arm of the batch-dispatch plane.
+
+        Resolves the batch's present recipients once; a homogeneous
+        batch then costs one wave (or one ``deliver_batch``) call
+        total.  Mixed-class batches — possible only when differently-
+        typed process populations share one network — fall back to the
+        exact legacy per-recipient loop, which re-probes presence per
+        delivery.
+        """
+        present = self._present
+        procs: list = []
+        cls: type | None = None
+        homogeneous = True
+        for dest in dests:
+            process = present.get(dest)
+            if process is None:
+                continue
+            if cls is None:
+                cls = process.__class__
+            elif process.__class__ is not cls:
+                homogeneous = False
+            procs.append(process)
+        if homogeneous and cls is not None:
+            self.dropped_count += len(dests) - len(procs)
+            self.delivered_count += len(procs)
+            wave = procs[0]._waves.get(payload_cls)
+            if wave is not None:
+                wave(self, sender, payload, procs)
+            else:
+                cls.deliver_batch(self, sender, payload, procs)
+            return
+        for dest in dests:
+            process = present.get(dest)
+            if process is None:
+                self.dropped_count += 1
+                continue
+            self.delivered_count += 1
+            handler = process._dispatch.get(payload_cls)
+            if handler is None:
+                process.deliver_payload(sender, payload)
+                continue
+            handler(process, sender, payload)
+            watchers = process._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    def _fire_batch_checked(
+        self,
+        batch: "_BroadcastBatch | _Unicast",
+        sender: str,
+        payload: Any,
+        dests: "list[str] | tuple[str, ...]",
         faults: FaultInjector | None,
     ) -> None:
-        """The traced / faulted arm of :meth:`_BroadcastBatch.fire`.
+        """The traced / faulted arm of :meth:`_BroadcastBatch.fire`
+        (and of :meth:`_Unicast.fire`, over a one-element vector).
 
         Replicates :meth:`_deliver` per recipient — same check order
         (fault drop, presence, crash, presence again), same counters,
@@ -594,7 +952,18 @@ class Network:
                 sender=message.sender,
                 type=message.payload_type,
             )
-        self.membership.process(message.dest).deliver(message)
+        process = self.membership.process(message.dest)
+        if self._fast_waves:
+            # Envelope deliveries join the wave plane too: protocols
+            # whose point-to-point traffic rides full ``Message``
+            # envelopes (ES replies/acks, ABD's universe rounds) get
+            # the same straight-line unicast bodies as slab deliveries.
+            payload = message.payload
+            wave = process._waves1.get(payload.__class__)
+            if wave is not None:
+                wave(self, message.sender, payload, process)
+                return
+        process.deliver(message)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

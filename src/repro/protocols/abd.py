@@ -246,3 +246,116 @@ class AbdRegisterNode(RegisterNode):
         key = self.space.resolve(msg.key)
         if msg.request == self._queries.current_request(key):
             self._writebacks.phase(key).offer_ack(sender)
+
+    # ------------------------------------------------------------------
+    # Wave handlers (the batch-dispatch plane)
+    # ------------------------------------------------------------------
+    # ABD's universe messages travel point-to-point, so the unicast and
+    # envelope fast paths are what call the ``_one`` variants; the
+    # batch bodies serve the ``deliver_batch`` plane.  Same sends in
+    # the same order as the handlers above; non-replica no-op arms skip
+    # the watcher poll (a no-op delivery cannot newly satisfy a
+    # ``WaitUntil`` condition).
+
+    wave_handlers = {
+        AbdWrite: "_wave_abdwrite",
+        AbdQuery: "_wave_abdquery",
+        AbdWriteBack: "_wave_abdwriteback",
+    }
+
+    @staticmethod
+    def _wave_abdwrite(network, sender, payload, procs) -> None:
+        key = payload.key
+        value = payload.value
+        sequence = payload.sequence
+        for node in procs:
+            if not node.is_replica:
+                continue
+            node.space.adopt(key, value, sequence)
+            node.ctx.network.send(node.pid, sender, AbdAck(sequence, key))
+            watchers = node._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_abdwrite_one(network, sender, payload, node) -> None:
+        if not node.is_replica:
+            return
+        key = payload.key
+        sequence = payload.sequence
+        node.space.adopt(key, payload.value, sequence)
+        node.ctx.network.send(node.pid, sender, AbdAck(sequence, key))
+        watchers = node._watchers
+        if watchers:
+            if len(watchers) == 1:
+                watchers[0].poll()
+            else:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_abdquery(network, sender, payload, procs) -> None:
+        request = payload.request
+        key = payload.key
+        for node in procs:
+            if not node.is_replica:
+                continue
+            value, sequence = node.space.snapshot(key)
+            node.ctx.network.send(
+                node.pid, sender, AbdQueryReply(request, value, sequence, key)
+            )
+            watchers = node._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_abdquery_one(network, sender, payload, node) -> None:
+        if not node.is_replica:
+            return
+        key = payload.key
+        value, sequence = node.space.snapshot(key)
+        node.ctx.network.send(
+            node.pid, sender, AbdQueryReply(payload.request, value, sequence, key)
+        )
+        watchers = node._watchers
+        if watchers:
+            if len(watchers) == 1:
+                watchers[0].poll()
+            else:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_abdwriteback(network, sender, payload, procs) -> None:
+        request = payload.request
+        key = payload.key
+        value = payload.value
+        sequence = payload.sequence
+        for node in procs:
+            if not node.is_replica:
+                continue
+            node.space.adopt(key, value, sequence)
+            node.ctx.network.send(node.pid, sender, AbdWriteBackAck(request, key))
+            watchers = node._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_abdwriteback_one(network, sender, payload, node) -> None:
+        if not node.is_replica:
+            return
+        key = payload.key
+        node.space.adopt(key, payload.value, payload.sequence)
+        node.ctx.network.send(
+            node.pid, sender, AbdWriteBackAck(payload.request, key)
+        )
+        watchers = node._watchers
+        if watchers:
+            if len(watchers) == 1:
+                watchers[0].poll()
+            else:
+                for watcher in list(watchers):
+                    watcher.poll()

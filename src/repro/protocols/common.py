@@ -73,6 +73,22 @@ class QuorumPhase:
         """Record a bare acknowledgement (no payload, just the count)."""
         self._offers[sender] = ()
 
+    def record_many(
+        self, offers: Iterable[tuple[str, Iterable[Entry]]]
+    ) -> None:
+        """Vectorized :meth:`offer`: fold a whole batch of per-sender
+        replies into the round in one call.
+
+        The batch-dispatch plane's aggregated quorum accounting — a
+        wave handler that collected several same-round replies records
+        them with one frame instead of one ``offer`` call each.  Later
+        duplicates supersede earlier ones, exactly like repeated
+        :meth:`offer` calls.
+        """
+        _offers = self._offers
+        for sender, entries in offers:
+            _offers[sender] = tuple(entries)
+
     @property
     def count(self) -> int:
         return len(self._offers)
@@ -93,17 +109,22 @@ class QuorumPhase:
         numbers carry equal values anyway.  ``None`` if no offer
         mentions the key.
         """
-        best: tuple[int, str, Any] | None = None
-        for sender, entries in self._offers.items():
-            for entry_key, value, sequence in entries:
-                if entry_key != key:
-                    continue
-                candidate = (sequence, sender, value)
-                if best is None or candidate[:2] > best[:2]:
-                    best = candidate
-        if best is None:
+        # One comprehension + C-level max instead of a nested Python
+        # loop.  Comparing bare ``(sequence, sender, value)`` tuples is
+        # safe: each sender offers at most one entry per key, so the
+        # ``(sequence, sender)`` prefixes are unique and the comparison
+        # never reaches ``value`` — and a unique strict maximum makes
+        # "first encountered wins" moot.
+        candidates = [
+            (sequence, sender, value)
+            for sender, entries in self._offers.items()
+            for entry_key, value, sequence in entries
+            if entry_key == key
+        ]
+        if not candidates:
             return None
-        return best[2], best[0]
+        sequence, _sender, value = max(candidates)
+        return value, sequence
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         gate = f"threshold={self.threshold}" if self.threshold else "timer-gated"
@@ -157,6 +178,13 @@ class PhaseTracker:
         request = self._requests.get(key, 0) + 1
         self._requests[key] = request
         return request
+
+    def record_many(
+        self, key: Any, offers: Iterable[tuple[str, Iterable[Entry]]]
+    ) -> None:
+        """Vectorized recording into ``key``'s phase (see
+        :meth:`QuorumPhase.record_many`)."""
+        self.phase(key).record_many(offers)
 
     def reading_keys(self) -> list[Any]:
         """Keys whose phase is currently open, in deterministic order.

@@ -329,6 +329,132 @@ class EventuallySyncRegisterNode(RegisterNode):
         if msg.sequence == self.space.sequence(msg.key):
             self._acks.phase(self.space.resolve(msg.key)).offer_ack(msg.sender)
 
+    # ------------------------------------------------------------------
+    # Wave handlers (the batch-dispatch plane)
+    # ------------------------------------------------------------------
+    # Same sends in the same order as the ``on_*`` handlers above (the
+    # corpus seeds pin the digests), minus the per-delivery dispatch
+    # probe and the defensive watcher-snapshot copy.  Echo deliveries
+    # and no-op arms skip the watcher poll: a delivery that changes no
+    # state cannot newly satisfy a ``WaitUntil`` condition.
+
+    wave_handlers = {
+        EsInquiry: "_wave_esinquiry",
+        EsRead: "_wave_esread",
+        EsWrite: "_wave_eswrite",
+    }
+
+    @staticmethod
+    def _wave_esinquiry(network, sender, payload, procs) -> None:
+        """Figure 4, lines 12-17, for a whole delivery batch."""
+        origin = payload.sender
+        read_sn = payload.read_sn
+        for node in procs:
+            if origin == node.pid:
+                continue  # own broadcast echo
+            if node.is_active:
+                node._send_reply(origin, read_sn, None)  # line 13
+                for key in node._reads.reading_keys():
+                    node._send_dl_prev(origin, key)  # line 14
+            else:
+                node._reply_to.add((origin, read_sn, None))  # line 15
+                node._send_dl_prev(origin, None)  # line 16
+            watchers = node._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_esinquiry_one(network, sender, payload, node) -> None:
+        """Figure 4, lines 12-17, for one recipient."""
+        origin = payload.sender
+        if origin == node.pid:
+            return  # own broadcast echo
+        if node.is_active:
+            node._send_reply(origin, payload.read_sn, None)  # line 13
+            for key in node._reads.reading_keys():
+                node._send_dl_prev(origin, key)  # line 14
+        else:
+            node._reply_to.add((origin, payload.read_sn, None))  # line 15
+            node._send_dl_prev(origin, None)  # line 16
+        watchers = node._watchers
+        if watchers:
+            if len(watchers) == 1:
+                watchers[0].poll()
+            else:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_esread(network, sender, payload, procs) -> None:
+        """Figure 5, lines 08-11, for a whole delivery batch."""
+        origin = payload.sender
+        read_sn = payload.read_sn
+        key = payload.key
+        for node in procs:
+            if origin == node.pid:
+                continue  # own broadcast echo
+            if node.is_active:
+                node._send_reply(origin, read_sn, key)  # line 09
+            else:
+                node._reply_to.add((origin, read_sn, key))  # line 10
+            watchers = node._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_esread_one(network, sender, payload, node) -> None:
+        """Figure 5, lines 08-11, for one recipient."""
+        origin = payload.sender
+        if origin == node.pid:
+            return  # own broadcast echo
+        if node.is_active:
+            node._send_reply(origin, payload.read_sn, payload.key)  # line 09
+        else:
+            node._reply_to.add((origin, payload.read_sn, payload.key))  # line 10
+        watchers = node._watchers
+        if watchers:
+            if len(watchers) == 1:
+                watchers[0].poll()
+            else:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_eswrite(network, sender, payload, procs) -> None:
+        """Figure 6, lines 06-08, for a whole delivery batch."""
+        origin = payload.sender
+        value = payload.value
+        sequence = payload.sequence
+        key = payload.key
+        for node in procs:
+            node.space.adopt(key, value, sequence)  # line 07
+            node.ctx.network.send(
+                node.pid, origin, EsAck(node.pid, sequence, key)
+            )
+            watchers = node._watchers
+            if watchers:
+                for watcher in list(watchers):
+                    watcher.poll()
+
+    @staticmethod
+    def _wave_eswrite_one(network, sender, payload, node) -> None:
+        """Figure 6, lines 06-08, for one recipient."""
+        sequence = payload.sequence
+        key = payload.key
+        node.space.adopt(key, payload.value, sequence)  # line 07
+        node.ctx.network.send(
+            node.pid, payload.sender, EsAck(node.pid, sequence, key)
+        )
+        watchers = node._watchers
+        if watchers:
+            if len(watchers) == 1:
+                watchers[0].poll()
+            else:
+                for watcher in list(watchers):
+                    watcher.poll()
+
 
 def _pending_order(pending: tuple[str, int, Any]) -> tuple[str, int, bool, str]:
     """Deterministic order for the lines 08-10 answering loop.

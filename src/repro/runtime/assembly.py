@@ -73,7 +73,14 @@ def build_substrate(
     delay_model = (
         config.delay if config.delay is not None else SynchronousDelay(config.delta)
     )
-    network = Network(engine, membership, delay_model, trace, rng)
+    network = Network(
+        engine,
+        membership,
+        delay_model,
+        trace,
+        rng,
+        batch_dispatch=config.batch_dispatch,
+    )
     broadcast = BroadcastService(
         engine,
         membership,

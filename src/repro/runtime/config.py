@@ -78,6 +78,13 @@ class SystemConfig:
         default) or the legacy one-Event-per-recipient path.  The two
         are byte-identical — the kernel-parity property suite runs
         every grid both ways; keep the default outside of that suite.
+    batch_dispatch:
+        Whether deliveries on the fast path dispatch through the batch
+        plane — one *wave handler* call per (payload, batch) with the
+        reply fan-out inlined — or through the legacy per-recipient
+        handler frames.  Byte-identical by the same contract (and the
+        same parity suite) as ``batch_delivery``; keep the default
+        outside of that suite.
     """
 
     n: int = 20
@@ -95,6 +102,7 @@ class SystemConfig:
     sample_period: Time = 1.0
     faults: FaultPlan | None = None
     batch_delivery: bool = True
+    batch_dispatch: bool = True
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -284,27 +284,38 @@ class EventScheduler:
         # body carries no None tests (``entry[0] > inf`` is never true).
         horizon = _INF if until is None else until
         limit = _INF if max_events is None else max_events
+        # Loop-invariant bindings: the heap pop and the ``Event`` class
+        # are resolved once, not per fired item.
+        pop = heappop
+        event_cls = Event
         try:
             while fired < limit:
                 if not queue:
                     break
                 entry = queue[0]
                 item = entry[3]
-                if item.cancelled:
-                    heappop(queue)
-                    item._consumed = True
-                    self._dead -= 1
-                    continue
-                if entry[0] > horizon:
-                    break
-                heappop(queue)
-                # Heap order plus schedule-time validation guarantee
-                # monotonicity, so the clock is assigned directly.
-                self._now = entry[0]
-                if item.__class__ is Event:
+                # Only full events can be cancelled (slab entries never
+                # are), so the class check guards the ``cancelled``
+                # load — slab items skip it entirely.
+                if item.__class__ is event_cls:
+                    if item.cancelled:
+                        pop(queue)
+                        item._consumed = True
+                        self._dead -= 1
+                        continue
+                    if entry[0] > horizon:
+                        break
+                    pop(queue)
+                    # Heap order plus schedule-time validation guarantee
+                    # monotonicity, so the clock is assigned directly.
+                    self._now = entry[0]
                     item._consumed = True
                     fired += 1
                 else:
+                    if entry[0] > horizon:
+                        break
+                    pop(queue)
+                    self._now = entry[0]
                     fired += item.size
                 item.fire()
         finally:

@@ -7,6 +7,7 @@ import pytest
 from repro.net.delay import (
     AdversarialDelay,
     AsynchronousDelay,
+    DualBoundSynchronousDelay,
     EventuallySynchronousDelay,
     SynchronousDelay,
 )
@@ -163,3 +164,66 @@ class TestDualBoundSynchronousDelay:
         model = SynchronousDelay(delta=3.0)
         for _ in range(100):
             assert model.sample_broadcast("a", "b", None, 0.0, rng) <= 3.0
+
+
+class TestUniformHooks:
+    """The declared (lo, span) parameters behind the vectorized planes.
+
+    The network's batch-dispatch fast paths inline ``lo + span *
+    rng.random()`` using these declarations; a model whose declared
+    parameters drift from its ``sample`` draws would silently fork the
+    RNG stream, so the hook must reproduce the draw bit-identically.
+    """
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            SynchronousDelay(delta=5.0),
+            SynchronousDelay(delta=3.0, min_delay=1.0),
+            DualBoundSynchronousDelay(broadcast_delta=5.0, p2p_delta=2.0),
+        ],
+    )
+    def test_p2p_uniform_matches_sample_bit_for_bit(self, model):
+        lo, span = model.p2p_uniform()
+        inlined = random.Random(7)
+        sampled = random.Random(7)
+        for _ in range(100):
+            assert lo + span * inlined.random() == model.sample(
+                "a", "b", None, 0.0, sampled
+            )
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            SynchronousDelay(delta=5.0),
+            DualBoundSynchronousDelay(broadcast_delta=5.0, p2p_delta=2.0),
+        ],
+    )
+    def test_broadcast_uniform_matches_fanout_bit_for_bit(self, model):
+        lo, span = model.broadcast_uniform()
+        inlined = random.Random(13)
+        sampled = random.Random(13)
+        dests = [f"p{i}" for i in range(50)]
+        delays = model.sample_broadcast_many("a", dests, None, 0.0, sampled)
+        assert delays == [lo + span * inlined.random() for _ in dests]
+
+    def test_non_uniform_models_decline_the_hooks(self):
+        for model in (
+            EventuallySynchronousDelay(gst=50.0, delta=5.0),
+            AsynchronousDelay(mean=3.0),
+            AdversarialDelay(lambda s, d, p, t: 7.0),
+        ):
+            assert model.broadcast_uniform() is None
+            assert model.p2p_uniform() is None
+
+    def test_fallback_fanout_matches_per_recipient_sampling(self):
+        model = EventuallySynchronousDelay(gst=50.0, delta=5.0)
+        vectorized = random.Random(21)
+        looped = random.Random(21)
+        dests = [f"p{i}" for i in range(20)]
+        many = model.sample_broadcast_many("a", dests, None, 10.0, vectorized)
+        one_by_one = [
+            model.sample_broadcast("a", dest, None, 10.0, looped)
+            for dest in dests
+        ]
+        assert many == one_by_one

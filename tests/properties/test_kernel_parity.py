@@ -59,6 +59,7 @@ def _drive(
     fault_key: str = "none",
     trace: bool = False,
     n: int = 12,
+    batch_dispatch: bool = True,
 ) -> DynamicSystem:
     """One fixed workload through the chosen kernel; returns the system
     still open (callers pick their observation surface)."""
@@ -71,6 +72,7 @@ def _drive(
             trace=trace,
             faults=FAULT_PLANS[fault_key],
             batch_delivery=batch,
+            batch_dispatch=batch_dispatch,
         )
     )
     if churn_rate:
@@ -135,6 +137,73 @@ class TestKernelParityGrid:
         assert batched == legacy
 
 
+class TestDispatchParityGrid:
+    """The PR 9 axis: wave/batch dispatch vs per-event handler dispatch.
+
+    ``batch_dispatch=True`` (the default) routes deliveries through the
+    wave-handler plane — aggregated same-payload bodies, inline reply
+    pushes, cached replies; ``False`` keeps the per-delivery
+    ``on_<type>`` dispatch.  Both must be byte-identical to each other
+    AND to the PR 8 batched kernel and the legacy per-event kernel:
+    every (batch_delivery, batch_dispatch) combination is one observably
+    identical machine.
+    """
+
+    @pytest.mark.parametrize("protocol", ["sync", "es", "abd"])
+    @pytest.mark.parametrize("churn_rate", [0.0, 0.08])
+    def test_protocols_under_churn(self, protocol, churn_rate):
+        surfaces = [
+            _surface(
+                _drive(
+                    batch,
+                    protocol=protocol,
+                    churn_rate=churn_rate,
+                    batch_dispatch=dispatch,
+                )
+            )
+            for batch in (True, False)
+            for dispatch in (True, False)
+        ]
+        assert surfaces[0] == surfaces[1] == surfaces[2] == surfaces[3]
+
+    @pytest.mark.parametrize("fault_key", sorted(FAULT_PLANS))
+    def test_fault_plans(self, fault_key):
+        waved = _surface(
+            _drive(
+                True, fault_key=fault_key, churn_rate=0.08, batch_dispatch=True
+            )
+        )
+        plain = _surface(
+            _drive(
+                True, fault_key=fault_key, churn_rate=0.08, batch_dispatch=False
+            )
+        )
+        assert waved == plain
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    @pytest.mark.parametrize("protocol", ["sync", "es"])
+    def test_seed_sweep_with_churn(self, seed, protocol):
+        waved = _surface(
+            _drive(
+                True,
+                protocol=protocol,
+                seed=seed,
+                churn_rate=0.1,
+                batch_dispatch=True,
+            )
+        )
+        plain = _surface(
+            _drive(
+                True,
+                protocol=protocol,
+                seed=seed,
+                churn_rate=0.1,
+                batch_dispatch=False,
+            )
+        )
+        assert waved == plain
+
+
 def _normalized_records(system: DynamicSystem) -> list[tuple]:
     """Trace records with broadcast ids relabelled by first appearance.
 
@@ -174,6 +243,21 @@ class TestTraceParity:
             legacy.close()
         )
 
+    @pytest.mark.parametrize("protocol", ["sync", "es"])
+    def test_trace_records_identical_across_dispatch(self, protocol):
+        waved = _drive(
+            True, protocol=protocol, churn_rate=0.08, trace=True,
+            batch_dispatch=True,
+        )
+        plain = _drive(
+            True, protocol=protocol, churn_rate=0.08, trace=True,
+            batch_dispatch=False,
+        )
+        assert _normalized_records(waved) == _normalized_records(plain)
+        assert operation_digest(waved.close()) == operation_digest(
+            plain.close()
+        )
+
 
 class TestKernelParityProperty:
     """Hypothesis sweeps the seed/churn space the grids cannot cover."""
@@ -181,13 +265,26 @@ class TestKernelParityProperty:
     @given(
         seed=st.integers(min_value=0, max_value=2**32 - 1),
         churn_rate=st.floats(min_value=0.0, max_value=0.12),
+        dispatch=st.booleans(),
     )
     @settings(max_examples=15, deadline=None)
-    def test_any_seed_any_churn(self, seed, churn_rate):
+    def test_any_seed_any_churn(self, seed, churn_rate, dispatch):
         batched = _surface(
-            _drive(True, seed=seed, churn_rate=churn_rate, n=10)
+            _drive(
+                True,
+                seed=seed,
+                churn_rate=churn_rate,
+                n=10,
+                batch_dispatch=dispatch,
+            )
         )
         legacy = _surface(
-            _drive(False, seed=seed, churn_rate=churn_rate, n=10)
+            _drive(
+                False,
+                seed=seed,
+                churn_rate=churn_rate,
+                n=10,
+                batch_dispatch=not dispatch,
+            )
         )
         assert batched == legacy

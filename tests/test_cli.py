@@ -284,3 +284,23 @@ class TestRebalanceCLI:
         )
         assert code == 0
         assert "rebal=2" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profiles_a_workload(self, capsys):
+        assert main(["profile", "engine_throughput", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "workload engine_throughput" in out
+        assert "cumulative" in out  # pstats sort header
+
+    def test_sort_by_tottime(self, capsys):
+        assert (
+            main(["profile", "engine_throughput", "--sort", "tottime"]) == 0
+        )
+        assert "tottime" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["profile", "definitely_not_a_workload"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "churn_ticks" in err  # the error names the known set
