@@ -32,7 +32,7 @@ from .exec.runner import default_workers, fallback_count
 from .faults.plan import FaultPlan, PartitionFault
 from .runtime.config import SystemConfig
 from .runtime.system import DynamicSystem
-from .sim.engine import EventScheduler
+from .sim.engine import CalendarScheduler, EventScheduler
 from .sim.errors import ReproError
 
 ARTIFACT_NAME = "BENCH_kernel.json"
@@ -65,6 +65,28 @@ def engine_throughput(events: int = 10_000) -> int:
 
 def _noop() -> None:
     return None
+
+
+def scheduler_hot_loop(events: int = 200_000, queue: str = "heap") -> int:
+    """Deep-queue schedule-then-drain: the raw queue discipline's cost.
+
+    Schedules ``events`` no-op events over ~1000 distinct instants
+    (delivery-like fractional offsets), then drains the lot — so the
+    queue holds O(events) entries for most of the run, the regime where
+    the binary heap's O(log n) per operation separates from the
+    calendar's O(1) bucket append/sweep.  The heap/calendar pair feeds
+    ``derived.queue_speedup``: both legs timed in this run on this
+    machine, noise-immune in a way cross-machine wall times are not.
+    The bucket width matches what the assembly derives for δ = 5
+    (δ/25 = 0.2, at or below the delay model's minimum latency).
+    """
+    if queue == "calendar":
+        engine: EventScheduler = CalendarScheduler(bucket_width=0.2)
+    else:
+        engine = EventScheduler()
+    for i in range(events):
+        engine.schedule(0.1 * (i % 997) + 0.5, _noop)
+    return engine.run()
 
 
 def broadcast_fanout(
@@ -128,6 +150,51 @@ def churn_tick_large(ticks: float = 40.0, n: int = 1000) -> int:
     system.attach_churn(rate=0.002)
     system.run_until(ticks)
     return system.churn.ticks_executed
+
+
+def churn_tick_calendar(ticks: float = 40.0, n: int = 1000) -> int:
+    """:func:`churn_tick_large` on the calendar queue.
+
+    Same seed, same population, same churn — only
+    ``SystemConfig(queue="calendar")`` differs, so the pair shows what
+    the array-backed scheduler buys (or costs) on a real protocol
+    workload, where queue depth is far below the hot-loop benchmark's.
+    The kernel-parity property suite pins both queues byte-identical,
+    and this workload's tick count must match the heap leg's.
+    """
+    system = DynamicSystem(
+        SystemConfig(
+            n=n, delta=5.0, protocol="sync", seed=1, trace=False,
+            queue="calendar",
+        )
+    )
+    system.attach_churn(rate=0.002)
+    system.run_until(ticks)
+    return system.churn.ticks_executed
+
+
+def mesoscale_million(n: int = 1_000_000) -> int:
+    """One n = 10⁶ mesoscale cell (E18's sub-threshold drive).
+
+    The analytic plane's headline: two writes and a 0.3×-threshold
+    churn flow over a million-process population, closed-form broadcast
+    trajectories instead of per-recipient events.  Returns the modeled
+    delivered count (~2 × 10¹¹ — five orders of magnitude beyond what
+    per-event simulation could schedule in the same wall time).
+    """
+    from .experiments.e17_population_scaling import population_churn_threshold
+    from .experiments.e18_mesoscale import cell
+
+    cap = population_churn_threshold(n, 5.0)
+    data = cell(
+        seed=1, n=n, delta=5.0, rate=0.3 * cap, horizon=18.0, writes=2,
+        mode="mesoscale",
+    )
+    if data["violations"]:
+        raise AssertionError(
+            "the mesoscale benchmark cell violated regularity"
+        )
+    return data["delivered"]
 
 
 def churn_ticks_legacy_dispatch(ticks: float = 300.0, n: int = 100) -> int:
@@ -475,6 +542,10 @@ PROFILE_WORKLOADS: dict[str, Callable[[], Any]] = {
     "churn_ticks": churn_ticks,
     "churn_ticks_legacy_dispatch": churn_ticks_legacy_dispatch,
     "churn_tick_large": churn_tick_large,
+    "churn_tick_calendar": churn_tick_calendar,
+    "scheduler_hot_loop": scheduler_hot_loop,
+    "scheduler_hot_loop_calendar": lambda: scheduler_hot_loop(queue="calendar"),
+    "mesoscale_million": mesoscale_million,
     "keyed_store_fanout": keyed_store_fanout,
     "cluster_fanout": cluster_fanout,
     "migration_handoff": migration_handoff,
@@ -586,6 +657,34 @@ def run_kernel_benchmarks(
 
     seconds, ticks_large = _time_best(churn_tick_large, repeats)
     record("churn_tick_large", seconds, "ticks", ticks_large)
+
+    calendar_seconds, ticks_calendar = _time_best(churn_tick_calendar, repeats)
+    record("churn_tick_calendar", calendar_seconds, "ticks", ticks_calendar)
+    if ticks_calendar != ticks_large:
+        raise AssertionError(
+            "the calendar queue changed the kilonode churn workload's "
+            "tick count — the queue disciplines diverged"
+        )
+
+    hot_heap, hot_fired = _time_best(
+        lambda: scheduler_hot_loop(queue="heap"), repeats
+    )
+    record("scheduler_hot_loop", hot_heap, "events_fired", hot_fired)
+    hot_calendar, hot_fired_calendar = _time_best(
+        lambda: scheduler_hot_loop(queue="calendar"), repeats
+    )
+    record(
+        "scheduler_hot_loop_calendar", hot_calendar, "events_fired",
+        hot_fired_calendar,
+    )
+    if hot_fired_calendar != hot_fired:
+        raise AssertionError(
+            "the calendar queue fired a different event count on the "
+            "hot-loop workload — the queue disciplines diverged"
+        )
+
+    seconds, meso_delivered = _time_best(mesoscale_million, repeats)
+    record("mesoscale_million", seconds, "delivered", meso_delivered)
 
     keyed_single, (single_delivered, _) = _time_best(
         lambda: keyed_store_fanout(keys=1), repeats
@@ -702,6 +801,12 @@ def run_kernel_benchmarks(
             # on this machine, so the ratio is noise-immune in a way the
             # cross-machine wall-time comparison cannot be.
             "dispatch_speedup": round(legacy_dispatch_seconds / churn_seconds, 3),
+            # the heap over the calendar on the deep-queue hot loop —
+            # both legs timed in this run on this machine, so the ratio
+            # isolates the queue discipline itself (the protocol-level
+            # churn_tick pair runs far shallower queues, where the two
+            # disciplines are within noise of each other).
+            "queue_speedup": round(hot_heap / hot_calendar, 3),
             "checker_atomicity_speedup": round(naive_atom / fast_atom, 3),
             # what serving 8 registers instead of 1 costs end to end on
             # the same churning population — joins are batched over

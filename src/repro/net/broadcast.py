@@ -87,6 +87,13 @@ class BroadcastService:
         #: determinism digests pin it) — the switch exists so the parity
         #: claim stays falsifiable.
         self.batched = batched
+        #: Mesoscale absorption hook.  When a
+        #: :class:`~repro.runtime.mesoscale.AggregatePopulation` is
+        #: installed here, every broadcast is *also* offered to it so
+        #: the analytically aggregated cohorts can fold the round into
+        #: their closed-form arrival trajectories.  ``None`` (always,
+        #: outside mesoscale mode) keeps this path entirely inert.
+        self.aggregate: Any = None
 
     @staticmethod
     def _validate_policy(policy: EntrantPolicy) -> EntrantPolicy:
@@ -165,6 +172,8 @@ class BroadcastService:
                         broadcast_id=broadcast_id,
                     )
                 )
+        if self.aggregate is not None:
+            self.aggregate.absorb_broadcast(sender, payload, now, broadcast_id)
         if self._window is not None and self._entrant_policy != "none":
             self._in_flight.append(
                 _InFlightBroadcast(

@@ -46,7 +46,6 @@ state churn storms allocate nothing per delivery.
 from __future__ import annotations
 
 from dataclasses import replace
-from heapq import heappush
 from typing import TYPE_CHECKING, Any
 
 from ..faults.injector import REASON_DEPARTED
@@ -215,7 +214,7 @@ class _FanoutSweep(SlabEntry):
             # like pre-pushed per-recipient entries.
             self.index = index
             engine = network.engine
-            heappush(
+            engine._push(
                 engine._queue,
                 (self.times[index], _DELIVERY, engine._sequence, self),
             )
@@ -554,7 +553,9 @@ class Network:
         engine = self.engine
         if not (engine._now <= deliver_at < _INF):
             engine._reject_instant(deliver_at)
-        heappush(engine._queue, (deliver_at, _DELIVERY, engine._sequence, entry))
+        engine._push(
+            engine._queue, (deliver_at, _DELIVERY, engine._sequence, entry)
+        )
         engine._sequence += 1
         engine._live += 1
 
@@ -665,6 +666,7 @@ class Network:
                 return
             engine = self.engine
             queue = engine._queue
+            push = engine._push
             params = self._bcast_uniform if delays is None else None
             if params is not None and params[1] > 0.0:
                 # Fused sweep arm: draw every arrival inline (recipient
@@ -703,7 +705,7 @@ class Network:
                 for instant, i in pairs:
                     append_time(instant)
                     append_dest(dests[i])
-                heappush(queue, (times[0], _DELIVERY, engine._sequence, sweep))
+                push(queue, (times[0], _DELIVERY, engine._sequence, sweep))
                 engine._sequence += 1
                 engine._live += count
                 return
@@ -735,7 +737,7 @@ class Network:
                 entry.payload = payload
                 entry.broadcast_id = broadcast_id
                 entry.dest = dest
-                heappush(queue, (deliver_at, _DELIVERY, sequence, entry))
+                push(queue, (deliver_at, _DELIVERY, sequence, entry))
                 sequence += 1
             engine._sequence = sequence
             engine._live += count

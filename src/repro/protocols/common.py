@@ -48,17 +48,21 @@ class QuorumPhase:
     when concurrent operations at one node superseded each other.
     """
 
-    __slots__ = ("threshold", "active", "_offers")
+    __slots__ = ("threshold", "active", "_offers", "_bulk", "_bulk_entries")
 
     def __init__(self, threshold: int | None = None) -> None:
         self.threshold = threshold
         self.active = False
         self._offers: dict[str, tuple[Entry, ...]] = {}
+        self._bulk = 0
+        self._bulk_entries: list[Entry] = []
 
     def open(self) -> "QuorumPhase":
         """Start a fresh round: drop prior offers, mark in-progress."""
         self.active = True
         self._offers = {}
+        self._bulk = 0
+        self._bulk_entries = []
         return self
 
     def settle(self) -> None:
@@ -89,13 +93,32 @@ class QuorumPhase:
         for sender, entries in offers:
             _offers[sender] = tuple(entries)
 
+    def record_bulk(self, count: int, entries: Iterable[Entry] = ()) -> None:
+        """Fold ``count`` *anonymous* same-round replies into the phase.
+
+        The mesoscale plane's entry point: an analytically aggregated
+        cohort answers a tracer's inquiry as a single arrival-count
+        increment rather than ``count`` per-sender offers.  The count
+        feeds :attr:`count` / :meth:`satisfied` directly; ``entries``
+        (typically one ``(key, value, sequence)`` describing the
+        aggregate register state) compete in :meth:`best_for` with an
+        empty-string sender id, which sorts below every real pid — a
+        named tracer carrying the same sequence number wins the tie,
+        keeping adoption deterministic.
+        """
+        self._bulk += int(count)
+        self._bulk_entries.extend(entries)
+
     @property
     def count(self) -> int:
-        return len(self._offers)
+        return len(self._offers) + self._bulk
 
     def satisfied(self) -> bool:
         """Has the quorum threshold been met?  (Timer phases: never.)"""
-        return self.threshold is not None and len(self._offers) >= self.threshold
+        return (
+            self.threshold is not None
+            and len(self._offers) + self._bulk >= self.threshold
+        )
 
     def senders(self) -> tuple[str, ...]:
         return tuple(self._offers)
@@ -121,6 +144,12 @@ class QuorumPhase:
             for entry_key, value, sequence in entries
             if entry_key == key
         ]
+        if self._bulk_entries:
+            candidates.extend(
+                (sequence, "", value)
+                for entry_key, value, sequence in self._bulk_entries
+                if entry_key == key
+            )
         if not candidates:
             return None
         sequence, _sender, value = max(candidates)

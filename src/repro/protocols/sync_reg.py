@@ -60,7 +60,6 @@ removed — the broken variant of Figure 3(a) used by experiment E2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappush
 from typing import Any
 
 from ..core.register import BOTTOM, NodeContext, OP_JOIN, OP_READ, OP_WRITE, RegisterNode
@@ -250,6 +249,7 @@ class SynchronousRegisterNode(RegisterNode):
         rng_random = network._rng.random
         pool = network._unicast_pool
         queue = engine._queue
+        push = engine._push
         seq = engine._sequence
         pid = self.pid
         sent = 0
@@ -263,7 +263,7 @@ class SynchronousRegisterNode(RegisterNode):
             entry.payload = reply
             entry.broadcast_id = None
             entry.dest = dest
-            heappush(queue, (deliver_at, _DELIVERY, seq, entry))
+            push(queue, (deliver_at, _DELIVERY, seq, entry))
             seq += 1
             sent += 1
         engine._sequence = seq
@@ -354,6 +354,7 @@ class SynchronousRegisterNode(RegisterNode):
         rng_random = rng.random
         pool = network._unicast_pool
         queue = engine._queue
+        push = engine._push
         seq = engine._sequence
         sent = 0
         p2p = network._p2p_uniform
@@ -384,7 +385,7 @@ class SynchronousRegisterNode(RegisterNode):
                 entry.payload = reply
                 entry.broadcast_id = None
                 entry.dest = inquirer
-                heappush(queue, (deliver_at, _DELIVERY, seq, entry))
+                push(queue, (deliver_at, _DELIVERY, seq, entry))
                 seq += 1
                 sent += 1
             else:  # line 15
@@ -483,7 +484,7 @@ class SynchronousRegisterNode(RegisterNode):
             entry.payload = reply
             entry.broadcast_id = None
             entry.dest = inquirer
-            heappush(
+            engine._push(
                 engine._queue, (deliver_at, _DELIVERY, engine._sequence, entry)
             )
             engine._sequence += 1

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from ..net.broadcast import BroadcastService
 from ..net.delay import DelayModel, SynchronousDelay
 from ..net.network import Network
-from ..sim.engine import EventScheduler
+from ..sim.engine import CalendarScheduler, EventScheduler
 from ..sim.errors import ConfigError
 from ..sim.membership import Membership
 from ..sim.rng import RngRegistry, derive_seed
@@ -66,7 +66,7 @@ def build_substrate(
     """
     owns_engine = engine is None
     if engine is None:
-        engine = EventScheduler()
+        engine = make_scheduler(config)
     rng = RngRegistry(config.seed)
     trace = TraceLog(enabled=config.trace, capacity=config.trace_capacity)
     membership = Membership()
@@ -102,6 +102,24 @@ def build_substrate(
         network=network,
         broadcast=broadcast,
     )
+
+
+def make_scheduler(config: SystemConfig) -> EventScheduler:
+    """The event scheduler ``config.queue`` selects.
+
+    ``"heap"`` is the historical :class:`EventScheduler` (byte-identical
+    to every committed digest); ``"calendar"`` is the array-backed
+    bucket queue, its bucket width keyed to the simulation's natural
+    tick — ``δ/25``, comfortably under the default delay model's
+    minimum message delay, so in-flight arrivals land in future buckets
+    (small sorted chunks) while only broadcast-sweep re-arms ride the
+    tiny overflow heap.  The divisor was picked empirically on the
+    ``churn_tick_large`` workload (see BENCH_kernel.json); width is a
+    speed knob only — ordering is exact at any width.
+    """
+    if config.queue == "calendar":
+        return CalendarScheduler(bucket_width=config.delta / 25.0)
+    return EventScheduler()
 
 
 # ----------------------------------------------------------------------

@@ -85,6 +85,28 @@ class SystemConfig:
         handler frames.  Byte-identical by the same contract (and the
         same parity suite) as ``batch_delivery``; keep the default
         outside of that suite.
+    queue:
+        The scheduler backing the event queue: ``"heap"`` (the
+        historical tuple heap, the default) or ``"calendar"`` (the
+        array-backed bucket queue of
+        :class:`~repro.sim.engine.CalendarScheduler`).  The two are
+        observably byte-identical — the kernel-parity suite drives the
+        full grid through both — so the choice is purely a speed knob
+        for large populations.  Ignored when a cluster injects a shared
+        engine.
+    mode:
+        ``"exact"`` (the default) simulates every process and message;
+        ``"mesoscale"`` aggregates the bulk of the population
+        analytically (arrival-count trajectories from the delay model's
+        closed-form uniform CDF) around a small exact *tracer*
+        subpopulation — see :mod:`repro.runtime.mesoscale` for the
+        validity envelope.  Mesoscale is a declared approximation:
+        E18 cross-checks it against the exact kernel, and mesoscale
+        runs are excluded from the determinism-digest gate.
+    tracers:
+        The exact tracer subpopulation size under ``mode="mesoscale"``
+        (the first ``tracers`` seeds, including the designated writer,
+        are real protocol nodes whose histories the checkers judge).
     """
 
     n: int = 20
@@ -103,6 +125,9 @@ class SystemConfig:
     faults: FaultPlan | None = None
     batch_delivery: bool = True
     batch_dispatch: bool = True
+    queue: str = "heap"
+    mode: str = "exact"
+    tracers: int = 16
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -132,6 +157,43 @@ class SystemConfig:
             raise ConfigError(
                 f"sample_period must be positive, got {self.sample_period!r}"
             )
+        if self.queue not in ("heap", "calendar"):
+            raise ConfigError(
+                f"unknown queue {self.queue!r}; choose 'heap' or 'calendar'"
+            )
+        if self.mode not in ("exact", "mesoscale"):
+            raise ConfigError(
+                f"unknown mode {self.mode!r}; choose 'exact' or 'mesoscale'"
+            )
+        if self.mode == "mesoscale":
+            if self.protocol != "sync":
+                raise ConfigError(
+                    f"mesoscale mode aggregates the Figures 1-2 synchronous "
+                    f"protocol only, got protocol={self.protocol!r}"
+                )
+            if self.keys != 1 or self.key_set is not None:
+                raise ConfigError(
+                    "mesoscale mode serves the single classic register"
+                )
+            if self.entrant_policy != "none":
+                raise ConfigError(
+                    "mesoscale mode requires entrant_policy='none'"
+                )
+            if self.faults is not None:
+                raise ConfigError(
+                    "mesoscale mode is fault-free (the aggregate plane has "
+                    "no per-message fault gate)"
+                )
+            if self.tracers < 2:
+                raise ConfigError(
+                    f"mesoscale needs at least 2 tracers (writer + reader), "
+                    f"got {self.tracers!r}"
+                )
+            if self.n <= self.tracers:
+                raise ConfigError(
+                    f"mesoscale needs n > tracers, got n={self.n} "
+                    f"tracers={self.tracers}"
+                )
 
     def key_tuple(self) -> tuple[Any, ...]:
         """The register-space key names this config serves.

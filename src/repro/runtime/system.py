@@ -62,12 +62,22 @@ class DynamicSystem:
     partitioned back.
     """
 
+    #: ``True`` only on :class:`~repro.runtime.mesoscale.MesoscaleSystem`
+    #: — a plain DynamicSystem handed a mesoscale config would silently
+    #: simulate all n processes exactly, so the mismatch is rejected.
+    mesoscale_capable = False
+
     def __init__(
         self,
         config: SystemConfig,
         engine: EventScheduler | None = None,
         shard_id: int | None = None,
     ) -> None:
+        if config.mode == "mesoscale" and not self.mesoscale_capable:
+            raise ConfigError(
+                "mode='mesoscale' needs MesoscaleSystem — build via "
+                "repro.runtime.mesoscale.make_system(config)"
+            )
         self.config = config
         self.shard_id = shard_id
         substrate = build_substrate(config, engine=engine)

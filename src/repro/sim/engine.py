@@ -22,6 +22,20 @@ Every source of nondeterminism in a simulation must flow through the
 seeded RNG streams (:mod:`repro.sim.rng`); given the same configuration
 and seed, two runs produce byte-identical traces.  The whole test
 strategy of the library leans on this property.
+
+:class:`CalendarScheduler` is the array-backed alternative behind
+``SystemConfig(queue="calendar")``: instants quantize into buckets one
+tick wide, each bucket a flat append-only array of entry tuples sorted
+lazily when its epoch is reached.  Entries, sequence allocation and the
+``(time, priority, sequence)`` total order are identical to the heap,
+so the two schedulers are observably byte-identical — the kernel-parity
+suite drives both through the full protocol × churn × fault grid.  The
+win is mechanical: a push is a list append instead of an O(log n) sift
+and a pop is an index increment, with the per-bucket sort amortizing
+the ordering work into one C call.  Hot paths that inline their pushes
+(the network's delivery plane, the wave handlers) route through
+``engine._push``, which *is* :func:`heapq.heappush` on the heap
+scheduler — the default path stays exactly the historical machine code.
 """
 
 from __future__ import annotations
@@ -64,6 +78,13 @@ class EventScheduler:
         self._fired_count = 0
         self._live = 0  # non-cancelled logical events still in the queue
         self._dead = 0  # cancelled entries still occupying heap slots
+        #: The enqueue primitive hot paths bind instead of a module-level
+        #: ``heappush``: called as ``engine._push(engine._queue, entry)``.
+        #: Here it IS ``heapq.heappush`` (same C call the inlined sites
+        #: historically made); :class:`CalendarScheduler` rebinds it to
+        #: its bucket append.  Callers still validate the instant and
+        #: advance ``_sequence`` / ``_live`` themselves.
+        self._push = heappush
 
     # ------------------------------------------------------------------
     # Introspection
@@ -353,4 +374,346 @@ class EventScheduler:
         return (
             f"EventScheduler(now={self._now!r}, pending={self.pending_count}, "
             f"fired={self._fired_count})"
+        )
+
+
+class CalendarScheduler(EventScheduler):
+    """An array-backed calendar/bucket event queue.
+
+    Structure-of-arrays layout: entries are the same ``(time, priority,
+    sequence, item)`` tuples the heap uses, but instead of one global
+    heap they land in per-epoch buckets — ``epoch = int(time /
+    bucket_width)`` — as flat append-only lists.  A bucket is sorted
+    once (Timsort, one C call) when the clock reaches its epoch and is
+    then consumed by index.  Three regions hold every pending entry:
+
+    * ``_buckets``: future epochs (``epoch > _cur_epoch``), unsorted;
+    * ``_cur[_pos:]``: the active epoch, sorted, consumed by index;
+    * ``_overflow``: a small heap for entries pushed *into* the active
+      epoch or earlier (``call_soon``, same-instant re-scheduling) —
+      anything whose order the already-sorted ``_cur`` cannot absorb.
+
+    Correctness leans on one invariant: every ``_overflow`` entry has
+    ``epoch <= _cur_epoch`` and every bucket entry ``epoch >
+    _cur_epoch``; since the epoch function is monotone in time, all
+    overflow entries strictly precede all bucket entries, so the global
+    minimum is always ``min(_cur[_pos], _overflow[0])`` — an exact
+    merge on the full tuple order, byte-identical to the heap.
+
+    ``bucket_width`` should sit at or below the delay model's minimum
+    message delay (the simulation's natural tick): arrivals then always
+    land in a *future* bucket and the overflow heap stays empty on the
+    hot path.  Width only affects speed, never ordering.
+    """
+
+    def __init__(self, start: Time = 0.0, bucket_width: float = 1.0) -> None:
+        super().__init__(start)
+        if not (bucket_width > 0.0 and bucket_width < _INF):
+            raise SchedulerError(
+                f"bucket width must be positive and finite, got {bucket_width!r}"
+            )
+        self._width = float(bucket_width)
+        self._winv = 1.0 / self._width
+        self._buckets: dict[int, list[tuple[Time, int, int, QueueItem]]] = {}
+        self._epochs: list[int] = []  # heap of epochs with a bucket
+        self._cur: list[tuple[Time, int, int, QueueItem]] = []
+        self._pos = 0
+        self._overflow: list[tuple[Time, int, int, QueueItem]] = []
+        self._cur_epoch = -1
+        self._push = self._push_entry
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+
+    def _push_entry(
+        self, queue: list, entry: tuple[Time, int, int, QueueItem]
+    ) -> None:
+        """heappush-compatible enqueue (the ``queue`` operand is the
+        base class's heap list; the calendar ignores it)."""
+        epoch = int(entry[0] * self._winv)
+        if epoch <= self._cur_epoch:
+            heappush(self._overflow, entry)
+        else:
+            buckets = self._buckets
+            bucket = buckets.get(epoch)
+            if bucket is None:
+                buckets[epoch] = [entry]
+                heappush(self._epochs, epoch)
+            else:
+                bucket.append(entry)
+
+    def schedule_at(
+        self,
+        instant: Time,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = Priority.TIMER,
+        label: str = "",
+    ) -> Event:
+        instant = float(instant)
+        if not (self._now <= instant < _INF):
+            self._reject_instant(instant)
+        sequence = self._sequence
+        event = Event(
+            time=instant,
+            priority=int(priority),
+            sequence=sequence,
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        event._owner = self
+        self._sequence = sequence + 1
+        self._live += 1
+        self._push_entry(None, (instant, event.priority, sequence, event))
+        return event
+
+    def schedule_slab(self, instant: Time, priority: int, entry: SlabEntry) -> None:
+        if not (self._now <= instant < _INF):
+            self._reject_instant(instant)
+        self._push_entry(None, (instant, priority, self._sequence, entry))
+        self._sequence += 1
+        self._live += entry.size
+
+    def schedule_slab_many(
+        self, groups: dict[Time, SlabEntry], priority: int
+    ) -> None:
+        push = self._push_entry
+        sequence = self._sequence
+        now = self._now
+        live = 0
+        for instant, entry in groups.items():
+            if not (now <= instant < _INF):
+                self._reject_instant(instant)
+            push(None, (instant, priority, sequence, entry))
+            sequence += 1
+            live += entry.size
+        self._sequence = sequence
+        self._live += live
+
+    # ------------------------------------------------------------------
+    # Front selection
+    # ------------------------------------------------------------------
+
+    def _advance_epoch(self) -> bool:
+        """Activate the next non-empty bucket; ``False`` when drained."""
+        epochs = self._epochs
+        buckets = self._buckets
+        while epochs:
+            epoch = heappop(epochs)
+            bucket = buckets.pop(epoch, None)
+            if bucket:
+                bucket.sort()
+                self._cur = bucket
+                self._pos = 0
+                self._cur_epoch = epoch
+                return True
+        return False
+
+    def _front(self) -> tuple[tuple[Time, int, int, QueueItem] | None, bool]:
+        """The next entry and whether it sits in the overflow heap."""
+        while True:
+            cur = self._cur
+            pos = self._pos
+            overflow = self._overflow
+            if pos < len(cur):
+                entry = cur[pos]
+                if overflow and overflow[0] < entry:
+                    return overflow[0], True
+                return entry, False
+            if overflow:
+                return overflow[0], True
+            if not self._advance_epoch():
+                return None, False
+
+    def _consume_front(self, from_overflow: bool) -> None:
+        if from_overflow:
+            heappop(self._overflow)
+        else:
+            self._pos += 1
+
+    # ------------------------------------------------------------------
+    # Lazy deletion / compaction
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        # Occupancy is computed on demand (one len() per region plus one
+        # per future bucket) instead of maintained per push/consume: a
+        # cancel is orders of magnitude rarer than a push in every
+        # workload the profiles cover, so the hot paths carry no slot
+        # counter at all.
+        self._live -= 1
+        self._dead += 1
+        dead = self._dead
+        slots = (
+            len(self._cur)
+            - self._pos
+            + len(self._overflow)
+            + sum(map(len, self._buckets.values()))
+        )
+        if dead > slots - dead:
+            self._compact()
+
+    def _compact(self) -> None:
+        # Every region is rewritten *in place* past any consumed prefix,
+        # so a draining frame's local aliases (and its synced ``_pos``)
+        # stay valid — the same contract as the heap's ``queue[:] =``.
+        pos = self._pos
+        cur = self._cur
+        survivors = []
+        for entry in cur[pos:]:
+            if entry[3].cancelled:
+                entry[3]._consumed = True
+            else:
+                survivors.append(entry)
+        cur[pos:] = survivors
+        overflow = self._overflow
+        kept = []
+        for entry in overflow:
+            if entry[3].cancelled:
+                entry[3]._consumed = True
+            else:
+                kept.append(entry)
+        heapify(kept)
+        overflow[:] = kept
+        buckets = self._buckets
+        epochs = []
+        for epoch in list(buckets):
+            bucket = buckets[epoch]
+            alive = []
+            for entry in bucket:
+                if entry[3].cancelled:
+                    entry[3]._consumed = True
+                else:
+                    alive.append(entry)
+            if alive:
+                bucket[:] = alive
+                epochs.append(epoch)
+            else:
+                del buckets[epoch]
+        heapify(epochs)
+        self._epochs[:] = epochs
+        self._dead = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        entry = self._peek_live()
+        if entry is None:
+            return False
+        overflow = self._overflow
+        self._consume_front(bool(overflow) and overflow[0] is entry)
+        self._now = entry[0]
+        item = entry[3]
+        if item.__class__ is Event:
+            item._consumed = True
+            self._live -= 1
+            self._fired_count += 1
+        else:
+            size = item.size
+            self._live -= size
+            self._fired_count += size
+        item.fire()
+        return True
+
+    def _drain(self, until: Time | None, max_events: int | None) -> int:
+        if self._running:
+            raise SchedulerError("the scheduler is not reentrant")
+        self._running = True
+        fired = 0
+        horizon = _INF if until is None else until
+        limit = _INF if max_events is None else max_events
+        pop = heappop
+        event_cls = Event
+        # The overflow heap is only ever mutated in place (heappush,
+        # heappop, ``[:] =`` in ``_compact``), so one alias serves the
+        # whole drain.  ``_cur``/``_pos`` are read fresh each iteration:
+        # a fired handler may trigger compaction (rewrites the regions
+        # in place) or even advance the epoch via ``next_event_time`` —
+        # cheap attribute loads keep the loop correct under both.
+        overflow = self._overflow
+        try:
+            while fired < limit:
+                cur = self._cur
+                pos = self._pos
+                if pos < len(cur):
+                    entry = cur[pos]
+                    if overflow and overflow[0] < entry:
+                        entry = overflow[0]
+                        from_overflow = True
+                    else:
+                        from_overflow = False
+                elif overflow:
+                    entry = overflow[0]
+                    from_overflow = True
+                else:
+                    if not self._advance_epoch():
+                        break
+                    continue
+                item = entry[3]
+                if item.__class__ is event_cls:
+                    if item.cancelled:
+                        if from_overflow:
+                            pop(overflow)
+                        else:
+                            self._pos = pos + 1
+                        item._consumed = True
+                        self._dead -= 1
+                        continue
+                    if entry[0] > horizon:
+                        break
+                    if from_overflow:
+                        pop(overflow)
+                    else:
+                        self._pos = pos + 1
+                    self._now = entry[0]
+                    item._consumed = True
+                    fired += 1
+                else:
+                    if entry[0] > horizon:
+                        break
+                    if from_overflow:
+                        pop(overflow)
+                    else:
+                        self._pos = pos + 1
+                    self._now = entry[0]
+                    fired += item.size
+                item.fire()
+        finally:
+            self._running = False
+            self._live -= fired
+            self._fired_count += fired
+        return fired
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _peek_live(self) -> tuple[Time, int, int, QueueItem] | None:
+        while True:
+            entry, from_overflow = self._front()
+            if entry is None:
+                return None
+            if entry[3].cancelled:
+                self._consume_front(from_overflow)
+                entry[3]._consumed = True
+                self._dead -= 1
+                continue
+            return entry
+
+    def iter_pending(self) -> Iterator[QueueItem]:
+        entries = list(self._overflow)
+        entries.extend(self._cur[self._pos :])
+        for bucket in self._buckets.values():
+            entries.extend(bucket)
+        entries.sort()
+        return (entry[3] for entry in entries if not entry[3].cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CalendarScheduler(now={self._now!r}, width={self._width!r}, "
+            f"pending={self.pending_count}, fired={self._fired_count})"
         )

@@ -78,6 +78,30 @@ class SlabEntry:
         raise NotImplementedError
 
 
+class BulkEvent(SlabEntry):
+    """A slab entry standing for ``size`` *aggregate* deliveries.
+
+    The mesoscale plane's workhorse: one scheduled slot carries a whole
+    arrival-count increment of an analytically aggregated broadcast
+    round (``size`` deliveries landing at one quantized instant), and
+    ``fire()`` runs the ``action`` that applies the increment — bump
+    the network's bulk counters, fold a reply count into a join phase,
+    adopt a written value into the aggregate register.  Because
+    ``size`` rides the scheduler's normal slab accounting, mesoscale
+    runs report ``fired_count`` / ``pending_count`` figures comparable
+    with the exact kernel's.
+    """
+
+    __slots__ = ("size", "action")
+
+    def __init__(self, size: int, action: "Callable[[], None]") -> None:
+        self.size = size
+        self.action = action
+
+    def fire(self) -> None:
+        self.action()
+
+
 class Event:
     """A scheduled callback.  Instances are owned by the scheduler.
 

@@ -60,6 +60,7 @@ def _drive(
     trace: bool = False,
     n: int = 12,
     batch_dispatch: bool = True,
+    queue: str = "heap",
 ) -> DynamicSystem:
     """One fixed workload through the chosen kernel; returns the system
     still open (callers pick their observation surface)."""
@@ -73,6 +74,7 @@ def _drive(
             faults=FAULT_PLANS[fault_key],
             batch_delivery=batch,
             batch_dispatch=batch_dispatch,
+            queue=queue,
         )
     )
     if churn_rate:
@@ -204,6 +206,100 @@ class TestDispatchParityGrid:
         assert waved == plain
 
 
+class TestQueueParityGrid:
+    """The PR 10 axis: calendar scheduler vs the tuple heap.
+
+    ``queue="calendar"`` swaps the kernel's event queue for the
+    array-backed calendar (:class:`~repro.sim.engine.CalendarScheduler`)
+    — per-epoch append-only buckets, lazily sorted, with a small
+    overflow heap for pushes into the active epoch.  The contract is
+    the strongest in the file: the calendar must be *byte-identical* to
+    the heap on every observable surface, across protocols, churn,
+    fault plans, and every (batch_delivery, batch_dispatch) kernel
+    combination — same-instant ordering included (priority, then
+    sequence, exactly the tuple order the heap pops).
+    """
+
+    @pytest.mark.parametrize("protocol", ["sync", "es", "abd"])
+    @pytest.mark.parametrize("churn_rate", [0.0, 0.08])
+    def test_protocols_under_churn(self, protocol, churn_rate):
+        heap = _surface(
+            _drive(True, protocol=protocol, churn_rate=churn_rate)
+        )
+        calendar = _surface(
+            _drive(
+                True,
+                protocol=protocol,
+                churn_rate=churn_rate,
+                queue="calendar",
+            )
+        )
+        assert heap == calendar
+
+    @pytest.mark.parametrize("fault_key", sorted(FAULT_PLANS))
+    @pytest.mark.parametrize("churn_rate", [0.0, 0.08])
+    def test_fault_plans_under_churn(self, fault_key, churn_rate):
+        heap = _surface(
+            _drive(True, fault_key=fault_key, churn_rate=churn_rate)
+        )
+        calendar = _surface(
+            _drive(
+                True,
+                fault_key=fault_key,
+                churn_rate=churn_rate,
+                queue="calendar",
+            )
+        )
+        assert heap == calendar
+
+    @pytest.mark.parametrize("batch", [True, False])
+    @pytest.mark.parametrize("dispatch", [True, False])
+    def test_kernel_combinations(self, batch, dispatch):
+        """Every delivery/dispatch kernel rides both queues identically."""
+        heap = _surface(
+            _drive(batch, churn_rate=0.08, batch_dispatch=dispatch)
+        )
+        calendar = _surface(
+            _drive(
+                batch,
+                churn_rate=0.08,
+                batch_dispatch=dispatch,
+                queue="calendar",
+            )
+        )
+        assert heap == calendar
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_seed_sweep_with_churn_and_loss(self, seed):
+        heap = _surface(
+            _drive(True, seed=seed, churn_rate=0.1, fault_key="loss")
+        )
+        calendar = _surface(
+            _drive(
+                True,
+                seed=seed,
+                churn_rate=0.1,
+                fault_key="loss",
+                queue="calendar",
+            )
+        )
+        assert heap == calendar
+
+    def test_trace_records_identical(self):
+        heap = _drive(True, churn_rate=0.08, fault_key="loss", trace=True)
+        calendar = _drive(
+            True,
+            churn_rate=0.08,
+            fault_key="loss",
+            trace=True,
+            queue="calendar",
+        )
+        assert _normalized_records(heap) == _normalized_records(calendar)
+        assert operation_digest(heap.close()) == operation_digest(
+            calendar.close()
+        )
+
+
 def _normalized_records(system: DynamicSystem) -> list[tuple]:
     """Trace records with broadcast ids relabelled by first appearance.
 
@@ -266,9 +362,10 @@ class TestKernelParityProperty:
         seed=st.integers(min_value=0, max_value=2**32 - 1),
         churn_rate=st.floats(min_value=0.0, max_value=0.12),
         dispatch=st.booleans(),
+        queue=st.sampled_from(["heap", "calendar"]),
     )
     @settings(max_examples=15, deadline=None)
-    def test_any_seed_any_churn(self, seed, churn_rate, dispatch):
+    def test_any_seed_any_churn(self, seed, churn_rate, dispatch, queue):
         batched = _surface(
             _drive(
                 True,
@@ -276,6 +373,7 @@ class TestKernelParityProperty:
                 churn_rate=churn_rate,
                 n=10,
                 batch_dispatch=dispatch,
+                queue=queue,
             )
         )
         legacy = _surface(

@@ -1,0 +1,314 @@
+"""CalendarScheduler edge cases the parity grid cannot reach.
+
+The kernel-parity suite proves heap/calendar equivalence on full
+protocol workloads; this file pins the calendar's *own* corners —
+bucket-boundary instants, the overflow heap, cancel-storm compaction,
+validation parity, and drain-time re-scheduling — with the heap
+scheduler as the executable specification throughout.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.sim.engine import CalendarScheduler, EventScheduler, Priority
+from repro.sim.errors import SchedulerError
+
+WIDTH = 1.0
+
+
+def _pair() -> tuple[EventScheduler, CalendarScheduler]:
+    return EventScheduler(), CalendarScheduler(bucket_width=WIDTH)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(SchedulerError):
+            CalendarScheduler(bucket_width=0.0)
+        with pytest.raises(SchedulerError):
+            CalendarScheduler(bucket_width=-1.0)
+
+    def test_rejects_nonfinite_width(self):
+        with pytest.raises(SchedulerError):
+            CalendarScheduler(bucket_width=math.inf)
+        with pytest.raises(SchedulerError):
+            CalendarScheduler(bucket_width=math.nan)
+
+
+class TestBucketBoundaries:
+    """Instants on exact epoch boundaries must order like the heap."""
+
+    def test_boundary_instants_fire_in_heap_order(self):
+        heap, cal = _pair()
+        fired_h: list = []
+        fired_c: list = []
+        # Exact multiples of the width land on bucket boundaries;
+        # epsilon-neighbours straddle them.  Same schedule order, so
+        # same sequence numbers — the firing orders must match exactly.
+        instants = [2.0, 1.0, 1.0 - 1e-12, 1.0 + 1e-12, 3.0, 0.0, 2.0]
+        for i, t in enumerate(instants):
+            heap.schedule_at(t, fired_h.append, (t, i))
+            cal.schedule_at(t, fired_c.append, (t, i))
+        assert heap.run() == cal.run()
+        assert fired_h == fired_c
+        assert fired_c == sorted(fired_c)
+
+    def test_same_instant_orders_by_priority_then_sequence(self):
+        heap, cal = _pair()
+        logs: dict[str, list] = {"heap": [], "cal": []}
+        for name, engine in (("heap", heap), ("cal", cal)):
+            log = logs[name]
+            # Reverse-priority schedule order at one boundary instant:
+            # the tuple order (priority, then sequence) must win, not
+            # insertion order.
+            engine.schedule_at(
+                WIDTH, log.append, "probe", priority=Priority.PROBE
+            )
+            engine.schedule_at(
+                WIDTH, log.append, "timer", priority=Priority.TIMER
+            )
+            engine.schedule_at(
+                WIDTH, log.append, "delivery", priority=Priority.DELIVERY
+            )
+            engine.schedule_at(
+                WIDTH, log.append, "timer2", priority=Priority.TIMER
+            )
+            engine.run()
+        assert logs["heap"] == logs["cal"]
+        assert logs["cal"] == ["delivery", "timer", "timer2", "probe"]
+
+    def test_negative_zero_and_tiny_instants(self):
+        heap, cal = _pair()
+        order_h: list = []
+        order_c: list = []
+        for t in (0.0, -0.0, 5e-324, 1e-300):
+            heap.schedule_at(t, order_h.append, t)
+            cal.schedule_at(t, order_c.append, t)
+        heap.run()
+        cal.run()
+        assert order_h == order_c
+
+
+class TestValidationParity:
+    """Both schedulers must reject exactly the same instants."""
+
+    @pytest.mark.parametrize("instant", [math.inf, math.nan, -1.0])
+    def test_rejects_bad_instants(self, instant):
+        for engine in _pair():
+            with pytest.raises(SchedulerError):
+                engine.schedule_at(instant, lambda: None)
+
+    def test_rejects_past_instants_after_advance(self):
+        for engine in _pair():
+            engine.schedule_at(5.0, lambda: None)
+            engine.run()
+            assert engine.now == 5.0
+            with pytest.raises(SchedulerError):
+                engine.schedule_at(4.0, lambda: None)
+
+    def test_rejects_negative_delay_and_bad_horizon(self):
+        for engine in _pair():
+            with pytest.raises(SchedulerError):
+                engine.schedule(-0.5, lambda: None)
+            engine.schedule_at(2.0, lambda: None)
+            engine.run_until(3.0)
+            with pytest.raises(SchedulerError):
+                engine.run_until(1.0)
+
+
+class TestCancellation:
+    def test_cancel_storm_triggers_compaction_and_preserves_order(self):
+        heap, cal = _pair()
+        for engine in (heap, cal):
+            events = [
+                engine.schedule_at(
+                    float(i % 17) + 0.25, lambda: None, label=f"e{i}"
+                )
+                for i in range(400)
+            ]
+            # Cancel in a scattered pattern, most of the queue: the
+            # dead/live ratio crosses the compaction threshold many
+            # times over.
+            for i, event in enumerate(events):
+                if i % 5 != 0:
+                    event.cancel()
+            assert engine.pending_count == 80
+        assert heap.run() == cal.run() == 80
+        assert heap.now == cal.now
+
+    def test_cancel_across_all_three_regions(self):
+        """Overflow, active bucket, and future buckets all compact."""
+        cal = CalendarScheduler(bucket_width=WIDTH)
+        survivors: list = []
+        # Populate future buckets.
+        far = [cal.schedule_at(3.5, survivors.append, "far") for _ in range(6)]
+        # Drive the clock into epoch 1, parking mid-bucket, so later
+        # same-epoch pushes land in the overflow heap.
+        cal.schedule_at(1.25, survivors.append, "early")
+        cal.run_until(1.3)
+        near = [
+            cal.schedule_at(1.5, survivors.append, "near") for _ in range(6)
+        ]
+        for event in far[1:]:
+            event.cancel()
+        for event in near[1:]:
+            event.cancel()
+        cal.run()
+        assert survivors == ["early", "near", "far"]
+        assert cal.pending_count == 0
+
+    def test_cancelled_before_active_bucket_sort(self):
+        """Cancelling entries of a not-yet-activated bucket is safe."""
+        cal = CalendarScheduler(bucket_width=WIDTH)
+        fired: list = []
+        keep = cal.schedule_at(2.5, fired.append, "keep")
+        drop = cal.schedule_at(2.5, fired.append, "drop")
+        drop.cancel()
+        cal.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled and drop.cancelled
+
+
+class TestDrainReentry:
+    def test_handler_schedules_into_current_instant(self):
+        """call_soon from a firing handler lands in overflow and still
+        fires within the same drain, after same-instant peers — exactly
+        like the heap."""
+        results = {}
+        for name, engine in zip(("heap", "cal"), _pair()):
+            fired: list = []
+
+            def chain(engine=engine, fired=fired):
+                fired.append("first")
+                engine.call_soon(lambda: fired.append("soon"))
+
+            engine.schedule_at(1.0, chain)
+            engine.schedule_at(1.0, fired.append, "peer")
+            engine.schedule_at(1.5, fired.append, "later")
+            engine.run()
+            results[name] = fired
+        assert results["heap"] == results["cal"]
+        # OPERATION priority outranks the TIMER peer at the same
+        # instant?  No: the peer was scheduled first at TIMER(10) <
+        # OPERATION(20), so it fires between — pinned by the heap run.
+        assert results["cal"][-1] == "later"
+
+    def test_handler_schedules_same_epoch_future_instant(self):
+        """A push into the active epoch (but a later instant) must
+        interleave correctly with the already-sorted bucket."""
+        for engine in _pair():
+            fired: list = []
+
+            def spawn(engine=engine, fired=fired):
+                fired.append("a")
+                # 0.3 and 0.7 sit inside the active epoch-0 bucket;
+                # 0.5 is already queued between them.
+                engine.schedule_at(0.45, fired.append, "b")
+                engine.schedule_at(0.75, fired.append, "d")
+
+            engine.schedule_at(0.25, spawn)
+            engine.schedule_at(0.5, fired.append, "c")
+            engine.run()
+            assert fired == ["a", "b", "c", "d"], fired
+
+    def test_run_until_parks_and_resumes_across_epochs(self):
+        for engine in _pair():
+            fired: list = []
+            for t in (0.5, 1.5, 2.5, 3.5):
+                engine.schedule_at(t, fired.append, t)
+            assert engine.run_until(2.0) == 2
+            assert engine.now == 2.0
+            assert fired == [0.5, 1.5]
+            assert engine.pending_count == 2
+            assert engine.next_event_time() == 2.5
+            assert engine.run_until(10.0) == 2
+            assert engine.now == 10.0
+            assert fired == [0.5, 1.5, 2.5, 3.5]
+
+    def test_not_reentrant(self):
+        for engine in _pair():
+
+            def reenter(engine=engine):
+                with pytest.raises(SchedulerError):
+                    engine.run()
+
+            engine.schedule_at(1.0, reenter)
+            engine.run()
+
+
+class TestIntrospectionParity:
+    def test_iter_pending_and_len(self):
+        heap, cal = _pair()
+        for engine in (heap, cal):
+            engine.schedule_at(2.5, lambda: None, label="b")
+            engine.schedule_at(0.5, lambda: None, label="a")
+            engine.schedule_at(7.5, lambda: None, label="c")
+        assert [e.label for e in heap.iter_pending()] == [
+            e.label for e in cal.iter_pending()
+        ] == ["a", "b", "c"]
+        assert len(heap) == len(cal) == 3
+
+    def test_step_parity(self):
+        heap, cal = _pair()
+        order_h: list = []
+        order_c: list = []
+        for t in (1.0, 0.25, 2.0):
+            heap.schedule_at(t, order_h.append, t)
+            cal.schedule_at(t, order_c.append, t)
+        while heap.step():
+            pass
+        while cal.step():
+            pass
+        assert order_h == order_c == [0.25, 1.0, 2.0]
+        assert not heap.step() and not cal.step()
+        assert heap.now == cal.now == 2.0
+
+
+class TestDifferentialRandomScripts:
+    """Randomized schedule/cancel/run scripts, heap as the oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_random_script(self, seed):
+        rng = random.Random(seed)
+        heap, cal = _pair()
+        fired_h: list = []
+        fired_c: list = []
+        pending_h: list = []
+        pending_c: list = []
+        for step in range(200):
+            roll = rng.random()
+            if roll < 0.55:
+                # Occasionally land exactly on a bucket boundary.
+                if rng.random() < 0.2:
+                    instant = heap.now + float(rng.randrange(1, 5))
+                else:
+                    instant = heap.now + rng.random() * 4.0
+                priority = rng.choice(
+                    [Priority.DELIVERY, Priority.TIMER, Priority.PROBE]
+                )
+                pending_h.append(
+                    heap.schedule_at(
+                        instant, fired_h.append, step, priority=priority
+                    )
+                )
+                pending_c.append(
+                    cal.schedule_at(
+                        instant, fired_c.append, step, priority=priority
+                    )
+                )
+            elif roll < 0.75 and pending_h:
+                index = rng.randrange(len(pending_h))
+                pending_h.pop(index).cancel()
+                pending_c.pop(index).cancel()
+            else:
+                horizon = heap.now + rng.random() * 3.0
+                assert heap.run_until(horizon) == cal.run_until(horizon)
+                assert heap.now == cal.now
+                assert fired_h == fired_c
+        assert heap.run() == cal.run()
+        assert fired_h == fired_c
+        assert heap.now == cal.now
+        assert heap.pending_count == cal.pending_count == 0
